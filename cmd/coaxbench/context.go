@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/coax-index/coax/internal/colfiles"
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/gridfile"
+	"github.com/coax-index/coax/internal/rtree"
+	"github.com/coax-index/coax/internal/softfd"
+	"github.com/coax-index/coax/internal/unigrid"
+)
+
+// runContext lazily materialises datasets and indexes shared between
+// experiments so `-exp all` builds each of them once.
+type runContext struct {
+	n       int
+	queries int
+	k       int
+	seed    int64
+
+	once struct {
+		airline, osm sync.Once
+	}
+	airlineTab *dataset.Table
+	osmTab     *dataset.Table
+}
+
+func newRunContext(n, queries, k int, seed int64) *runContext {
+	return &runContext{n: n, queries: queries, k: k, seed: seed}
+}
+
+func (c *runContext) airline() *dataset.Table {
+	c.once.airline.Do(func() {
+		c.airlineTab = dataset.GenerateAirline(dataset.DefaultAirlineConfig(c.n))
+	})
+	return c.airlineTab
+}
+
+func (c *runContext) osm() *dataset.Table {
+	c.once.osm.Do(func() {
+		c.osmTab = dataset.GenerateOSM(dataset.DefaultOSMConfig(c.n))
+	})
+	return c.osmTab
+}
+
+// airlineOptions returns the COAX build options used for the airline
+// dataset: categorical columns are excluded from FD detection.
+func airlineOptions() core.Options {
+	opt := core.DefaultOptions()
+	opt.SoftFD.ExcludeCols = []int{dataset.AirDayOfWeek, dataset.AirCarrier}
+	return opt
+}
+
+func osmOptions() core.Options {
+	return core.DefaultOptions()
+}
+
+func (c *runContext) buildCOAX(t *dataset.Table, opt core.Options) *core.COAX {
+	idx, err := core.Build(t, opt)
+	if err != nil {
+		fatalf("building COAX: %v", err)
+	}
+	return idx
+}
+
+// buildFullGrid builds the uniform-grid baseline with the largest
+// cells-per-dim whose directory stays below the data size (the paper's
+// memory rule in §8.2.1).
+func (c *runContext) buildFullGrid(t *dataset.Table) *gridfile.GridFile {
+	cells := gridfile.DirectoryBoundedCells(t.Dims(), t.SizeBytes())
+	g, err := unigrid.Build(t, cells)
+	if err != nil {
+		fatalf("building full grid: %v", err)
+	}
+	return g
+}
+
+// buildColumnFiles builds the column-files baseline, sorting on the first
+// column and gridding the rest under the same memory rule.
+func (c *runContext) buildColumnFiles(t *dataset.Table) *gridfile.GridFile {
+	cells := gridfile.DirectoryBoundedCells(t.Dims()-1, t.SizeBytes())
+	g, err := colfiles.Build(t, cells, 0)
+	if err != nil {
+		fatalf("building column files: %v", err)
+	}
+	return g
+}
+
+func (c *runContext) buildRTree(t *dataset.Table) *rtree.RTree {
+	rt, err := rtree.Bulk(t, rtree.DefaultConfig())
+	if err != nil {
+		fatalf("building R-tree: %v", err)
+	}
+	return rt
+}
+
+func describeGroups(groups []softfd.Group, cols []string) string {
+	if len(groups) == 0 {
+		return "none"
+	}
+	out := ""
+	for i, g := range groups {
+		if i > 0 {
+			out += "; "
+		}
+		out += "("
+		for j, m := range g.Members {
+			if j > 0 {
+				out += ", "
+			}
+			out += cols[m]
+			if m == g.Predictor {
+				out += "*"
+			}
+		}
+		out += ")"
+	}
+	return out
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "coaxbench: "+format+"\n", args...)
+	os.Exit(1)
+}

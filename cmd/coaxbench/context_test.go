@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/coax-index/coax/internal/model"
+	"github.com/coax-index/coax/internal/softfd"
+)
+
+func TestDescribeGroups(t *testing.T) {
+	cols := []string{"a", "b", "c"}
+	groups := []softfd.Group{{
+		Predictor: 1,
+		Members:   []int{0, 1},
+		Models:    []softfd.PairModel{{X: 1, D: 0, Model: model.Linear{Slope: 1}}},
+	}}
+	s := describeGroups(groups, cols)
+	if !strings.Contains(s, "b*") {
+		t.Errorf("predictor not starred: %q", s)
+	}
+	if !strings.Contains(s, "a") {
+		t.Errorf("member missing: %q", s)
+	}
+	if describeGroups(nil, cols) != "none" {
+		t.Error("empty groups should render as none")
+	}
+}
+
+func TestRunContextLaziness(t *testing.T) {
+	ctx := newRunContext(1000, 5, 10, 1)
+	a1 := ctx.airline()
+	a2 := ctx.airline()
+	if a1 != a2 {
+		t.Error("airline table must be built once and cached")
+	}
+	if a1.Len() != 1000 || a1.Dims() != 8 {
+		t.Errorf("airline shape %dx%d", a1.Len(), a1.Dims())
+	}
+	o := ctx.osm()
+	if o.Len() != 1000 || o.Dims() != 4 {
+		t.Errorf("osm shape %dx%d", o.Len(), o.Dims())
+	}
+}
+
+func TestBuildersProduceWorkingIndexes(t *testing.T) {
+	ctx := newRunContext(2000, 5, 10, 1)
+	tab := ctx.airline()
+	fg := ctx.buildFullGrid(tab)
+	cf := ctx.buildColumnFiles(tab)
+	rt := ctx.buildRTree(tab)
+	if fg.Len() != 2000 || cf.Len() != 2000 || rt.Len() != 2000 {
+		t.Error("builders lost rows")
+	}
+	// The memory rule: no baseline directory may exceed the data size.
+	if fg.MemoryOverhead() > tab.SizeBytes() {
+		t.Errorf("full grid directory %d exceeds data %d", fg.MemoryOverhead(), tab.SizeBytes())
+	}
+	if cf.MemoryOverhead() > tab.SizeBytes() {
+		t.Errorf("column files directory %d exceeds data %d", cf.MemoryOverhead(), tab.SizeBytes())
+	}
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/coax-index/coax/internal/bench"
+	"github.com/coax-index/coax/internal/colfiles"
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/rtree"
+	"github.com/coax-index/coax/internal/scan"
+	"github.com/coax-index/coax/internal/theory"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+func scanOf(t *dataset.Table) index.Interface { return scan.New(t) }
+
+// runFig8 reproduces Figure 8: the runtime-versus-memory-overhead
+// trade-off, sweeping the grid resolution for COAX and Column Files and
+// the node capacity for the R-tree, on both datasets.
+func (c *runContext) runFig8() {
+	type ds struct {
+		name string
+		tab  *dataset.Table
+		opt  core.Options
+	}
+	for _, d := range []ds{
+		{"Airline", c.airline(), airlineOptions()},
+		{"OSM", c.osm(), osmOptions()},
+	} {
+		t := bench.NewTable(
+			fmt.Sprintf("Figure 8 (%s, n=%d): runtime vs memory overhead", d.name, d.tab.Len()),
+			"series", "config", "mem overhead", "avg/query")
+		gen := workload.NewGenerator(d.tab, c.seed)
+		queries := gen.KNNRects(c.queries, c.k)
+
+		for _, cells := range []int{2, 4, 8, 16, 32, 64} {
+			opt := d.opt
+			opt.PrimaryCellsPerDim = cells
+			cx := c.buildCOAX(d.tab, opt)
+			s := bench.MeasureIndex(cx, queries)
+			t.Add("COAX (total)", fmt.Sprintf("%d cells/dim", cells),
+				bench.FormatBytes(cx.MemoryOverhead()), bench.FormatNs(s.AvgNs()))
+			if cells == 16 {
+				// Report the split once at a representative resolution.
+				t.Add("COAX (primary)", fmt.Sprintf("%d cells/dim", cells),
+					bench.FormatBytes(cx.PrimaryMemoryOverhead()), "")
+				t.Add("COAX (outliers)", fmt.Sprintf("%d cells/dim", cells),
+					bench.FormatBytes(cx.OutlierMemoryOverhead()), "")
+			}
+		}
+		for _, cells := range []int{2, 3, 4, 6, 8} {
+			cf, err := colfiles.Build(d.tab, cells, 0)
+			if err != nil {
+				fatalf("fig8 column files: %v", err)
+			}
+			if cf.MemoryOverhead() > d.tab.SizeBytes() {
+				continue // paper's memory rule: directory must not exceed data
+			}
+			s := bench.MeasureIndex(cf, queries)
+			t.Add("ColumnFiles", fmt.Sprintf("%d cells/dim", cells),
+				bench.FormatBytes(cf.MemoryOverhead()), bench.FormatNs(s.AvgNs()))
+		}
+		for _, capEntries := range []int{4, 8, 16, 32} {
+			rt, err := rtree.Bulk(d.tab, rtree.Config{MaxEntries: capEntries})
+			if err != nil {
+				fatalf("fig8 rtree: %v", err)
+			}
+			s := bench.MeasureIndex(rt, queries)
+			t.Add("RTree", fmt.Sprintf("cap %d", capEntries),
+				bench.FormatBytes(rt.MemoryOverhead()), bench.FormatNs(s.AvgNs()))
+		}
+		t.Fprint(os.Stdout)
+	}
+}
+
+// runEffectiveness validates Eq. 5: effectiveness = qy/(2ε+qy), comparing
+// the closed form against a simulation of the translated scan.
+func (c *runContext) runEffectiveness() {
+	rng := rand.New(rand.NewSource(c.seed))
+	t := bench.NewTable("Eq. 5: margin effectiveness (theory vs simulation)",
+		"eps", "qy", "theory", "simulated")
+	for _, eps := range []float64{5, 20, 50, 100, 200} {
+		for _, qy := range []float64{100, 400} {
+			sim, err := theory.EmpiricalEffectiveness(2.0, eps, qy, 10000, 200000, rng)
+			if err != nil {
+				fatalf("effectiveness: %v", err)
+			}
+			t.Add(fmt.Sprint(eps), fmt.Sprint(qy),
+				fmt.Sprintf("%.3f", theory.Effectiveness(qy, eps)),
+				fmt.Sprintf("%.3f", sim))
+		}
+	}
+	t.Fprint(os.Stdout)
+}
+
+// runTheory validates Theorems 7.1, 7.3 and 7.4 by simulating the CSM
+// random walk.
+func (c *runContext) runTheory() {
+	rng := rand.New(rand.NewSource(c.seed))
+	dist := theory.GapDist{Kind: theory.GapNormal, Mu: 1.0, Sigma: 0.5}
+
+	t := bench.NewTable("Theorems 7.1 & 7.3: keys covered by one linear segment (mu=1, sigma=0.5)",
+		"eps", "E[keys] theory", "E[keys] measured", "Var theory", "Var measured")
+	for _, eps := range []float64{5, 10, 20, 40} {
+		m := theory.MeasureMFET(dist, dist.Mu, eps, 4000, rng)
+		t.Add(fmt.Sprint(eps),
+			fmt.Sprintf("%.0f", theory.TheoremMFET(eps, dist.Sigma)),
+			fmt.Sprintf("%.0f", m.Mean),
+			fmt.Sprintf("%.0f", theory.TheoremMFETVariance(eps, dist.Sigma)),
+			fmt.Sprintf("%.0f", m.Variance))
+	}
+	t.Fprint(os.Stdout)
+
+	t2 := bench.NewTable("Theorem 7.4: segments needed to cover a stream (mu=1, sigma=0.5)",
+		"n", "eps", "theory n*sigma^2/eps^2", "measured")
+	for _, n := range []int{100000, 1000000} {
+		for _, eps := range []float64{5, 10, 20} {
+			got := theory.CountSegments(dist, dist.Mu, eps, n, rng)
+			t2.Add(fmt.Sprint(n), fmt.Sprint(eps),
+				fmt.Sprintf("%.0f", theory.TheoremSegments(n, eps, dist.Sigma)),
+				fmt.Sprint(got))
+		}
+	}
+	t2.Fprint(os.Stdout)
+}
+
+// runSummary prints the paper's two headline claims measured on this
+// machine: the lookup-time advantage over the best conventional baseline
+// and the directory-size reduction.
+func (c *runContext) runSummary() {
+	air := c.airline()
+	cx := c.buildCOAX(air, airlineOptions())
+	rt := c.buildRTree(air)
+	fg := c.buildFullGrid(air)
+	gen := workload.NewGenerator(air, c.seed)
+	queries := gen.KNNRects(c.queries, c.k)
+
+	coaxStats := bench.MeasureIndex(cx, queries)
+	rtStats := bench.MeasureIndex(rt, queries)
+	fgStats := bench.MeasureIndex(fg, queries)
+
+	bestBaselineNs := rtStats.AvgNs()
+	bestBaseline := "RTree"
+	if fgStats.AvgNs() < bestBaselineNs {
+		bestBaselineNs, bestBaseline = fgStats.AvgNs(), "FullGrid"
+	}
+
+	t := bench.NewTable(fmt.Sprintf("Headline claims (airline, n=%d)", c.n),
+		"metric", "COAX", "baseline", "ratio")
+	t.Add("range lookup avg",
+		bench.FormatNs(coaxStats.AvgNs()),
+		fmt.Sprintf("%s %s", bestBaseline, bench.FormatNs(bestBaselineNs)),
+		fmt.Sprintf("%.2fx faster", bestBaselineNs/coaxStats.AvgNs()))
+	t.Add("directory size",
+		bench.FormatBytes(cx.MemoryOverhead()),
+		fmt.Sprintf("RTree %s", bench.FormatBytes(rt.MemoryOverhead())),
+		fmt.Sprintf("%.0fx smaller", float64(rt.MemoryOverhead())/float64(cx.MemoryOverhead())))
+	t.Add("", "", fmt.Sprintf("FullGrid %s", bench.FormatBytes(fg.MemoryOverhead())),
+		fmt.Sprintf("%.0fx smaller", float64(fg.MemoryOverhead())/float64(cx.MemoryOverhead())))
+	t.Fprint(os.Stdout)
+	fmt.Println("\nPaper claims: ~25% faster lookups; directory up to 4 orders of magnitude smaller.")
+}

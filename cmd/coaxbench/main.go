@@ -1,0 +1,59 @@
+// Command coaxbench regenerates every table and figure of the COAX paper's
+// evaluation (§8) on synthetic stand-ins for the OSM and Airline datasets.
+//
+// Usage:
+//
+//	coaxbench -exp all            # run every experiment
+//	coaxbench -exp fig6 -n 500000 # one experiment at a chosen scale
+//
+// Experiments: table1, fig4a, fig6, fig7, fig8, effectiveness, theory,
+// summary, all. Absolute numbers depend on the machine; the claim shapes
+// (who wins, by what factor) are what the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|fig4a|fig6|fig7|fig8|effectiveness|theory|summary|all")
+		n       = flag.Int("n", 200000, "base dataset size in rows")
+		queries = flag.Int("queries", 200, "queries per workload")
+		k       = flag.Int("k", 1000, "K for KNN-rectangle range queries")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	ctx := newRunContext(*n, *queries, *k, *seed)
+
+	runners := map[string]func(){
+		"table1":        ctx.runTable1,
+		"fig4a":         ctx.runFig4a,
+		"fig6":          ctx.runFig6,
+		"fig7":          ctx.runFig7,
+		"fig8":          ctx.runFig8,
+		"effectiveness": ctx.runEffectiveness,
+		"theory":        ctx.runTheory,
+		"summary":       ctx.runSummary,
+	}
+	order := []string{"table1", "fig4a", "fig6", "fig7", "fig8", "effectiveness", "theory", "summary"}
+
+	which := strings.ToLower(*exp)
+	if which == "all" {
+		for _, name := range order {
+			runners[name]()
+		}
+		return
+	}
+	run, ok := runners[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "coaxbench: unknown experiment %q (want one of %s, all)\n",
+			*exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	run()
+}

@@ -1,0 +1,129 @@
+// Package coax is the public API of the COAX correlation-aware
+// multidimensional index (Hadian et al., "COAX: Correlation-Aware Indexing
+// on Multidimensional Data with Soft Functional Dependencies").
+//
+// COAX detects soft functional dependencies between table columns — cases
+// where one attribute approximately determines another, such as an id that
+// tracks a timestamp or a flight distance that tracks its air time — and
+// exploits them to index fewer dimensions. Rows that respect the learned
+// dependencies live in a small reduced-dimensionality primary index; the
+// rest live in a conventional multidimensional outlier index. Queries that
+// constrain a dependent attribute are translated through the learned model
+// into constraints on its predictor, so results remain exact.
+//
+// Basic usage:
+//
+//	table := coax.NewTable([]string{"distance", "airtime", "carrier"})
+//	// ... table.Append(row) for every row ...
+//	idx, err := coax.Build(table, coax.DefaultOptions())
+//	if err != nil { ... }
+//	q := coax.FullRect(3)
+//	q.Min[1], q.Max[1] = 60, 90 // airtime between 60 and 90 minutes
+//	idx.Query(q, func(row []float64) { ... })
+package coax
+
+import (
+	"io"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/softfd"
+)
+
+// Table is an in-memory, row-major collection of float64 rows. Build one
+// with NewTable and Append, or load it with ReadCSV.
+type Table = dataset.Table
+
+// NewTable creates an empty table with the given column names.
+func NewTable(cols []string) *Table { return dataset.NewTable(cols) }
+
+// ReadCSV loads a table from CSV data with a header row; every field must
+// parse as a float64.
+func ReadCSV(r io.Reader) (*Table, error) { return dataset.ReadCSV(r) }
+
+// WriteCSV writes a table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error { return dataset.WriteCSV(w, t) }
+
+// Rect is an axis-aligned query rectangle with inclusive bounds; use ±Inf
+// to leave a dimension unconstrained.
+type Rect = index.Rect
+
+// NewRect builds a rectangle from copies of min and max.
+func NewRect(min, max []float64) Rect { return index.NewRect(min, max) }
+
+// FullRect returns a rectangle matching every row of a dims-column table.
+func FullRect(dims int) Rect { return index.Full(dims) }
+
+// PointQuery returns the degenerate rectangle matching exactly p.
+func PointQuery(p []float64) Rect { return index.Point(p) }
+
+// Visitor receives one matching row per call; the slice is only valid
+// during the call.
+type Visitor = index.Visitor
+
+// Options configures a Build. Start from DefaultOptions.
+type Options = core.Options
+
+// SoftFDConfig tunes the dependency detector (sample size, grid
+// resolution, margins, acceptance thresholds).
+type SoftFDConfig = softfd.Config
+
+// DefaultOptions returns the recommended build configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultSoftFDConfig returns the recommended detector configuration.
+func DefaultSoftFDConfig() SoftFDConfig { return softfd.DefaultConfig() }
+
+// Group is one set of mutually correlated columns with its elected
+// predictor.
+type Group = softfd.Group
+
+// PairModel is one learned soft functional dependency: column X predicts
+// column D within margins [−EpsLB, +EpsUB].
+type PairModel = softfd.PairModel
+
+// Stats summarises a build: detected groups, primary/outlier row counts,
+// grid dimensionality, and directory overheads.
+type Stats = core.Stats
+
+// Index is a built COAX index. It is safe for concurrent readers once
+// built; it does not support concurrent mutation (the structure is static,
+// matching the paper).
+type Index = core.COAX
+
+// Build learns the soft FDs of t and constructs the index.
+func Build(t *Table, opt Options) (*Index, error) { return core.Build(t, opt) }
+
+// Count runs a query and returns the number of matching rows.
+func Count(idx *Index, r Rect) int { return index.Count(idx, r) }
+
+// Collect runs a query and returns copies of all matching rows.
+func Collect(idx *Index, r Rect) [][]float64 { return index.Collect(idx, r) }
+
+// Synthetic dataset generators. The repository's benchmarks run on
+// synthetic stand-ins for the paper's OSM and Airline extracts; they are
+// exported so applications and examples can generate realistic correlated
+// data without shipping multi-gigabyte files.
+
+// OSMConfig configures GenerateOSM.
+type OSMConfig = dataset.OSMConfig
+
+// AirlineConfig configures GenerateAirline.
+type AirlineConfig = dataset.AirlineConfig
+
+// GenerateOSM builds a synthetic OpenStreetMap-like table
+// (id, timestamp, lat, lon) with a strong id→timestamp soft FD and
+// clustered coordinates.
+func GenerateOSM(cfg OSMConfig) *Table { return dataset.GenerateOSM(cfg) }
+
+// GenerateAirline builds a synthetic US-airlines-like table with two
+// three-attribute correlation groups across 8 columns.
+func GenerateAirline(cfg AirlineConfig) *Table { return dataset.GenerateAirline(cfg) }
+
+// DefaultOSMConfig returns the benchmark OSM generator settings for n rows.
+func DefaultOSMConfig(n int) OSMConfig { return dataset.DefaultOSMConfig(n) }
+
+// DefaultAirlineConfig returns the benchmark airline generator settings
+// for n rows.
+func DefaultAirlineConfig(n int) AirlineConfig { return dataset.DefaultAirlineConfig(n) }

@@ -1,0 +1,164 @@
+// Package bench provides the measurement harness shared by cmd/coaxbench
+// and the root-level testing.B benchmarks: per-query latency statistics
+// over a fixed workload and plain-text table rendering for experiment
+// output.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/coax-index/coax/internal/index"
+)
+
+// QueryStats aggregates per-query latencies for one index over one
+// workload.
+type QueryStats struct {
+	Name    string
+	Queries int
+	Matches int64
+	TotalNs int64
+	P50Ns   int64
+	P99Ns   int64
+}
+
+// AvgNs returns the mean per-query latency in nanoseconds.
+func (s QueryStats) AvgNs() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.TotalNs) / float64(s.Queries)
+}
+
+// AvgMs returns the mean per-query latency in milliseconds.
+func (s QueryStats) AvgMs() float64 { return s.AvgNs() / 1e6 }
+
+// Measure times run over every query. run must return the number of
+// matching rows so the harness can report workload size and defeat
+// dead-code elimination.
+func Measure(name string, queries []index.Rect, run func(index.Rect) int) QueryStats {
+	s := QueryStats{Name: name, Queries: len(queries)}
+	lat := make([]int64, len(queries))
+	for i, q := range queries {
+		start := time.Now()
+		n := run(q)
+		el := time.Since(start).Nanoseconds()
+		lat[i] = el
+		s.TotalNs += el
+		s.Matches += int64(n)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		s.P50Ns = lat[len(lat)/2]
+		s.P99Ns = lat[(len(lat)*99)/100]
+	}
+	return s
+}
+
+// MeasureIndex is Measure over a full index.Interface query.
+func MeasureIndex(idx index.Interface, queries []index.Rect) QueryStats {
+	return Measure(idx.Name(), queries, func(q index.Rect) int {
+		return index.Count(idx, q)
+	})
+}
+
+// FormatNs renders nanoseconds with an adaptive unit, e.g. "0.132 ms".
+func FormatNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2f µs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}
+
+// FormatBytes renders a byte count with an adaptive unit.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends one row built from format/args pairs: each argument is
+// rendered with %v.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Add(row...)
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	r := []rune(s)
+	if len(r) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(r))
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/coax-index/coax/internal/index"
+)
+
+func TestMeasure(t *testing.T) {
+	queries := []index.Rect{
+		index.NewRect([]float64{0}, []float64{1}),
+		index.NewRect([]float64{0}, []float64{2}),
+	}
+	s := Measure("fake", queries, func(q index.Rect) int {
+		return int(q.Max[0])
+	})
+	if s.Name != "fake" || s.Queries != 2 {
+		t.Errorf("stats identity: %+v", s)
+	}
+	if s.Matches != 3 {
+		t.Errorf("Matches = %d, want 3", s.Matches)
+	}
+	if s.TotalNs <= 0 || s.AvgNs() <= 0 {
+		t.Error("timings must be positive")
+	}
+	if s.P50Ns <= 0 || s.P99Ns < s.P50Ns {
+		t.Errorf("percentiles broken: p50=%d p99=%d", s.P50Ns, s.P99Ns)
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	s := Measure("none", nil, func(index.Rect) int { return 0 })
+	if s.AvgNs() != 0 || s.AvgMs() != 0 {
+		t.Error("empty workload should report zero averages")
+	}
+}
+
+func TestFormatNs(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want string
+	}{
+		{500, "500 ns"},
+		{1500, "1.50 µs"},
+		{2.5e6, "2.500 ms"},
+	}
+	for _, c := range cases {
+		if got := FormatNs(c.ns); got != c.want {
+			t.Errorf("FormatNs(%g) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		b    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{5 << 30, "5.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.b); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.Add("alpha", "1")
+	tab.Addf("beta", 22)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "beta", "22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: "alpha  1" (name padded to 5).
+	if !strings.Contains(out, "alpha  1") {
+		t.Errorf("column alignment broken:\n%s", out)
+	}
+}

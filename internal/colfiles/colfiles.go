@@ -1,0 +1,35 @@
+// Package colfiles provides the "Column Files" baseline of §8.1.3: a
+// non-uniform grid that aligns its cell boundaries with the CDF of the data
+// (quantiles) and sorts the rows inside each cell on one attribute, thereby
+// dropping that attribute's grid lines and reducing the index dimensionality
+// by one. It is the same layout as Flood without workload awareness, and a
+// fixed configuration of the grid-file engine.
+package colfiles
+
+import (
+	"fmt"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/gridfile"
+)
+
+// Build constructs column files over every column of t, sorting inside each
+// cell on sortDim (which receives no grid lines).
+func Build(t *dataset.Table, cellsPerDim, sortDim int) (*gridfile.GridFile, error) {
+	if sortDim < 0 || sortDim >= t.Dims() {
+		return nil, fmt.Errorf("colfiles: sort dimension %d out of range [0,%d)", sortDim, t.Dims())
+	}
+	dims := make([]int, 0, t.Dims()-1)
+	for i := 0; i < t.Dims(); i++ {
+		if i != sortDim {
+			dims = append(dims, i)
+		}
+	}
+	return gridfile.Build(t, gridfile.Config{
+		GridDims:    dims,
+		SortDim:     sortDim,
+		CellsPerDim: cellsPerDim,
+		Mode:        gridfile.Quantile,
+		Label:       "ColumnFiles",
+	})
+}

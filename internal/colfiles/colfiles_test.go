@@ -1,0 +1,54 @@
+package colfiles
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/scan"
+)
+
+func TestColumnFilesMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := dataset.NewTable([]string{"a", "b", "c"})
+	for i := 0; i < 3000; i++ {
+		tab.Append([]float64{rng.Float64() * 100, rng.NormFloat64() * 10, rng.ExpFloat64()})
+	}
+	g, err := Build(tab, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "ColumnFiles" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	// Sort dim 2 gets no grid lines: 8×8 cells only.
+	if g.NumCells() != 64 {
+		t.Errorf("NumCells = %d, want 64", g.NumCells())
+	}
+	oracle := scan.New(tab)
+	for trial := 0; trial < 40; trial++ {
+		r := index.Full(3)
+		for d := 0; d < 3; d++ {
+			a, b := tab.Row(rng.Intn(tab.Len()))[d], tab.Row(rng.Intn(tab.Len()))[d]
+			if a > b {
+				a, b = b, a
+			}
+			r.Min[d], r.Max[d] = a, b
+		}
+		if got, want := index.Count(g, r), index.Count(oracle, r); got != want {
+			t.Fatalf("trial %d: %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestColumnFilesSortDimValidation(t *testing.T) {
+	tab := dataset.NewTable([]string{"a"})
+	tab.Append([]float64{1})
+	if _, err := Build(tab, 4, -1); err == nil {
+		t.Error("negative sort dim accepted")
+	}
+	if _, err := Build(tab, 4, 1); err == nil {
+		t.Error("out-of-range sort dim accepted")
+	}
+}

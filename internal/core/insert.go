@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/gridfile"
+	"github.com/coax-index/coax/internal/rtree"
+)
+
+// Insert adds one row to the index — the update path the paper defers to
+// future work (§9) built on the mechanism it sketches in §5: the learned
+// models stay fixed (they were trained on a sample and remain valid while
+// the data distribution holds), the row is classified against the existing
+// margins, and it lands either in the primary grid's delta pages or in the
+// outlier index. Call Compact after a batch of inserts to restore fully
+// contiguous primary cells; rebuild the index entirely if the data
+// distribution drifts enough that the dependency models stop fitting (the
+// primary ratio of BuildStats is the signal to watch).
+func (c *COAX) Insert(row []float64) error {
+	if len(row) != c.dims {
+		return fmt.Errorf("core: row has %d values, index has %d dims", len(row), c.dims)
+	}
+	if c.rowIsInlier(row) {
+		if c.primary == nil {
+			if err := c.initPrimary(row); err != nil {
+				return err
+			}
+		} else if err := c.primary.Insert(row); err != nil {
+			return err
+		}
+		extendBounds(&c.primaryBounds, row)
+		c.primaryN++
+	} else {
+		if c.outliers == nil {
+			if err := c.initOutliers(row); err != nil {
+				return err
+			}
+		} else {
+			ins, ok := c.outliers.(inserter)
+			if !ok {
+				return fmt.Errorf("core: outlier index %T does not support inserts", c.outliers)
+			}
+			if err := ins.Insert(row); err != nil {
+				return err
+			}
+		}
+		extendBounds(&c.outlierBounds, row)
+		c.outlierN++
+	}
+	c.n++
+	return nil
+}
+
+// inserter is satisfied by both outlier index kinds.
+type inserter interface {
+	Insert(row []float64) error
+}
+
+// Compact merges the primary index's delta pages into its main storage.
+func (c *COAX) Compact() {
+	if c.primary != nil {
+		c.primary.Compact()
+	}
+}
+
+// initPrimary lazily creates the primary grid when the original build saw
+// only outliers. The single seed row defines degenerate boundaries; the
+// grid still answers correctly because rows are re-checked against every
+// query rectangle.
+func (c *COAX) initPrimary(row []float64) error {
+	seed := dataset.NewTable(make([]string, c.dims))
+	seed.Append(row)
+	p, err := gridfile.Build(seed, gridfile.Config{
+		GridDims:    c.primaryGridDims(),
+		SortDim:     c.sortDim,
+		CellsPerDim: c.primaryCells,
+		Mode:        gridfile.Quantile,
+		Label:       "COAX-primary",
+	})
+	if err != nil {
+		return fmt.Errorf("core: lazily creating primary index: %w", err)
+	}
+	c.primary = p
+	return nil
+}
+
+// initOutliers lazily creates the outlier index on the first outlying
+// insert.
+func (c *COAX) initOutliers(row []float64) error {
+	seed := dataset.NewTable(make([]string, c.dims))
+	seed.Append(row)
+	switch c.outlierKind {
+	case OutlierRTree:
+		rt, err := rtree.Bulk(seed, rtree.Config{MaxEntries: c.outlierRTreeCap})
+		if err != nil {
+			return fmt.Errorf("core: lazily creating outlier R-tree: %w", err)
+		}
+		c.outliers = rt
+	default:
+		dims := make([]int, c.dims)
+		for i := range dims {
+			dims[i] = i
+		}
+		g, err := gridfile.Build(seed, gridfile.Config{
+			GridDims:    dims,
+			SortDim:     -1,
+			CellsPerDim: 2,
+			Mode:        gridfile.Quantile,
+			Label:       "COAX-outliers",
+		})
+		if err != nil {
+			return fmt.Errorf("core: lazily creating outlier grid: %w", err)
+		}
+		c.outliers = g
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/scan"
+	"github.com/coax-index/coax/internal/softfd"
+)
+
+// nonlinearFDTable plants d = 0.002·x² + noise with an outlier fraction,
+// plus an independent column.
+func nonlinearFDTable(rng *rand.Rand, n int, outlierFrac float64) *dataset.Table {
+	t := dataset.NewTable([]string{"x", "d", "u"})
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1000
+		var d float64
+		if rng.Float64() < outlierFrac {
+			d = rng.Float64() * 2000
+		} else {
+			d = 0.002*x*x + rng.NormFloat64()*4
+		}
+		t.Append([]float64{x, d, rng.Float64() * 100})
+	}
+	return t
+}
+
+func splineOptions() Options {
+	opt := DefaultOptions()
+	opt.SoftFD.SampleCount = 5000
+	opt.SoftFD.Kind = softfd.ModelSpline
+	return opt
+}
+
+func TestSplineCOAXMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := nonlinearFDTable(rng, 20000, 0.1)
+	oracle := scan.New(tab)
+	c, err := Build(tab, splineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.BuildStats()
+	if len(st.Groups) != 1 {
+		t.Fatalf("spline groups = %d, want 1", len(st.Groups))
+	}
+	if st.Groups[0].Models[0].Spline == nil {
+		t.Fatal("expected a spline model in the group")
+	}
+	for trial := 0; trial < 100; trial++ {
+		r := randQuery(rng, tab)
+		if got, want := index.Count(c, r), index.Count(oracle, r); got != want {
+			t.Fatalf("trial %d: %d, want %d", trial, got, want)
+		}
+	}
+	// Dependent-only queries drive the spline inversion path.
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Float64() * 2000
+		hi := lo + rng.Float64()*200
+		r := index.Full(3)
+		r.Min[1], r.Max[1] = lo, hi
+		if got, want := index.Count(c, r), index.Count(oracle, r); got != want {
+			t.Fatalf("dependent-only [%g,%g]: %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestSplineBeatsLinearOnCurvedData(t *testing.T) {
+	// On curved data the linear detector can only reach a high primary
+	// ratio by accepting wide margins (it must swallow the systematic
+	// curvature error); the spline tracks the curve, so its margins — and
+	// therefore the range every translated query scans (Eq. 5) — are far
+	// tighter.
+	rng := rand.New(rand.NewSource(2))
+	tab := nonlinearFDTable(rng, 20000, 0.05)
+
+	linOpt := DefaultOptions()
+	linOpt.SoftFD.SampleCount = 5000
+	linIdx, err := Build(tab, linOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spIdx, err := Build(tab, splineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spSt := spIdx.BuildStats()
+	if len(spSt.Groups) == 0 {
+		t.Fatal("spline detector missed the curved dependency entirely")
+	}
+	spM := spSt.Groups[0].Models[0]
+	if spM.Spline == nil {
+		t.Fatal("expected a spline model")
+	}
+	linSt := linIdx.BuildStats()
+	if len(linSt.Groups) > 0 {
+		linM := linSt.Groups[0].Models[0]
+		linWidth := linM.EpsLB + linM.EpsUB
+		spWidth := spM.EpsLB + spM.EpsUB
+		if spWidth > linWidth/2 {
+			t.Errorf("spline margin width %g not clearly tighter than linear %g",
+				spWidth, linWidth)
+		}
+	}
+	// The spline's primary ratio must still be competitive.
+	if spSt.PrimaryRatio < 0.85 {
+		t.Errorf("spline primary ratio = %g", spSt.PrimaryRatio)
+	}
+}
+
+func TestSplineInsertRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := nonlinearFDTable(rng, 15000, 0.05)
+	c, err := Build(tab, splineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.BuildStats().Groups) != 1 {
+		t.Skip("spline FD not detected")
+	}
+	pm := c.BuildStats().Groups[0].Models[0]
+	x := 400.0
+	inlier := []float64{x, pm.Predict(x), 1}
+	outlier := []float64{x, pm.Predict(x) + (pm.EpsUB+1)*50, 2}
+	before := c.BuildStats()
+	if err := c.Insert(inlier); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(outlier); err != nil {
+		t.Fatal(err)
+	}
+	after := c.BuildStats()
+	if after.PrimaryRows != before.PrimaryRows+1 || after.OutlierRows != before.OutlierRows+1 {
+		t.Errorf("insert routing off: %+v -> %+v", before, after)
+	}
+}

@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV data. The first record is treated as the
+// header; every subsequent field must parse as a float64. Rows with a wrong
+// field count or unparsable values produce an error identifying the line.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	cols := make([]string, len(header))
+	copy(cols, header)
+	t := NewTable(cols)
+	row := make([]float64, len(cols))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), len(cols))
+		}
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d field %q: %w", line, cols[i], err)
+			}
+			row[i] = v
+		}
+		t.Append(row)
+	}
+	return t, nil
+}
+
+// WriteCSV emits the table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, t.Dims())
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

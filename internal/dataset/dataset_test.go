@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/coax-index/coax/internal/stats"
+)
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable([]string{"a", "b"})
+	if tab.Dims() != 2 || tab.Len() != 0 {
+		t.Fatalf("fresh table: dims=%d len=%d", tab.Dims(), tab.Len())
+	}
+	tab.Append([]float64{1, 2})
+	tab.Append([]float64{3, 4})
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if r := tab.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	if c := tab.Column(1); c[0] != 2 || c[1] != 4 {
+		t.Errorf("Column(1) = %v", c)
+	}
+	if tab.ColumnIndex("b") != 1 || tab.ColumnIndex("zz") != -1 {
+		t.Error("ColumnIndex lookup broken")
+	}
+	if tab.SizeBytes() != 4*8 {
+		t.Errorf("SizeBytes = %d", tab.SizeBytes())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestTableAppendWrongArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Append with wrong arity must panic")
+		}
+	}()
+	NewTable([]string{"a"}).Append([]float64{1, 2})
+}
+
+func TestTableValidateCatchesNaN(t *testing.T) {
+	tab := NewTable([]string{"a"})
+	tab.Append([]float64{math.NaN()})
+	if err := tab.Validate(); err == nil {
+		t.Error("NaN row must fail validation")
+	}
+	empty := &Table{}
+	if err := empty.Validate(); err == nil {
+		t.Error("zero-column table must fail validation")
+	}
+}
+
+func TestTableSlice(t *testing.T) {
+	tab := NewTable([]string{"a"})
+	for i := 0; i < 10; i++ {
+		tab.Append([]float64{float64(i)})
+	}
+	s := tab.Slice(3, 6)
+	if s.Len() != 3 || s.Row(0)[0] != 3 || s.Row(2)[0] != 5 {
+		t.Errorf("Slice(3,6) wrong: len=%d", s.Len())
+	}
+	// Slice copies: mutating the slice must not touch the parent.
+	s.Row(0)[0] = 99
+	if tab.Row(3)[0] != 3 {
+		t.Error("Slice must copy rows")
+	}
+}
+
+func TestGenerateOSMShape(t *testing.T) {
+	cfg := DefaultOSMConfig(20000)
+	tab := GenerateOSM(cfg)
+	if tab.Len() != 20000 || tab.Dims() != 4 {
+		t.Fatalf("OSM shape: len=%d dims=%d", tab.Len(), tab.Dims())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The id→timestamp soft FD must be strong.
+	ids, ts := tab.Column(0), tab.Column(1)
+	if r := stats.Pearson(ids, ts); r < 0.9 {
+		t.Errorf("id/timestamp correlation = %g, want > 0.9", r)
+	}
+	// Coordinates stay in the bounding box.
+	lat, lon := tab.Column(2), tab.Column(3)
+	latMin, latMax := stats.MinMax(lat)
+	lonMin, lonMax := stats.MinMax(lon)
+	if latMin < 38.0 || latMax > 47.5 || lonMin < -80.5 || lonMax > -66.9 {
+		t.Errorf("coordinates escape the region: lat [%g,%g] lon [%g,%g]",
+			latMin, latMax, lonMin, lonMax)
+	}
+	// Clustered coordinates must be visibly non-uniform.
+	if kl := stats.KLFromUniform(lat, 32); kl < 0.05 {
+		t.Errorf("latitude KL from uniform = %g; expected skewed clusters", kl)
+	}
+}
+
+func TestGenerateOSMDeterministic(t *testing.T) {
+	a := GenerateOSM(DefaultOSMConfig(1000))
+	b := GenerateOSM(DefaultOSMConfig(1000))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must generate identical data")
+		}
+	}
+	cfg := DefaultOSMConfig(1000)
+	cfg.Seed = 99
+	c := GenerateOSM(cfg)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should generate different data")
+	}
+}
+
+func TestGenerateAirlineShape(t *testing.T) {
+	tab := GenerateAirline(DefaultAirlineConfig(20000))
+	if tab.Len() != 20000 || tab.Dims() != 8 {
+		t.Fatalf("airline shape: len=%d dims=%d", tab.Len(), tab.Dims())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Both correlation groups must exist.
+	dist := tab.Column(AirDistance)
+	air := tab.Column(AirAirTime)
+	elapsed := tab.Column(AirElapsed)
+	if r := stats.Pearson(dist, air); r < 0.9 {
+		t.Errorf("distance/airtime correlation = %g", r)
+	}
+	if r := stats.Pearson(air, elapsed); r < 0.9 {
+		t.Errorf("airtime/elapsed correlation = %g", r)
+	}
+	dep := tab.Column(AirDepTime)
+	sched := tab.Column(AirSchedArr)
+	arr := tab.Column(AirArrTime)
+	if r := stats.Pearson(dep, sched); r < 0.7 {
+		t.Errorf("deptime/schedarr correlation = %g", r)
+	}
+	if r := stats.Pearson(sched, arr); r < 0.9 {
+		t.Errorf("schedarr/arrtime correlation = %g", r)
+	}
+	// DayOfWeek must NOT correlate with distance.
+	dow := tab.Column(AirDayOfWeek)
+	if r := stats.Pearson(dow, dist); math.Abs(r) > 0.05 {
+		t.Errorf("dayofweek/distance correlation = %g, want ≈0", r)
+	}
+	// Sanity on value ranges.
+	if min, _ := stats.MinMax(dist); min < 50 {
+		t.Errorf("implausible distance %g", min)
+	}
+	if min, max := stats.MinMax(dow); min < 1 || max > 7 {
+		t.Errorf("dayofweek out of range [%g,%g]", min, max)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := NewTable([]string{"x", "y"})
+	tab.Append([]float64{1.5, -2})
+	tab.Append([]float64{0, 1e10})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Dims() != 2 {
+		t.Fatalf("round trip shape: len=%d dims=%d", back.Len(), back.Dims())
+	}
+	for i := range tab.Data {
+		if tab.Data[i] != back.Data[i] {
+			t.Fatalf("round trip value mismatch at %d: %g vs %g", i, tab.Data[i], back.Data[i])
+		}
+	}
+	if back.Cols[0] != "x" || back.Cols[1] != "y" {
+		t.Errorf("round trip headers: %v", back.Cols)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,notanumber\n")); err == nil {
+		t.Error("unparsable field must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("short row must error")
+	}
+}

@@ -1,0 +1,96 @@
+// Package dataset defines the in-memory table format shared by every index
+// and provides the synthetic dataset generators that substitute for the
+// paper's OSM and Airline extracts (see DESIGN.md §4), plus a CSV loader
+// for experimenting with real data.
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table is an immutable-after-build collection of rows stored row-major in
+// one contiguous buffer ("a contiguous block of virtual memory in a row
+// store format", §6 of the paper).
+type Table struct {
+	Cols []string  // column names, len = Dims
+	Data []float64 // row-major, len = N*Dims
+	dims int
+}
+
+// NewTable creates an empty table with the given column names.
+func NewTable(cols []string) *Table {
+	c := make([]string, len(cols))
+	copy(c, cols)
+	return &Table{Cols: c, dims: len(cols)}
+}
+
+// Dims reports the number of columns.
+func (t *Table) Dims() int { return t.dims }
+
+// Len reports the number of rows.
+func (t *Table) Len() int {
+	if t.dims == 0 {
+		return 0
+	}
+	return len(t.Data) / t.dims
+}
+
+// Row returns row i as a slice aliasing the table buffer.
+func (t *Table) Row(i int) []float64 {
+	return t.Data[i*t.dims : (i+1)*t.dims : (i+1)*t.dims]
+}
+
+// Append adds one row (copied) to the table.
+func (t *Table) Append(row []float64) {
+	if len(row) != t.dims {
+		panic(fmt.Sprintf("dataset: row has %d values, table has %d columns", len(row), t.dims))
+	}
+	t.Data = append(t.Data, row...)
+}
+
+// Column extracts column j into a fresh slice.
+func (t *Table) Column(j int) []float64 {
+	n := t.Len()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.Data[i*t.dims+j]
+	}
+	return out
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SizeBytes reports the payload size of the row data.
+func (t *Table) SizeBytes() int64 { return int64(len(t.Data) * 8) }
+
+// Validate checks that the table holds a whole number of finite-valued rows.
+func (t *Table) Validate() error {
+	if t.dims == 0 {
+		return fmt.Errorf("dataset: table has no columns")
+	}
+	if len(t.Data)%t.dims != 0 {
+		return fmt.Errorf("dataset: buffer length %d not divisible by dims %d", len(t.Data), t.dims)
+	}
+	for i, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: non-finite value at row %d col %d", i/t.dims, i%t.dims)
+		}
+	}
+	return nil
+}
+
+// Slice returns a new table holding rows [lo, hi) copied out of t.
+func (t *Table) Slice(lo, hi int) *Table {
+	out := NewTable(t.Cols)
+	out.Data = append(out.Data, t.Data[lo*t.dims:hi*t.dims]...)
+	return out
+}

@@ -1,0 +1,113 @@
+package gridfile
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coax-index/coax/internal/index"
+)
+
+// Insert support. The paper leaves updates as future work (§9) but sketches
+// the mechanism in §5: the bucketed training grid can absorb new samples,
+// and the static layout needs a delta area. We implement the classic
+// main/delta design: every cell owns a small overflow page that absorbs
+// inserts (kept sorted on the sort dimension so lookups stay logarithmic),
+// and Compact merges all overflow pages back into the contiguous main
+// storage.
+
+// overflow pages are lazily allocated per cell.
+type overflowPage struct {
+	data []float64 // row-major, sorted by the sort dimension when enabled
+}
+
+// Insert adds one row (copied) to the grid file, placing it in its cell's
+// overflow page. Queries see the row immediately. Amortised cost is the
+// binary search plus a memmove within one overflow page; call Compact once
+// a batch of inserts has landed to restore fully contiguous cells.
+func (g *GridFile) Insert(row []float64) error {
+	if len(row) != g.dims {
+		return fmt.Errorf("gridfile: row has %d values, index has %d dims", len(row), g.dims)
+	}
+	if g.overflow == nil {
+		g.overflow = make(map[int]*overflowPage)
+	}
+	c := g.cellOf(row)
+	page := g.overflow[c]
+	if page == nil {
+		page = &overflowPage{}
+		g.overflow[c] = page
+	}
+
+	if sd := g.cfg.SortDim; sd >= 0 {
+		// Insert in sort-dimension order.
+		nRows := len(page.data) / g.dims
+		pos := sort.Search(nRows, func(i int) bool {
+			return page.data[i*g.dims+sd] >= row[sd]
+		})
+		page.data = append(page.data, make([]float64, g.dims)...)
+		copy(page.data[(pos+1)*g.dims:], page.data[pos*g.dims:len(page.data)-g.dims])
+		copy(page.data[pos*g.dims:(pos+1)*g.dims], row)
+	} else {
+		page.data = append(page.data, row...)
+	}
+	g.n++
+	g.inserted++
+	return nil
+}
+
+// Inserted reports how many rows live in overflow pages since the last
+// Compact.
+func (g *GridFile) Inserted() int { return g.inserted }
+
+// Compact merges every overflow page into the main contiguous storage,
+// re-sorting affected cells, and drops the overflow map. After Compact the
+// grid file is byte-for-byte equivalent to one built over the combined
+// data (with the original grid boundaries — boundaries are not recomputed,
+// so heavily drifted data distributions may warrant a full rebuild).
+func (g *GridFile) Compact() {
+	if g.inserted == 0 {
+		return
+	}
+	nCells := g.NumCells()
+	newData := make([]float64, 0, g.n*g.dims)
+	newOffsets := make([]int64, nCells+1)
+	for c := 0; c < nCells; c++ {
+		newOffsets[c] = int64(len(newData) / g.dims)
+		newData = append(newData, g.cellPage(c)...)
+		if page := g.overflow[c]; page != nil {
+			newData = append(newData, page.data...)
+		}
+	}
+	newOffsets[nCells] = int64(len(newData) / g.dims)
+	g.data = newData
+	g.offsets = newOffsets
+	g.overflow = nil
+	g.inserted = 0
+	if g.cfg.SortDim >= 0 {
+		for c := 0; c < nCells; c++ {
+			g.sortCell(c)
+		}
+	}
+}
+
+// scanOverflow visits matching rows of one cell's overflow page, using the
+// same binary-search entry point as the main page.
+func (g *GridFile) scanOverflow(c int, r index.Rect, visit index.Visitor) {
+	page := g.overflow[c]
+	if page == nil || len(page.data) == 0 {
+		return
+	}
+	dims := g.dims
+	nRows := len(page.data) / dims
+	lo, hi := 0, nRows
+	if sd := g.cfg.SortDim; sd >= 0 {
+		lo = sort.Search(nRows, func(i int) bool { return page.data[i*dims+sd] >= r.Min[sd] })
+		hi = sort.Search(nRows, func(i int) bool { return page.data[i*dims+sd] > r.Max[sd] })
+	}
+	for i := lo; i < hi; i++ {
+		row := page.data[i*dims : (i+1)*dims]
+		if r.Contains(row) {
+			visit(row)
+		}
+	}
+}

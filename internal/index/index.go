@@ -1,0 +1,42 @@
+package index
+
+// Visitor receives one matching row per call. The row slice aliases index
+// internals and is only valid for the duration of the call; copy it if it
+// must be retained.
+type Visitor func(row []float64)
+
+// Interface is the contract shared by every multidimensional index in this
+// repository. Implementations must return exactly the rows matching the
+// rectangle — no more, no fewer — regardless of internal over-approximation.
+type Interface interface {
+	// Name identifies the index variant in benchmark output.
+	Name() string
+	// Len reports the number of rows indexed.
+	Len() int
+	// Dims reports the row dimensionality.
+	Dims() int
+	// Query invokes visit for every indexed row inside r.
+	Query(r Rect, visit Visitor)
+	// MemoryOverhead reports the directory size in bytes: everything the
+	// index allocates beyond the row payload itself (grid boundaries, cell
+	// offset tables, tree nodes, model parameters).
+	MemoryOverhead() int64
+}
+
+// Count runs the query and returns the number of matching rows.
+func Count(idx Interface, r Rect) int {
+	n := 0
+	idx.Query(r, func([]float64) { n++ })
+	return n
+}
+
+// Collect runs the query and returns copies of all matching rows.
+func Collect(idx Interface, r Rect) [][]float64 {
+	var out [][]float64
+	idx.Query(r, func(row []float64) {
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		out = append(out, cp)
+	})
+	return out
+}

@@ -1,0 +1,87 @@
+package model
+
+import "math"
+
+// BayesianLinear is a conjugate Bayesian simple linear regression with a
+// Normal–inverse-gamma prior. The paper fits its soft-FD model with pymc3
+// and notes (§5) that using a Bayesian method lets the index "use the
+// previous gradient and intercept and continuously adjust" as new records
+// arrive; this type provides the same capability in closed form with
+// sequential Update calls — no sampling library required.
+//
+// Internally it tracks sufficient statistics under the design matrix
+// Φ = [1 x] with prior precision λI, so the posterior mean equals ridge
+// regression and uncertainty is available from the residual statistics.
+type BayesianLinear struct {
+	lambda float64 // prior precision (ridge strength)
+
+	n   float64
+	sx  float64
+	sy  float64
+	sxx float64
+	sxy float64
+	syy float64
+}
+
+// NewBayesianLinear creates a model with prior precision lambda. A small
+// lambda (e.g. 1e-6) behaves like OLS while remaining well-posed on
+// degenerate data.
+func NewBayesianLinear(lambda float64) *BayesianLinear {
+	if lambda <= 0 {
+		lambda = 1e-6
+	}
+	return &BayesianLinear{lambda: lambda}
+}
+
+// Update folds one observation into the posterior.
+func (b *BayesianLinear) Update(x, y float64) {
+	b.n++
+	b.sx += x
+	b.sy += y
+	b.sxx += x * x
+	b.sxy += x * y
+	b.syy += y * y
+}
+
+// UpdateBatch folds a batch of observations into the posterior.
+func (b *BayesianLinear) UpdateBatch(xs, ys []float64) {
+	for i := range xs {
+		b.Update(xs[i], ys[i])
+	}
+}
+
+// N reports the number of observations absorbed so far.
+func (b *BayesianLinear) N() int { return int(b.n) }
+
+// Posterior returns the MAP estimate of the line. With fewer than two
+// observations it returns the zero model.
+func (b *BayesianLinear) Posterior() Linear {
+	// Solve (ΦᵀΦ + λI) w = Φᵀy for w = (intercept, slope).
+	a11 := b.n + b.lambda
+	a12 := b.sx
+	a22 := b.sxx + b.lambda
+	det := a11*a22 - a12*a12
+	if det == 0 || b.n < 2 {
+		return Linear{}
+	}
+	intercept := (a22*b.sy - a12*b.sxy) / det
+	slope := (a11*b.sxy - a12*b.sy) / det
+	return Linear{Slope: slope, Intercept: intercept}
+}
+
+// ResidualStdDev estimates the posterior residual standard deviation — the
+// σ that margin selection compares against ε. Returns 0 with fewer than
+// three observations.
+func (b *BayesianLinear) ResidualStdDev() float64 {
+	if b.n < 3 {
+		return 0
+	}
+	l := b.Posterior()
+	// SSE = Σ(y − mx − c)² expanded over sufficient statistics.
+	m, c := l.Slope, l.Intercept
+	sse := b.syy - 2*m*b.sxy - 2*c*b.sy + m*m*b.sxx + 2*m*c*b.sx + c*c*b.n
+	if sse < 0 {
+		sse = 0
+	}
+	return math.Sqrt(sse / (b.n - 2))
+}

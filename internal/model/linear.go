@@ -1,0 +1,115 @@
+// Package model implements the regression models COAX fits over soft
+// functional dependencies: ordinary least squares, a conjugate Bayesian
+// linear model supporting sequential updates (the paper trains with pymc3;
+// we use the closed-form Normal–inverse-gamma posterior), and bounded-error
+// piecewise-linear splines for the non-linear extension sketched in §7.2.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Linear is the affine model ψ̂(x) = Slope·x + Intercept used to predict a
+// dependent attribute from an indexed attribute.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+}
+
+// Predict evaluates the model at x.
+func (l Linear) Predict(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// Invert solves ψ̂(x) = y for x. ok is false when the slope is (numerically)
+// zero, in which case no information about x can be inferred from y.
+func (l Linear) Invert(y float64) (x float64, ok bool) {
+	if l.Slope == 0 || math.IsInf(l.Slope, 0) || math.IsNaN(l.Slope) {
+		return 0, false
+	}
+	return (y - l.Intercept) / l.Slope, true
+}
+
+// Diagnostics summarises the quality of a fit.
+type Diagnostics struct {
+	N    int     // points used
+	R2   float64 // coefficient of determination, 0 when Y is constant
+	RMSE float64 // root mean squared residual
+}
+
+// ErrDegenerate is returned when a model cannot be fitted: fewer than two
+// points, or a constant predictor column.
+var ErrDegenerate = errors.New("model: degenerate input (need ≥2 points with varying x)")
+
+// FitOLS fits ψ̂ by ordinary least squares on (xs[i], ys[i]) with optional
+// per-point weights; pass nil weights for an unweighted fit. The weighted
+// form is what Algorithm 1 needs: bucket centres weighted by cell counts.
+func FitOLS(xs, ys, weights []float64) (Linear, Diagnostics, error) {
+	n := len(xs)
+	if n != len(ys) || (weights != nil && n != len(weights)) {
+		return Linear{}, Diagnostics{}, fmt.Errorf("model: length mismatch x=%d y=%d w=%d", len(xs), len(ys), len(weights))
+	}
+	if n < 2 {
+		return Linear{}, Diagnostics{}, ErrDegenerate
+	}
+	var sw, sx, sy float64
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		sw += w
+		sx += w * xs[i]
+		sy += w * ys[i]
+	}
+	if sw == 0 {
+		return Linear{}, Diagnostics{}, ErrDegenerate
+	}
+	mx, my := sx/sw, sy/sw
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += w * dx * dx
+		sxy += w * dx * dy
+		syy += w * dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, Diagnostics{}, ErrDegenerate
+	}
+	m := sxy / sxx
+	b := my - m*mx
+	l := Linear{Slope: m, Intercept: b}
+
+	// Residual diagnostics.
+	var sse float64
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		r := ys[i] - l.Predict(xs[i])
+		sse += w * r * r
+	}
+	d := Diagnostics{N: n, RMSE: math.Sqrt(sse / sw)}
+	if syy > 0 {
+		d.R2 = 1 - sse/syy
+		if d.R2 < 0 {
+			d.R2 = 0
+		}
+	}
+	return l, d, nil
+}
+
+// Residuals returns ys[i] − ψ̂(xs[i]) for every point; the displacements of
+// Algorithm 1 that decide primary-versus-outlier membership.
+func (l Linear) Residuals(xs, ys []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = ys[i] - l.Predict(xs[i])
+	}
+	return out
+}

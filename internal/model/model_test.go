@@ -1,0 +1,299 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitOLSExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	lin, diag, err := FitOLS(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lin.Slope-3) > 1e-12 || math.Abs(lin.Intercept+7) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 3 intercept -7", lin)
+	}
+	if diag.R2 < 0.999999 {
+		t.Errorf("R2 = %g, want ≈1", diag.R2)
+	}
+	if diag.RMSE > 1e-9 {
+		t.Errorf("RMSE = %g, want ≈0", diag.RMSE)
+	}
+}
+
+func TestFitOLSWeighted(t *testing.T) {
+	// Two clusters; weights make the second dominate.
+	xs := []float64{0, 1, 10, 11}
+	ys := []float64{0, 0, 10, 11}
+	w := []float64{1, 1, 1000, 1000}
+	lin, _, err := FitOLS(xs, ys, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavily weighted pair implies slope ≈ 1 through (10,10)-(11,11).
+	if math.Abs(lin.Slope-1) > 0.1 {
+		t.Errorf("weighted slope = %g, want ≈1", lin.Slope)
+	}
+}
+
+func TestFitOLSDegenerate(t *testing.T) {
+	if _, _, err := FitOLS([]float64{1}, []float64{1}, nil); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("single point: err = %v, want ErrDegenerate", err)
+	}
+	if _, _, err := FitOLS([]float64{2, 2, 2}, []float64{1, 2, 3}, nil); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("constant x: err = %v, want ErrDegenerate", err)
+	}
+	if _, _, err := FitOLS([]float64{1, 2}, []float64{1}, nil); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, _, err := FitOLS([]float64{1, 2}, []float64{1, 2}, []float64{0, 0}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("zero weights: err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestFitOLSConstantY(t *testing.T) {
+	lin, diag, err := FitOLS([]float64{1, 2, 3}, []float64{5, 5, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Slope != 0 || lin.Intercept != 5 {
+		t.Errorf("constant y fit = %+v", lin)
+	}
+	if diag.R2 != 0 {
+		t.Errorf("constant y R2 = %g, want 0 by convention", diag.R2)
+	}
+}
+
+func TestLinearInvert(t *testing.T) {
+	l := Linear{Slope: 2, Intercept: 1}
+	x, ok := l.Invert(5)
+	if !ok || x != 2 {
+		t.Errorf("Invert(5) = %g,%v want 2,true", x, ok)
+	}
+	if _, ok := (Linear{Slope: 0}).Invert(1); ok {
+		t.Error("zero slope must not invert")
+	}
+	if _, ok := (Linear{Slope: math.NaN()}).Invert(1); ok {
+		t.Error("NaN slope must not invert")
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	l := Linear{Slope: 1, Intercept: 0}
+	res := l.Residuals([]float64{1, 2}, []float64{1.5, 1.5})
+	if res[0] != 0.5 || res[1] != -0.5 {
+		t.Errorf("Residuals = %v", res)
+	}
+}
+
+// Property: OLS slope/intercept recover a noiseless line for any finite
+// slope/intercept and distinct xs.
+func TestFitOLSRecoversLine(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slope := r.Float64()*20 - 10
+		icept := r.Float64()*20 - 10
+		n := 3 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+			ys[i] = slope*xs[i] + icept
+		}
+		lin, _, err := FitOLS(xs, ys, nil)
+		if err != nil {
+			// Possible with duplicate xs all equal; treat as pass.
+			return errors.Is(err, ErrDegenerate)
+		}
+		return math.Abs(lin.Slope-slope) < 1e-6 && math.Abs(lin.Intercept-icept) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBayesianLinearMatchesOLSInTheLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = 4*xs[i] + 3 + rng.NormFloat64()
+	}
+	b := NewBayesianLinear(1e-6)
+	b.UpdateBatch(xs, ys)
+	post := b.Posterior()
+	ols, _, err := FitOLS(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post.Slope-ols.Slope) > 1e-6 || math.Abs(post.Intercept-ols.Intercept) > 1e-4 {
+		t.Errorf("posterior %+v diverges from OLS %+v", post, ols)
+	}
+	if b.N() != 500 {
+		t.Errorf("N = %d", b.N())
+	}
+	sd := b.ResidualStdDev()
+	if sd < 0.8 || sd > 1.2 {
+		t.Errorf("ResidualStdDev = %g, want ≈1", sd)
+	}
+}
+
+func TestBayesianLinearSequentialEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewBayesianLinear(0.01)
+	b := NewBayesianLinear(0.01)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		ys[i] = -2*xs[i] + 5 + rng.NormFloat64()*0.1
+	}
+	b.UpdateBatch(xs, ys)
+	for i := range xs {
+		a.Update(xs[i], ys[i])
+	}
+	pa, pb := a.Posterior(), b.Posterior()
+	if pa != pb {
+		t.Errorf("sequential %+v != batch %+v", pa, pb)
+	}
+}
+
+func TestBayesianLinearDegenerate(t *testing.T) {
+	b := NewBayesianLinear(0.1)
+	if got := b.Posterior(); got != (Linear{}) {
+		t.Errorf("empty posterior = %+v, want zero model", got)
+	}
+	b.Update(1, 1)
+	if got := b.Posterior(); got != (Linear{}) {
+		t.Errorf("single-point posterior = %+v, want zero model", got)
+	}
+	if b.ResidualStdDev() != 0 {
+		t.Error("ResidualStdDev with <3 points should be 0")
+	}
+	// Non-positive lambda falls back to a tiny ridge rather than exploding.
+	c := NewBayesianLinear(-1)
+	c.Update(0, 0)
+	c.Update(1, 2)
+	if p := c.Posterior(); math.Abs(p.Slope-2) > 0.01 {
+		t.Errorf("two-point fit slope = %g, want ≈2", p.Slope)
+	}
+}
+
+func TestSplineRespectsEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += rng.Float64()
+		xs[i] = x
+		ys[i] = math.Sin(x/50)*100 + rng.NormFloat64()
+	}
+	const eps = 5.0
+	sp, err := FitSplineMaxError(xs, ys, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.MaxAbsError(xs, ys); got > eps+1e-9 {
+		t.Errorf("max error %g exceeds eps %g", got, eps)
+	}
+	if sp.NumSegments() < 2 {
+		t.Errorf("a sine wave needs multiple segments, got %d", sp.NumSegments())
+	}
+	if sp.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestSplineSegmentsShrinkWithEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		ys[i] = float64(i) + rng.NormFloat64()*10
+	}
+	tight, err := FitSplineMaxError(xs, ys, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := FitSplineMaxError(xs, ys, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.NumSegments() >= tight.NumSegments() {
+		t.Errorf("looser eps should need fewer segments: tight=%d loose=%d",
+			tight.NumSegments(), loose.NumSegments())
+	}
+}
+
+func TestSplineErrors(t *testing.T) {
+	if _, err := FitSplineMaxError(nil, nil, 1); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := FitSplineMaxError([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := FitSplineMaxError([]float64{1, 2}, []float64{1, 2}, 0); err == nil {
+		t.Error("non-positive eps must error")
+	}
+	if _, err := FitSplineMaxError([]float64{2, 1}, []float64{1, 2}, 1); err == nil {
+		t.Error("descending xs must error")
+	}
+}
+
+func TestSplineDuplicateX(t *testing.T) {
+	xs := []float64{0, 0, 0, 1, 1, 2}
+	ys := []float64{0, 0.1, -0.1, 1, 1.05, 2}
+	sp, err := FitSplineMaxError(xs, ys, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.MaxAbsError(xs, ys); got > 0.5+1e-9 {
+		t.Errorf("duplicate-x error %g exceeds eps", got)
+	}
+}
+
+func TestSplinePredictEmpty(t *testing.T) {
+	var sp Spline
+	if sp.Predict(3) != 0 {
+		t.Error("empty spline predicts 0")
+	}
+}
+
+// Property: for random monotone-x data and random eps, the spline always
+// respects the error bound and never produces more segments than points.
+func TestSplineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(300)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x := 0.0
+		for i := 0; i < n; i++ {
+			x += r.Float64()
+			xs[i] = x
+			ys[i] = r.Float64()*100 - 50
+		}
+		eps := 0.1 + r.Float64()*20
+		sp, err := FitSplineMaxError(xs, ys, eps)
+		if err != nil {
+			return false
+		}
+		return sp.MaxAbsError(xs, ys) <= eps+1e-9 && sp.NumSegments() <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Spline is a piecewise-linear model: segment i applies on x ∈
+// [Knots[i], Knots[i+1]). It implements the non-linear soft-FD extension the
+// paper analyses in §7.2 (Theorem 7.4 bounds the number of segments a spline
+// needs for a target margin ε).
+type Spline struct {
+	Knots []float64 // len = len(Segs)+1, ascending
+	Segs  []Linear
+}
+
+// NumSegments reports the number of linear pieces.
+func (s Spline) NumSegments() int { return len(s.Segs) }
+
+// Predict evaluates the spline at x. Outside the knot range the first or
+// last segment is extrapolated.
+func (s Spline) Predict(x float64) float64 {
+	if len(s.Segs) == 0 {
+		return 0
+	}
+	// Last segment whose starting knot is ≤ x: segments own their left
+	// boundary, so a point equal to Knots[i] is evaluated by segment i.
+	i := sort.Search(len(s.Knots), func(j int) bool { return s.Knots[j] > x }) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Segs) {
+		i = len(s.Segs) - 1
+	}
+	return s.Segs[i].Predict(x)
+}
+
+// SizeBytes reports the in-memory footprint of the spline parameters,
+// counted against the COAX model overhead.
+func (s Spline) SizeBytes() int64 {
+	return int64(len(s.Knots)*8 + len(s.Segs)*16)
+}
+
+// FitSplineMaxError fits a piecewise-linear spline over points sorted by x
+// such that every point's vertical distance to its segment is at most eps.
+// It uses the shrinking-cone greedy algorithm (the same construction as
+// FITing-tree / PGM segmentation): extend the current segment while a line
+// from the segment origin can still pass within ±eps of every point; start
+// a new segment otherwise. The number of segments produced is the quantity
+// Theorem 7.4 predicts to converge to n·σ²/ε².
+func FitSplineMaxError(xs, ys []float64, eps float64) (Spline, error) {
+	n := len(xs)
+	if n == 0 {
+		return Spline{}, fmt.Errorf("model: no points to fit")
+	}
+	if n != len(ys) {
+		return Spline{}, fmt.Errorf("model: length mismatch x=%d y=%d", len(xs), len(ys))
+	}
+	if eps <= 0 {
+		return Spline{}, fmt.Errorf("model: eps must be positive, got %g", eps)
+	}
+	for i := 1; i < n; i++ {
+		if xs[i] < xs[i-1] {
+			return Spline{}, fmt.Errorf("model: xs must be ascending (violated at %d)", i)
+		}
+	}
+
+	var sp Spline
+	start := 0
+	for start < n {
+		end, seg := growSegment(xs, ys, start, eps)
+		sp.Knots = append(sp.Knots, xs[start])
+		sp.Segs = append(sp.Segs, seg)
+		start = end
+	}
+	sp.Knots = append(sp.Knots, xs[n-1])
+	return sp, nil
+}
+
+// growSegment extends a segment beginning at index start as far as the
+// shrinking slope cone permits, returning the first index past the segment
+// and the fitted line through the cone midpoint.
+func growSegment(xs, ys []float64, start int, eps float64) (end int, seg Linear) {
+	x0, y0 := xs[start], ys[start]
+	loSlope, hiSlope := math.Inf(-1), math.Inf(1)
+	end = start + 1
+	for end < len(xs) {
+		dx := xs[end] - x0
+		if dx == 0 {
+			// Duplicate x: representable only if y within eps of y0.
+			if math.Abs(ys[end]-y0) <= eps {
+				end++
+				continue
+			}
+			break
+		}
+		lo := (ys[end] - eps - y0) / dx
+		hi := (ys[end] + eps - y0) / dx
+		nlo, nhi := loSlope, hiSlope
+		if lo > nlo {
+			nlo = lo
+		}
+		if hi < nhi {
+			nhi = hi
+		}
+		if nlo > nhi {
+			// Absorbing this point would empty the slope cone; the committed
+			// bounds must stay valid for the points already covered.
+			break
+		}
+		loSlope, hiSlope = nlo, nhi
+		end++
+	}
+	slope := 0.0
+	switch {
+	case math.IsInf(loSlope, -1) && math.IsInf(hiSlope, 1):
+		slope = 0 // single-point segment
+	case math.IsInf(loSlope, -1):
+		slope = hiSlope
+	case math.IsInf(hiSlope, 1):
+		slope = loSlope
+	default:
+		slope = (loSlope + hiSlope) / 2
+	}
+	return end, Linear{Slope: slope, Intercept: y0 - slope*x0}
+}
+
+// MaxAbsError returns the largest |ys[i] − Predict(xs[i])| over the points,
+// used by tests to verify the ε guarantee.
+func (s Spline) MaxAbsError(xs, ys []float64) float64 {
+	worst := 0.0
+	for i := range xs {
+		if d := math.Abs(ys[i] - s.Predict(xs[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,188 @@
+package rtree
+
+import "fmt"
+
+// Insert adds one row (copied) to the tree using Guttman's ChooseLeaf and
+// quadratic split. COAX itself is a static index in the paper, but the
+// baseline supports dynamic insertion so that tuning experiments can grow
+// trees incrementally and so the package is usable standalone.
+func (rt *RTree) Insert(row []float64) error {
+	if len(row) != rt.dims {
+		return fmt.Errorf("rtree: row has %d values, tree has %d dims", len(row), rt.dims)
+	}
+	cp := make([]float64, rt.dims)
+	copy(cp, row)
+	e := entry{min: cp, max: cp}
+
+	split := rt.insertAt(rt.root, e)
+	if split != nil {
+		// Root overflowed: grow the tree by one level.
+		oldRoot := rt.root
+		lmin, lmax := mbrOf(oldRoot, rt.dims)
+		rmin, rmax := mbrOf(split, rt.dims)
+		rt.root = &node{leaf: false, entries: []entry{
+			{min: lmin, max: lmax, child: oldRoot},
+			{min: rmin, max: rmax, child: split},
+		}}
+		rt.height++
+	}
+	rt.n++
+	return nil
+}
+
+// insertAt pushes e into the subtree rooted at nd; when nd overflows it
+// splits and the new sibling is returned for the caller to link in.
+func (rt *RTree) insertAt(nd *node, e entry) *node {
+	if nd.leaf {
+		nd.entries = append(nd.entries, e)
+		if len(nd.entries) > rt.cfg.MaxEntries {
+			return rt.quadraticSplit(nd)
+		}
+		return nil
+	}
+
+	best := rt.chooseSubtree(nd, e)
+	child := nd.entries[best].child
+	sibling := rt.insertAt(child, e)
+
+	// Refresh the chosen entry's box to absorb the new data.
+	nd.entries[best].min, nd.entries[best].max = mbrOf(child, rt.dims)
+	if sibling != nil {
+		smin, smax := mbrOf(sibling, rt.dims)
+		nd.entries = append(nd.entries, entry{min: smin, max: smax, child: sibling})
+		if len(nd.entries) > rt.cfg.MaxEntries {
+			return rt.quadraticSplit(nd)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the entry whose box needs the least enlargement to
+// cover e, breaking ties by smallest area.
+func (rt *RTree) chooseSubtree(nd *node, e entry) int {
+	best := 0
+	bestEnl := enlargement(nd.entries[0].min, nd.entries[0].max, e.min, e.max)
+	bestArea := area(nd.entries[0].min, nd.entries[0].max)
+	for i := 1; i < len(nd.entries); i++ {
+		enl := enlargement(nd.entries[i].min, nd.entries[i].max, e.min, e.max)
+		a := area(nd.entries[i].min, nd.entries[i].max)
+		if enl < bestEnl || (enl == bestEnl && a < bestArea) {
+			best, bestEnl, bestArea = i, enl, a
+		}
+	}
+	return best
+}
+
+// quadraticSplit splits an overflowing node in place and returns the new
+// sibling holding the second group.
+func (rt *RTree) quadraticSplit(nd *node) *node {
+	entries := nd.entries
+	seedA, seedB := pickSeeds(entries, rt.dims)
+
+	groupA := []entry{entries[seedA]}
+	groupB := []entry{entries[seedB]}
+	aMin, aMax := cloneBox(entries[seedA])
+	bMin, bMax := cloneBox(entries[seedB])
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, entries[i])
+		}
+	}
+
+	for len(rest) > 0 {
+		// Underflow guard: if one group must take everything left, do so.
+		if len(groupA)+len(rest) <= rt.cfg.MinEntries {
+			for _, e := range rest {
+				groupA = append(groupA, e)
+				extend(aMin, aMax, e)
+			}
+			break
+		}
+		if len(groupB)+len(rest) <= rt.cfg.MinEntries {
+			for _, e := range rest {
+				groupB = append(groupB, e)
+				extend(bMin, bMax, e)
+			}
+			break
+		}
+
+		// PickNext: the entry with the greatest preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		var bestDA, bestDB float64
+		for i, e := range rest {
+			da := enlargement(aMin, aMax, e.min, e.max)
+			db := enlargement(bMin, bMax, e.min, e.max)
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff, bestDA, bestDB = i, diff, da, db
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		if bestDA < bestDB || (bestDA == bestDB && len(groupA) < len(groupB)) {
+			groupA = append(groupA, e)
+			extend(aMin, aMax, e)
+		} else {
+			groupB = append(groupB, e)
+			extend(bMin, bMax, e)
+		}
+	}
+
+	nd.entries = groupA
+	return &node{leaf: nd.leaf, entries: groupB}
+}
+
+// pickSeeds returns the pair of entries wasting the most area if grouped
+// together (Guttman's quadratic PickSeeds).
+func pickSeeds(entries []entry, dims int) (int, int) {
+	sa, sb := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := pairWaste(entries[i], entries[j], dims)
+			if waste > worst {
+				worst, sa, sb = waste, i, j
+			}
+		}
+	}
+	return sa, sb
+}
+
+func pairWaste(a, b entry, dims int) float64 {
+	combined := 1.0
+	for d := 0; d < dims; d++ {
+		lo := a.min[d]
+		if b.min[d] < lo {
+			lo = b.min[d]
+		}
+		hi := a.max[d]
+		if b.max[d] > hi {
+			hi = b.max[d]
+		}
+		combined *= hi - lo
+	}
+	return combined - area(a.min, a.max) - area(b.min, b.max)
+}
+
+func cloneBox(e entry) (min, max []float64) {
+	min = append([]float64(nil), e.min...)
+	max = append([]float64(nil), e.max...)
+	return min, max
+}
+
+func extend(min, max []float64, e entry) {
+	for d := range min {
+		if e.min[d] < min[d] {
+			min[d] = e.min[d]
+		}
+		if e.max[d] > max[d] {
+			max[d] = e.max[d]
+		}
+	}
+}

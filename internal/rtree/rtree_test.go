@@ -1,0 +1,263 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/scan"
+)
+
+func randomTable(rng *rand.Rand, n, dims int) *dataset.Table {
+	cols := make([]string, dims)
+	for i := range cols {
+		cols[i] = string(rune('a' + i))
+	}
+	t := dataset.NewTable(cols)
+	row := make([]float64, dims)
+	for i := 0; i < n; i++ {
+		for d := range row {
+			row[d] = rng.Float64() * 100
+		}
+		t.Append(row)
+	}
+	return t
+}
+
+func randRect(rng *rand.Rand, dims int) index.Rect {
+	r := index.Full(dims)
+	for d := 0; d < dims; d++ {
+		a := rng.Float64() * 100
+		b := rng.Float64() * 100
+		if a > b {
+			a, b = b, a
+		}
+		r.Min[d], r.Max[d] = a, b
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(2, Config{MaxEntries: 1}); err == nil {
+		t.Error("MaxEntries 1 must be rejected")
+	}
+	if _, err := New(0, Config{MaxEntries: 4}); err == nil {
+		t.Error("zero dims must be rejected")
+	}
+	if _, err := New(2, Config{MaxEntries: 8, MinEntries: 7}); err == nil {
+		t.Error("MinEntries > M/2+1 must be rejected")
+	}
+	rt, err := New(2, Config{MaxEntries: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.cfg.MinEntries != 5 {
+		t.Errorf("defaulted MinEntries = %d, want 5", rt.cfg.MinEntries)
+	}
+}
+
+func TestBulkMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := randomTable(rng, 5000, 3)
+	oracle := scan.New(tab)
+	rt, err := Bulk(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != 5000 || rt.Dims() != 3 {
+		t.Fatalf("Len=%d Dims=%d", rt.Len(), rt.Dims())
+	}
+	for trial := 0; trial < 50; trial++ {
+		r := randRect(rng, 3)
+		if got, want := index.Count(rt, r), index.Count(oracle, r); got != want {
+			t.Fatalf("trial %d: count %d, want %d", trial, got, want)
+		}
+	}
+	// Point queries on existing rows.
+	for trial := 0; trial < 30; trial++ {
+		p := index.Point(tab.Row(rng.Intn(tab.Len())))
+		if index.Count(rt, p) < 1 {
+			t.Fatal("point query lost its own row")
+		}
+	}
+}
+
+func TestBulkHeightReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := randomTable(rng, 10000, 2)
+	rt, err := Bulk(tab, Config{MaxEntries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10000 rows at fanout 10 needs height 4 (10^4); STR packs tightly.
+	if rt.Height() < 3 || rt.Height() > 6 {
+		t.Errorf("height = %d, want 4±2", rt.Height())
+	}
+	if rt.NumNodes() < 1000 {
+		t.Errorf("NumNodes = %d; leaves alone should exceed 1000", rt.NumNodes())
+	}
+}
+
+func TestBulkEmpty(t *testing.T) {
+	tab := dataset.NewTable([]string{"x"})
+	rt, err := Bulk(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != 0 {
+		t.Errorf("Len = %d", rt.Len())
+	}
+	if got := index.Count(rt, index.Full(1)); got != 0 {
+		t.Errorf("empty tree returned %d rows", got)
+	}
+}
+
+func TestInsertMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := randomTable(rng, 2000, 2)
+	oracle := scan.New(tab)
+	rt, err := New(2, Config{MaxEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tab.Len(); i++ {
+		if err := rt.Insert(tab.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Len() != 2000 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		r := randRect(rng, 2)
+		if got, want := index.Count(rt, r), index.Count(oracle, r); got != want {
+			t.Fatalf("trial %d: count %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestInsertCopiesRow(t *testing.T) {
+	rt, err := New(1, Config{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{5}
+	if err := rt.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = 99
+	if index.Count(rt, index.Point([]float64{5})) != 1 {
+		t.Error("Insert must copy the row")
+	}
+}
+
+func TestInsertWrongArity(t *testing.T) {
+	rt, err := New(2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Insert([]float64{1}); err == nil {
+		t.Error("wrong arity must error")
+	}
+}
+
+func TestInsertIntoBulkTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tab := randomTable(rng, 1000, 2)
+	rt, err := Bulk(tab, Config{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := randomTable(rng, 500, 2)
+	for i := 0; i < extra.Len(); i++ {
+		if err := rt.Insert(extra.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Len() != 1500 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	// Merge both tables for the oracle.
+	all := dataset.NewTable([]string{"a", "b"})
+	for i := 0; i < tab.Len(); i++ {
+		all.Append(tab.Row(i))
+	}
+	for i := 0; i < extra.Len(); i++ {
+		all.Append(extra.Row(i))
+	}
+	oracle := scan.New(all)
+	for trial := 0; trial < 30; trial++ {
+		r := randRect(rng, 2)
+		if got, want := index.Count(rt, r), index.Count(oracle, r); got != want {
+			t.Fatalf("trial %d: count %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestMemoryOverheadScalesWithCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := randomTable(rng, 5000, 2)
+	small, err := Bulk(tab, Config{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Bulk(tab, Config{MaxEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower fanout means more nodes and more directory bytes.
+	if small.MemoryOverhead() <= big.MemoryOverhead() {
+		t.Errorf("fanout-4 overhead %d should exceed fanout-32 overhead %d",
+			small.MemoryOverhead(), big.MemoryOverhead())
+	}
+}
+
+func TestName(t *testing.T) {
+	rt, err := New(1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != "RTree" {
+		t.Errorf("Name = %q", rt.Name())
+	}
+}
+
+// Property: bulk-loaded and incrementally built trees both agree with the
+// oracle for arbitrary data and node capacities.
+func TestRTreeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(4)
+		n := 20 + rng.Intn(400)
+		tab := randomTable(rng, n, dims)
+		oracle := scan.New(tab)
+		capEntries := 2 + rng.Intn(14)
+
+		bulk, err := Bulk(tab, Config{MaxEntries: capEntries})
+		if err != nil {
+			return false
+		}
+		inc, err := New(dims, Config{MaxEntries: capEntries})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if err := inc.Insert(tab.Row(i)); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 8; trial++ {
+			r := randRect(rng, dims)
+			want := index.Count(oracle, r)
+			if index.Count(bulk, r) != want || index.Count(inc, r) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

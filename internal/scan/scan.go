@@ -1,0 +1,48 @@
+// Package scan provides the full-scan baseline: every row is checked
+// against the query rectangle. It has zero directory overhead and serves as
+// both the slowest baseline of Figure 6 and the correctness oracle for the
+// property-based tests of every other index.
+package scan
+
+import (
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+)
+
+// Scan wraps a table as an index.Interface.
+type Scan struct {
+	t *dataset.Table
+}
+
+var _ index.Interface = (*Scan)(nil)
+
+// New creates a full-scan "index" over t. The table is referenced, not
+// copied.
+func New(t *dataset.Table) *Scan { return &Scan{t: t} }
+
+// Name implements index.Interface.
+func (s *Scan) Name() string { return "FullScan" }
+
+// Len implements index.Interface.
+func (s *Scan) Len() int { return s.t.Len() }
+
+// Dims implements index.Interface.
+func (s *Scan) Dims() int { return s.t.Dims() }
+
+// MemoryOverhead implements index.Interface; a scan keeps no directory.
+func (s *Scan) MemoryOverhead() int64 { return 0 }
+
+// Query implements index.Interface by testing every row.
+func (s *Scan) Query(r index.Rect, visit index.Visitor) {
+	if r.Empty() {
+		return
+	}
+	dims := s.t.Dims()
+	data := s.t.Data
+	for off := 0; off < len(data); off += dims {
+		row := data[off : off+dims : off+dims]
+		if r.Contains(row) {
+			visit(row)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package softfd
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// buildGroups merges accepted pairs into connected components (the paper's
+// "merge all groups that have an attribute in common"), elects one
+// predictor per component, and equips every other member with a direct
+// model from that predictor. Members for which no acceptable direct model
+// exists are dropped from the group and remain ordinary indexed columns.
+func buildGroups(pairs []PairModel, cols [][]float64, cfg Config, rng *rand.Rand) []Group {
+	if len(pairs) == 0 {
+		return nil
+	}
+	uf := newUnionFind()
+	for _, p := range pairs {
+		uf.union(p.X, p.D)
+	}
+
+	components := make(map[int][]int)
+	for _, c := range uf.nodes() {
+		root := uf.find(c)
+		components[root] = append(components[root], c)
+	}
+
+	// Direct-model lookup.
+	direct := make(map[[2]int]PairModel, len(pairs))
+	for _, p := range pairs {
+		key := [2]int{p.X, p.D}
+		if old, ok := direct[key]; !ok || p.R2 > old.R2 {
+			direct[key] = p
+		}
+	}
+
+	var groups []Group
+	for _, members := range components {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Ints(members)
+		g, ok := electPredictor(members, direct, cols, cfg, rng)
+		if ok {
+			groups = append(groups, g)
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Predictor < groups[j].Predictor })
+	return groups
+}
+
+// electPredictor picks the member with the greatest total R² to the others
+// (ties: lowest column id) and assembles the group's models.
+func electPredictor(members []int, direct map[[2]int]PairModel, cols [][]float64, cfg Config, rng *rand.Rand) (Group, bool) {
+	bestScore := -1.0
+	best := members[0]
+	for _, cand := range members {
+		score := 0.0
+		for _, other := range members {
+			if other == cand {
+				continue
+			}
+			if p, ok := direct[[2]int{cand, other}]; ok {
+				score += p.R2
+			}
+		}
+		if score > bestScore {
+			bestScore, best = score, cand
+		}
+	}
+
+	g := Group{Predictor: best}
+	g.Members = append(g.Members, best)
+	for _, m := range members {
+		if m == best {
+			continue
+		}
+		pm, ok := direct[[2]int{best, m}]
+		if !ok {
+			// Transitively grouped member without a direct model: try to
+			// fit one now; drop the member if it does not qualify.
+			pm, ok = fitDirect(cols[best], cols[m], best, m, cfg, rng)
+			if !ok {
+				continue
+			}
+		}
+		g.Members = append(g.Members, m)
+		g.Models = append(g.Models, pm)
+	}
+	sort.Ints(g.Members)
+	if len(g.Members) < 2 {
+		return Group{}, false
+	}
+	return g, true
+}
+
+// fitDirect learns a model for a transitively connected pair with the same
+// acceptance pipeline used for direct pairs.
+func fitDirect(xs, ys []float64, xi, yi int, cfg Config, rng *rand.Rand) (PairModel, bool) {
+	return fitPair(xs, ys, xi, yi, cfg, rng)
+}
+
+// unionFind is a small path-compressing disjoint-set over column ids.
+type unionFind struct {
+	parent map[int]int
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[int]int)} }
+
+func (u *unionFind) find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p != x {
+		p = u.find(p)
+		u.parent[x] = p
+	}
+	return p
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+func (u *unionFind) nodes() []int {
+	out := make([]int, 0, len(u.parent))
+	for k := range u.parent {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,317 @@
+package softfd
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/model"
+)
+
+// linearFDTable builds a table where col1 = slope*col0 + icept + noise, and
+// col2 is independent uniform noise.
+func linearFDTable(rng *rand.Rand, n int, slope, icept, noiseStd float64) *dataset.Table {
+	t := dataset.NewTable([]string{"x", "d", "u"})
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1000
+		d := slope*x + icept + rng.NormFloat64()*noiseStd
+		u := rng.Float64() * 1000
+		t.Append([]float64{x, d, u})
+	}
+	return t
+}
+
+func TestDetectFindsPlantedFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := linearFDTable(rng, 20000, 2.5, 100, 5)
+	cfg := DefaultConfig()
+	res, err := Detect(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1 (%+v)", len(res.Groups), res.Groups)
+	}
+	g := res.Groups[0]
+	if len(g.Members) != 2 {
+		t.Fatalf("group members = %v", g.Members)
+	}
+	if g.Members[0] != 0 || g.Members[1] != 1 {
+		t.Fatalf("group should contain columns 0 and 1, got %v", g.Members)
+	}
+	pm := g.Models[0]
+	// The model must approximately recover the planted line.
+	if pm.Model.Slope < 2 || pm.Model.Slope > 3 {
+		if pm.Model.Slope < 1/3.0 || pm.Model.Slope > 1/2.0 {
+			t.Errorf("recovered slope %g matches neither direction of the planted FD", pm.Model.Slope)
+		}
+	}
+	if pm.R2 < 0.9 {
+		t.Errorf("R2 = %g, want > 0.9", pm.R2)
+	}
+	if pm.EpsLB <= 0 || pm.EpsUB <= 0 {
+		t.Errorf("margins must be positive: %g %g", pm.EpsLB, pm.EpsUB)
+	}
+	if pm.Inlier < 0.9 {
+		t.Errorf("inlier fraction = %g", pm.Inlier)
+	}
+}
+
+func TestDetectRejectsIndependentColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := dataset.NewTable([]string{"a", "b"})
+	for i := 0; i < 20000; i++ {
+		tab.Append([]float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	res, err := Detect(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("independent columns produced groups: %+v", res.Groups)
+	}
+}
+
+func TestDetectNegativeSlope(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := linearFDTable(rng, 20000, -4, 5000, 3)
+	res, err := Detect(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(res.Groups))
+	}
+	if res.Groups[0].Models[0].Model.Slope >= 0 {
+		t.Errorf("slope should be negative, got %g", res.Groups[0].Models[0].Model.Slope)
+	}
+}
+
+func TestDetectThreeWayGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tab := dataset.NewTable([]string{"x", "y", "z", "u"})
+	for i := 0; i < 20000; i++ {
+		x := rng.Float64() * 1000
+		y := 2*x + rng.NormFloat64()*4
+		z := 0.5*x + 10 + rng.NormFloat64()*4
+		tab.Append([]float64{x, y, z, rng.Float64() * 1000})
+	}
+	res, err := Detect(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1 merged group", len(res.Groups))
+	}
+	g := res.Groups[0]
+	if len(g.Members) != 3 {
+		t.Fatalf("members = %v, want 3 columns", g.Members)
+	}
+	if len(g.Models) != 2 {
+		t.Fatalf("models = %d, want one per dependent", len(g.Models))
+	}
+	for _, m := range g.Models {
+		if m.X != g.Predictor {
+			t.Errorf("model predictor %d != group predictor %d", m.X, g.Predictor)
+		}
+	}
+	deps := g.Dependents()
+	if len(deps) != 2 {
+		t.Errorf("Dependents = %v", deps)
+	}
+}
+
+func TestDetectWithManyOutliers(t *testing.T) {
+	// 25% outliers — the paper's "much softer" FD claim. Detection must
+	// still find the dependency.
+	rng := rand.New(rand.NewSource(5))
+	tab := dataset.NewTable([]string{"x", "d"})
+	for i := 0; i < 20000; i++ {
+		x := rng.Float64() * 1000
+		var d float64
+		if rng.Float64() < 0.25 {
+			d = rng.Float64() * 3000
+		} else {
+			d = 3*x + rng.NormFloat64()*3
+		}
+		tab.Append([]float64{x, d})
+	}
+	res, err := Detect(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(res.Groups))
+	}
+	m := res.Groups[0].Models[0]
+	// The bucketing step must keep the fitted line on the dense band, not
+	// the outlier cloud.
+	slope := m.Model.Slope
+	if m.X == 1 { // inverted direction
+		slope = 1 / slope
+	}
+	if slope < 2.4 || slope > 3.6 {
+		t.Errorf("slope %g drifted off the dense band", slope)
+	}
+}
+
+func TestDetectExcludeCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tab := linearFDTable(rng, 10000, 2, 0, 1)
+	cfg := DefaultConfig()
+	cfg.ExcludeCols = []int{1}
+	res, err := Detect(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("excluding the dependent column should yield no groups, got %+v", res.Groups)
+	}
+}
+
+func TestDetectDegenerateInputs(t *testing.T) {
+	cfg := DefaultConfig()
+
+	// Tiny table: no panic, no groups.
+	tiny := dataset.NewTable([]string{"a", "b"})
+	tiny.Append([]float64{1, 2})
+	res, err := Detect(tiny, cfg)
+	if err != nil || len(res.Groups) != 0 {
+		t.Errorf("tiny table: res=%+v err=%v", res, err)
+	}
+
+	// Constant columns: no groups, no division by zero.
+	constTab := dataset.NewTable([]string{"a", "b"})
+	for i := 0; i < 100; i++ {
+		constTab.Append([]float64{5, 7})
+	}
+	res, err = Detect(constTab, cfg)
+	if err != nil || len(res.Groups) != 0 {
+		t.Errorf("constant table: res=%+v err=%v", res, err)
+	}
+}
+
+func TestDetectExactFD(t *testing.T) {
+	// A hard FD (zero noise) must be detected with tiny margins.
+	rng := rand.New(rand.NewSource(7))
+	tab := dataset.NewTable([]string{"x", "d"})
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64() * 100
+		tab.Append([]float64{x, 7 * x})
+	}
+	res, err := Detect(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(res.Groups))
+	}
+	m := res.Groups[0].Models[0]
+	if m.EpsLB+m.EpsUB > 1 {
+		t.Errorf("exact FD margins too wide: %g + %g", m.EpsLB, m.EpsUB)
+	}
+	if m.Inlier < 0.99 {
+		t.Errorf("exact FD inlier fraction = %g", m.Inlier)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tab := dataset.NewTable([]string{"a", "b"})
+	for i := 0; i < 100; i++ {
+		tab.Append([]float64{float64(i), float64(i)})
+	}
+	bad := []Config{
+		{SampleCount: 1, BucketChunks: 8, MinR2: 0.5, MarginQuantile: 0.9, MaxMarginFrac: 0.2, MonteCarloTrials: 4},
+		{SampleCount: 100, BucketChunks: 1, MinR2: 0.5, MarginQuantile: 0.9, MaxMarginFrac: 0.2, MonteCarloTrials: 4},
+		{SampleCount: 100, BucketChunks: 8, MinR2: 1.5, MarginQuantile: 0.9, MaxMarginFrac: 0.2, MonteCarloTrials: 4},
+		{SampleCount: 100, BucketChunks: 8, MinR2: 0.5, MarginQuantile: 0.4, MaxMarginFrac: 0.2, MonteCarloTrials: 4},
+		{SampleCount: 100, BucketChunks: 8, MinR2: 0.5, MarginQuantile: 0.9, MaxMarginFrac: 0, MonteCarloTrials: 4},
+		{SampleCount: 100, BucketChunks: 8, MinR2: 0.5, MarginQuantile: 0.9, MaxMarginFrac: 0.2, MonteCarloTrials: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Detect(tab, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBucketCenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 100
+		ys[i] = 2 * xs[i]
+	}
+	cx, cy, w := BucketCenters(xs, ys, 32, 0)
+	if len(cx) == 0 || len(cx) != len(cy) || len(cx) != len(w) {
+		t.Fatalf("centre shapes: %d %d %d", len(cx), len(cy), len(w))
+	}
+	// Far fewer centres than points — that is the point of bucketing.
+	if len(cx) > 32*32 {
+		t.Errorf("more centres than cells: %d", len(cx))
+	}
+	// Centres must hug the planted line.
+	for i := range cx {
+		d := cy[i] - 2*cx[i]
+		if d > 8 || d < -8 {
+			t.Errorf("centre %d off the line by %g", i, d)
+		}
+		if w[i] <= 0 {
+			t.Errorf("non-positive weight %g", w[i])
+		}
+	}
+}
+
+func TestBucketCentersDegenerate(t *testing.T) {
+	if cx, _, _ := BucketCenters(nil, nil, 8, 0); cx != nil {
+		t.Error("empty input should give no centres")
+	}
+	xs := []float64{1, 1, 1}
+	ys := []float64{1, 2, 3}
+	if cx, _, _ := BucketCenters(xs, ys, 8, 0); cx != nil {
+		t.Error("constant x should give no centres")
+	}
+}
+
+func TestPairModelWithin(t *testing.T) {
+	pm := PairModel{
+		X: 0, D: 1,
+		Model: model.Linear{Slope: 2},
+		EpsLB: 1, EpsUB: 3,
+	}
+	cases := []struct {
+		x, d float64
+		want bool
+	}{
+		{10, 20, true},    // exactly on the line
+		{10, 23, true},    // at +εUB
+		{10, 19, true},    // at −εLB
+		{10, 23.1, false}, // above
+		{10, 18.9, false}, // below
+	}
+	for _, c := range cases {
+		if got := pm.Within(c.x, c.d); got != c.want {
+			t.Errorf("Within(%g,%g) = %v, want %v", c.x, c.d, got, c.want)
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res := Result{Groups: []Group{{
+		Predictor: 0,
+		Members:   []int{0, 1, 2},
+		Models: []PairModel{
+			{X: 0, D: 1},
+			{X: 0, D: 2},
+		},
+	}}}
+	deps := res.DependentColumns()
+	if !deps[1] || !deps[2] || deps[0] {
+		t.Errorf("DependentColumns = %v", deps)
+	}
+	if res.ModelBytes() <= 0 {
+		t.Error("ModelBytes must be positive for a non-empty result")
+	}
+}

@@ -1,0 +1,237 @@
+package softfd
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/coax-index/coax/internal/model"
+	"github.com/coax-index/coax/internal/stats"
+)
+
+// Spline soft-FD models: the paper's §7.2 extension. A dependency that no
+// single line can capture (seasonal curves, piecewise tariffs, saturation
+// effects) can still be modelled by a piecewise-linear spline with a
+// constant margin; Theorem 7.4 bounds the number of segments needed. The
+// detection pipeline is identical — bucket centres, stability check,
+// adaptive margins, acceptance — with the spline fitted over the sorted
+// centres instead of a single regression line.
+
+// ModelKind selects the model family fitted over a candidate dependency.
+type ModelKind int
+
+const (
+	// ModelLinear fits one regression line (the paper's main design).
+	ModelLinear ModelKind = iota
+	// ModelSpline fits an ε-bounded piecewise-linear spline, enabling
+	// non-linear soft FDs at the cost of storing the segments.
+	ModelSpline
+)
+
+// fitPairSpline attempts to learn xs → ys with a spline model.
+func fitPairSpline(xs, ys []float64, xi, yi int, cfg Config, rng *rand.Rand) (PairModel, bool) {
+	cx, cy, w := BucketCenters(xs, ys, cfg.BucketChunks, cfg.CellThreshold)
+	if len(cx) < 4 {
+		return PairModel{}, false
+	}
+	// Sort centres by x for the spline fitter; keep weights aligned.
+	type cpt struct{ x, y, w float64 }
+	pts := make([]cpt, len(cx))
+	for i := range cx {
+		pts[i] = cpt{cx[i], cy[i], w[i]}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+	sx := make([]float64, len(pts))
+	sy := make([]float64, len(pts))
+	for i, p := range pts {
+		sx[i], sy[i] = p.x, p.y
+	}
+
+	ymin, ymax := stats.MinMax(sy)
+	if ymax == ymin {
+		return PairModel{}, false
+	}
+	yrange := ymax - ymin
+
+	// Fit tolerance search: the tightest tolerance whose spline stays
+	// within the segment budget. Tolerances derived from the *allowed*
+	// margin would track MaxMarginFrac instead of the data's noise and
+	// waste the spline's advantage over a single line.
+	maxSegments := maxSplineSegments(len(sx))
+	var sp model.Spline
+	fitted := false
+	for fitEps := yrange / 512; fitEps <= cfg.MaxMarginFrac*yrange/2; fitEps *= 2 {
+		cand, err := model.FitSplineMaxError(sx, sy, fitEps)
+		if err != nil {
+			return PairModel{}, false
+		}
+		if cand.NumSegments() <= maxSegments {
+			sp, fitted = cand, true
+			break
+		}
+	}
+	if !fitted {
+		return PairModel{}, false
+	}
+	pm, ok := acceptSplineOnRows(xs, ys, xi, yi, sp, cfg)
+	if !ok {
+		return PairModel{}, false
+	}
+	if refined, ok := refineSplineOnRows(xs, ys, xi, yi, pm, cfg); ok {
+		return refined, true
+	}
+	return pm, true
+}
+
+// refineSplineOnRows refits the spline on the sampled rows inside the
+// coarse model's margins. Bucket centres are quantised to cell centres, so
+// the coarse fit carries up to half a cell of systematic error; fitting the
+// rows directly removes it. The refinement is kept only when it both passes
+// acceptance and tightens the margins.
+func refineSplineOnRows(xs, ys []float64, xi, yi int, coarse PairModel, cfg Config) (PairModel, bool) {
+	type pt struct{ x, y float64 }
+	var pts []pt
+	for i := range xs {
+		if coarse.Within(xs[i], ys[i]) {
+			pts = append(pts, pt{xs[i], ys[i]})
+		}
+	}
+	if len(pts) < 16 {
+		return PairModel{}, false
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+	sx := make([]float64, len(pts))
+	sy := make([]float64, len(pts))
+	for i, p := range pts {
+		sx[i], sy[i] = p.x, p.y
+	}
+	ymin, ymax := stats.MinMax(sy)
+	if ymax == ymin {
+		return PairModel{}, false
+	}
+	yrange := ymax - ymin
+
+	// Duplicate x values with spread y make tiny tolerances unsatisfiable
+	// in one pass; the geometric search skips past them.
+	const maxSegments = 96
+	for fitEps := yrange / 1024; fitEps <= cfg.MaxMarginFrac*yrange/2; fitEps *= 2 {
+		cand, err := model.FitSplineMaxError(sx, sy, fitEps)
+		if err != nil {
+			return PairModel{}, false
+		}
+		if cand.NumSegments() > maxSegments {
+			continue
+		}
+		refined, ok := acceptSplineOnRows(xs, ys, xi, yi, cand, cfg)
+		if !ok {
+			return PairModel{}, false
+		}
+		if refined.EpsLB+refined.EpsUB < coarse.EpsLB+coarse.EpsUB {
+			return refined, true
+		}
+		return PairModel{}, false
+	}
+	return PairModel{}, false
+}
+
+// maxSplineSegments bounds the model size: enough pieces to track genuine
+// structure, far fewer than one per training centre (which would memorise
+// noise).
+func maxSplineSegments(centres int) int {
+	cap := centres / 4
+	if cap > 64 {
+		cap = 64
+	}
+	if cap < 2 {
+		cap = 2
+	}
+	return cap
+}
+
+// acceptSplineOnRows mirrors acceptOnRows for a spline model.
+func acceptSplineOnRows(xs, ys []float64, xi, yi int, sp model.Spline, cfg Config) (PairModel, bool) {
+	resid := make([]float64, len(xs))
+	for i := range xs {
+		resid[i] = ys[i] - sp.Predict(xs[i])
+	}
+	sorted := make([]float64, len(resid))
+	copy(sorted, resid)
+	sort.Float64s(sorted)
+
+	ymin, ymax := stats.MinMax(ys)
+	yrange := ymax - ymin
+	if yrange == 0 {
+		return PairModel{}, false
+	}
+	epsLB, epsUB, ok := adaptiveMargins(sorted, cfg, yrange)
+	if !ok {
+		return PairModel{}, false
+	}
+
+	inliers, inFrac, r2 := inlierStats(ys, resid, epsLB, epsUB)
+	if inFrac < cfg.MinInlierFrac || inliers < 2 || r2 < cfg.MinR2 {
+		return PairModel{}, false
+	}
+	spline := sp
+	return PairModel{
+		X:      xi,
+		D:      yi,
+		Spline: &spline,
+		EpsLB:  epsLB,
+		EpsUB:  epsUB,
+		R2:     r2,
+		Inlier: inFrac,
+	}, true
+}
+
+// adaptiveMargins implements the shrinking-quantile margin selection shared
+// by the linear and spline acceptance paths.
+func adaptiveMargins(sortedResid []float64, cfg Config, yrange float64) (epsLB, epsUB float64, ok bool) {
+	maxWidth := cfg.MaxMarginFrac * yrange
+	q := cfg.MarginQuantile
+	for {
+		epsUB = math.Max(0, stats.QuantileSorted(sortedResid, q))
+		epsLB = math.Max(0, -stats.QuantileSorted(sortedResid, 1-q))
+		if epsLB+epsUB <= maxWidth || q <= 0.52 {
+			break
+		}
+		q -= 0.01
+	}
+	if epsLB+epsUB > maxWidth {
+		return 0, 0, false
+	}
+	if epsUB == 0 && epsLB == 0 {
+		slack := 1e-9 * (1 + yrange)
+		epsUB, epsLB = slack, slack
+	}
+	return epsLB, epsUB, true
+}
+
+// inlierStats returns the inlier count, fraction, and the R² restricted to
+// the inlier band.
+func inlierStats(ys, resid []float64, epsLB, epsUB float64) (inliers int, frac, r2 float64) {
+	var sumY, sse float64
+	for i, r := range resid {
+		if r >= -epsLB && r <= epsUB {
+			inliers++
+			sumY += ys[i]
+			sse += r * r
+		}
+	}
+	frac = float64(inliers) / float64(len(resid))
+	if inliers < 2 {
+		return inliers, frac, 0
+	}
+	meanIn := sumY / float64(inliers)
+	var syy float64
+	for i, r := range resid {
+		if r >= -epsLB && r <= epsUB {
+			d := ys[i] - meanIn
+			syy += d * d
+		}
+	}
+	if syy == 0 {
+		return inliers, frac, 0
+	}
+	return inliers, frac, 1 - sse/syy
+}

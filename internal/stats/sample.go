@@ -1,0 +1,60 @@
+package stats
+
+import "math/rand"
+
+// SampleIndices returns k distinct indices drawn uniformly from [0, n).
+// When k >= n it returns all indices 0..n-1 in shuffled order. The result
+// order is unspecified.
+func SampleIndices(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		out := rng.Perm(n)
+		return out
+	}
+	// Floyd's algorithm: O(k) space, no full permutation of n.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Reservoir fills a k-sample from a stream of values using reservoir
+// sampling. Push may be called any number of times; Sample returns the
+// current reservoir (aliased, not copied).
+type Reservoir struct {
+	k    int
+	seen int
+	buf  []float64
+	rng  *rand.Rand
+}
+
+// NewReservoir creates a reservoir holding at most k values.
+func NewReservoir(k int, rng *rand.Rand) *Reservoir {
+	return &Reservoir{k: k, buf: make([]float64, 0, k), rng: rng}
+}
+
+// Push offers one value to the reservoir.
+func (r *Reservoir) Push(v float64) {
+	r.seen++
+	if len(r.buf) < r.k {
+		r.buf = append(r.buf, v)
+		return
+	}
+	j := r.rng.Intn(r.seen)
+	if j < r.k {
+		r.buf[j] = v
+	}
+}
+
+// Sample returns the values currently held. The slice aliases internal
+// storage.
+func (r *Reservoir) Sample() []float64 { return r.buf }
+
+// Seen reports how many values have been offered in total.
+func (r *Reservoir) Seen() int { return r.seen }

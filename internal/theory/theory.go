@@ -1,0 +1,227 @@
+// Package theory implements the paper's §7 and appendix analysis: the
+// Center-Sequence Model (CSM), the mean-first-exit-time (MFET) stochastic
+// analysis behind Theorems 7.1–7.4, and the margin-effectiveness formula of
+// Eq. 5. The benchmarks use it to verify that the implementation's
+// empirical behaviour matches the closed forms:
+//
+//	Theorem 7.1: E[keys per linear segment]   = ε²/σ²
+//	Theorem 7.3: Var[keys per linear segment] = 2ε⁴/(3σ⁴)
+//	Theorem 7.4: #segments for a stream of n  → n·σ²/ε²
+//	Eq. 5:       effectiveness                = qy/(2ε+qy)
+package theory
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GapKind selects the i.i.d. gap distribution of the CSM sequence.
+type GapKind int
+
+const (
+	// GapNormal draws gaps from N(μ, σ²).
+	GapNormal GapKind = iota
+	// GapUniform draws gaps from U(μ−√3σ, μ+√3σ), matching mean μ and
+	// variance σ².
+	GapUniform
+)
+
+// GapDist is an i.i.d. gap distribution with mean Mu and standard
+// deviation Sigma.
+type GapDist struct {
+	Kind  GapKind
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws one gap.
+func (g GapDist) Sample(rng *rand.Rand) float64 {
+	switch g.Kind {
+	case GapUniform:
+		w := math.Sqrt(3) * g.Sigma
+		return g.Mu + (rng.Float64()*2-1)*w
+	default:
+		return g.Mu + rng.NormFloat64()*g.Sigma
+	}
+}
+
+// FirstExitTime walks the transformed sequence Z_i = Σ(G_j − a) starting at
+// 0 and returns the first step at which |Z_i| > eps (the step index is the
+// number of keys covered by one linear segment of slope a). The walk stops
+// at maxSteps and returns maxSteps if it never exits.
+func FirstExitTime(dist GapDist, a, eps float64, maxSteps int, rng *rand.Rand) int {
+	z := 0.0
+	for i := 1; i <= maxSteps; i++ {
+		z += dist.Sample(rng) - a
+		if z > eps || z < -eps {
+			return i
+		}
+	}
+	return maxSteps
+}
+
+// MFETResult summarises a Monte-Carlo estimate of the first-exit time.
+type MFETResult struct {
+	Mean     float64
+	Variance float64
+	Trials   int
+}
+
+// MeasureMFET estimates the mean and variance of the first-exit time over
+// the given number of trials.
+func MeasureMFET(dist GapDist, a, eps float64, trials int, rng *rand.Rand) MFETResult {
+	if trials < 1 {
+		return MFETResult{}
+	}
+	maxSteps := int(20*eps*eps/(dist.Sigma*dist.Sigma)) + 1000
+	var sum, sumSq float64
+	for t := 0; t < trials; t++ {
+		et := float64(FirstExitTime(dist, a, eps, maxSteps, rng))
+		sum += et
+		sumSq += et * et
+	}
+	mean := sum / float64(trials)
+	return MFETResult{
+		Mean:     mean,
+		Variance: sumSq/float64(trials) - mean*mean,
+		Trials:   trials,
+	}
+}
+
+// TheoremMFET returns Theorem 7.1's expected keys per segment, ε²/σ².
+func TheoremMFET(eps, sigma float64) float64 { return eps * eps / (sigma * sigma) }
+
+// TheoremMFETVariance returns Theorem 7.3's variance, 2ε⁴/(3σ⁴).
+func TheoremMFETVariance(eps, sigma float64) float64 {
+	return 2 * math.Pow(eps, 4) / (3 * math.Pow(sigma, 4))
+}
+
+// CountSegments simulates a stream of n gaps and counts how many linear
+// segments of slope a and margin eps are needed to cover it: every time the
+// walk exits the ±eps tube a new segment starts (the renewal process of
+// Theorem 7.4).
+func CountSegments(dist GapDist, a, eps float64, n int, rng *rand.Rand) int {
+	segments := 1
+	z := 0.0
+	for i := 0; i < n; i++ {
+		z += dist.Sample(rng) - a
+		if z > eps || z < -eps {
+			segments++
+			z = 0
+		}
+	}
+	return segments
+}
+
+// TheoremSegments returns Theorem 7.4's asymptotic segment count, n·σ²/ε².
+func TheoremSegments(n int, eps, sigma float64) float64 {
+	return float64(n) * sigma * sigma / (eps * eps)
+}
+
+// Effectiveness is Eq. 5: the ratio between the ideal scan area (the result
+// parallelogram) and the area the soft-FD index actually scans, for a
+// query of extent qy on the dependent axis and a margin of ε.
+func Effectiveness(qy, eps float64) float64 {
+	if qy < 0 || eps < 0 {
+		return math.NaN()
+	}
+	den := 2*eps + qy
+	if den == 0 {
+		return 1
+	}
+	return qy / den
+}
+
+// EmpiricalEffectiveness measures the same ratio on simulated data: n
+// points uniform in the band y = a·x ± eps over x ∈ [0, xRange], queried
+// with y ∈ [ly, ly+qy]. It returns (result count)/(scanned count), where
+// the scanned range on x is exactly the translation of Section 4.
+func EmpiricalEffectiveness(a, eps, qy, xRange float64, n int, rng *rand.Rand) (float64, error) {
+	if a <= 0 || eps < 0 || qy <= 0 || xRange <= 0 || n < 1 {
+		return 0, fmt.Errorf("theory: invalid parameters a=%g eps=%g qy=%g xRange=%g n=%d", a, eps, qy, xRange, n)
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * xRange
+		ys[i] = a*xs[i] + (rng.Float64()*2-1)*eps
+	}
+	// Query strip on y, placed mid-range so borders do not clip it.
+	ly := a*xRange/2 - qy/2
+	hy := ly + qy
+
+	// Translated scan range on x (Section 4): ψ(x) ∈ [ly − ε, hy + ε].
+	xLo := (ly - eps) / a
+	xHi := (hy + eps) / a
+
+	scanned, result := 0, 0
+	for i := 0; i < n; i++ {
+		if xs[i] >= xLo && xs[i] <= xHi {
+			scanned++
+			if ys[i] >= ly && ys[i] <= hy {
+				result++
+			}
+		}
+	}
+	if scanned == 0 {
+		return 0, fmt.Errorf("theory: degenerate simulation, nothing scanned")
+	}
+	return float64(result) / float64(scanned), nil
+}
+
+// CenterSequence implements the CSM construction of Appendix B: split the
+// x-range into intervals of equal width and return the mean y of every
+// non-empty interval, in x order. The gaps of the returned sequence feed
+// the stochastic analysis.
+func CenterSequence(xs, ys []float64, intervals int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("theory: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 || intervals < 1 {
+		return nil, fmt.Errorf("theory: need data and ≥1 interval")
+	}
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xmin {
+			xmin = x
+		}
+		if x > xmax {
+			xmax = x
+		}
+	}
+	if xmax == xmin {
+		return nil, fmt.Errorf("theory: constant x cannot be segmented")
+	}
+	w := (xmax - xmin) / float64(intervals)
+	sums := make([]float64, intervals)
+	counts := make([]int, intervals)
+	for i := range xs {
+		b := int((xs[i] - xmin) / w)
+		if b >= intervals {
+			b = intervals - 1
+		}
+		sums[b] += ys[i]
+		counts[b]++
+	}
+	var out []float64
+	for b := 0; b < intervals; b++ {
+		if counts[b] > 0 {
+			out = append(out, sums[b]/float64(counts[b]))
+		}
+	}
+	return out, nil
+}
+
+// Gaps returns the successive differences of a sequence: gaps[i] =
+// seq[i+1] − seq[i].
+func Gaps(seq []float64) []float64 {
+	if len(seq) < 2 {
+		return nil
+	}
+	out := make([]float64, len(seq)-1)
+	for i := range out {
+		out[i] = seq[i+1] - seq[i]
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/model"
+	"github.com/coax-index/coax/internal/stats"
+)
+
+// Theorem 7.1: with slope a = μ and ε ≫ σ, E[first exit] ≈ ε²/σ².
+func TestTheorem71MFET(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dist := GapDist{Kind: GapNormal, Mu: 1.0, Sigma: 0.5}
+	for _, eps := range []float64{5, 10, 20} {
+		got := MeasureMFET(dist, dist.Mu, eps, 3000, rng)
+		want := TheoremMFET(eps, dist.Sigma)
+		ratio := got.Mean / want
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("eps=%g: MFET %g vs theory %g (ratio %g)", eps, got.Mean, want, ratio)
+		}
+	}
+}
+
+// Theorem 7.2: the expected segment length is maximised at slope a = μ.
+func TestTheorem72SlopeOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dist := GapDist{Kind: GapNormal, Mu: 2.0, Sigma: 0.5}
+	const eps = 10.0
+	atMu := MeasureMFET(dist, dist.Mu, eps, 2000, rng).Mean
+	for _, off := range []float64{-0.2, -0.1, 0.1, 0.2} {
+		biased := MeasureMFET(dist, dist.Mu+off, eps, 2000, rng).Mean
+		if biased >= atMu {
+			t.Errorf("slope offset %g yields MFET %g ≥ optimum %g", off, biased, atMu)
+		}
+	}
+}
+
+// Theorem 7.3: Var[first exit] ≈ 2ε⁴/(3σ⁴).
+func TestTheorem73Variance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dist := GapDist{Kind: GapNormal, Mu: 1.0, Sigma: 0.4}
+	const eps = 8.0
+	got := MeasureMFET(dist, dist.Mu, eps, 8000, rng)
+	want := TheoremMFETVariance(eps, dist.Sigma)
+	ratio := got.Variance / want
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("variance %g vs theory %g (ratio %g)", got.Variance, want, ratio)
+	}
+}
+
+// Theorem 7.4: segments to cover a stream of n keys → n·σ²/ε².
+func TestTheorem74SegmentCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dist := GapDist{Kind: GapNormal, Mu: 1.5, Sigma: 0.5}
+	const eps = 12.0
+	const n = 2000000
+	got := CountSegments(dist, dist.Mu, eps, n, rng)
+	want := TheoremSegments(n, eps, dist.Sigma)
+	ratio := float64(got) / want
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("segments %d vs theory %g (ratio %g)", got, want, ratio)
+	}
+}
+
+// Theorem 7.4 cross-check against the real spline fitter: the greedy
+// ε-bounded spline over a simulated soft-FD stream needs Θ(n·σ²/ε²)
+// segments.
+func TestTheorem74AgainstSplineFitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 200000
+	const mu, sigma = 1.0, 0.5
+	const eps = 10.0
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	y := 0.0
+	for i := 0; i < n; i++ {
+		y += mu + rng.NormFloat64()*sigma
+		xs[i] = float64(i)
+		ys[i] = y
+	}
+	sp, err := model.FitSplineMaxError(xs, ys, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TheoremSegments(n, eps, sigma)
+	ratio := float64(sp.NumSegments()) / want
+	// The greedy fitter re-fits the slope per segment rather than using μ,
+	// so it needs somewhat fewer segments than the renewal bound; accept a
+	// generous band around the prediction.
+	if ratio < 0.1 || ratio > 2.0 {
+		t.Errorf("spline segments %d vs theory %g (ratio %g)", sp.NumSegments(), want, ratio)
+	}
+}
+
+func TestEffectivenessFormula(t *testing.T) {
+	cases := []struct{ qy, eps, want float64 }{
+		{100, 0, 1},
+		{100, 50, 0.5},
+		{0, 0, 1},
+		{0, 10, 0},
+		{200, 100, 0.5},
+	}
+	for _, c := range cases {
+		if got := Effectiveness(c.qy, c.eps); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Effectiveness(%g,%g) = %g, want %g", c.qy, c.eps, got, c.want)
+		}
+	}
+	if !math.IsNaN(Effectiveness(-1, 1)) {
+		t.Error("negative extent should be NaN")
+	}
+}
+
+// Empirical effectiveness on simulated data must track Eq. 5 closely, and
+// must approach 1 as ε → 0.
+func TestEmpiricalEffectivenessMatchesEq5(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const a, xRange = 2.0, 10000.0
+	for _, tc := range []struct{ eps, qy float64 }{
+		{10, 100},
+		{50, 100},
+		{100, 100},
+		{5, 500},
+	} {
+		got, err := EmpiricalEffectiveness(a, tc.eps, tc.qy, xRange, 400000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Effectiveness(tc.qy, tc.eps)
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("eps=%g qy=%g: empirical %g vs Eq.5 %g", tc.eps, tc.qy, got, want)
+		}
+	}
+}
+
+func TestEmpiricalEffectivenessValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := EmpiricalEffectiveness(0, 1, 1, 1, 10, rng); err == nil {
+		t.Error("zero slope must error")
+	}
+	if _, err := EmpiricalEffectiveness(1, 1, 0, 1, 10, rng); err == nil {
+		t.Error("zero query extent must error")
+	}
+}
+
+func TestGapDistMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, kind := range []GapKind{GapNormal, GapUniform} {
+		dist := GapDist{Kind: kind, Mu: 3, Sigma: 0.7}
+		xs := make([]float64, 200000)
+		for i := range xs {
+			xs[i] = dist.Sample(rng)
+		}
+		if m := stats.Mean(xs); math.Abs(m-3) > 0.02 {
+			t.Errorf("kind %d: mean %g, want 3", kind, m)
+		}
+		if sd := stats.StdDev(xs); math.Abs(sd-0.7) > 0.02 {
+			t.Errorf("kind %d: stddev %g, want 0.7", kind, sd)
+		}
+	}
+}
+
+func TestCenterSequence(t *testing.T) {
+	// y = 2x exactly: interval means must climb linearly, so gaps are
+	// near-constant.
+	n := 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		ys[i] = 2 * float64(i)
+	}
+	seq, err := CenterSequence(xs, ys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 100 {
+		t.Fatalf("sequence length %d, want 100", len(seq))
+	}
+	gaps := Gaps(seq)
+	gm := stats.Mean(gaps)
+	if math.Abs(gm-200) > 5 { // 2 * (10000/100 interval width)
+		t.Errorf("gap mean %g, want ≈ 200", gm)
+	}
+	if sd := stats.StdDev(gaps); sd > 5 {
+		t.Errorf("noiseless line should give near-constant gaps, σ = %g", sd)
+	}
+}
+
+func TestCenterSequenceErrors(t *testing.T) {
+	if _, err := CenterSequence([]float64{1}, []float64{1, 2}, 4); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := CenterSequence(nil, nil, 4); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := CenterSequence([]float64{1, 1}, []float64{1, 2}, 4); err == nil {
+		t.Error("constant x must error")
+	}
+}
+
+func TestGapsShort(t *testing.T) {
+	if Gaps([]float64{1}) != nil {
+		t.Error("single-element sequence has no gaps")
+	}
+	g := Gaps([]float64{1, 3, 6})
+	if len(g) != 2 || g[0] != 2 || g[1] != 3 {
+		t.Errorf("Gaps = %v", g)
+	}
+}

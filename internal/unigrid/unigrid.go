@@ -1,0 +1,27 @@
+// Package unigrid provides the "full grid" baseline of the paper's §8.1.3:
+// a hash-like structure that breaks every attribute into uniformly sized
+// cells between its minimum and maximum value, with no in-cell sorting and
+// no shared/merged cells. It is a fixed configuration of the grid-file
+// engine.
+package unigrid
+
+import (
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/gridfile"
+)
+
+// Build constructs a uniform full grid over every column of t with
+// cellsPerDim cells along each axis.
+func Build(t *dataset.Table, cellsPerDim int) (*gridfile.GridFile, error) {
+	dims := make([]int, t.Dims())
+	for i := range dims {
+		dims[i] = i
+	}
+	return gridfile.Build(t, gridfile.Config{
+		GridDims:    dims,
+		SortDim:     -1,
+		CellsPerDim: cellsPerDim,
+		Mode:        gridfile.Uniform,
+		Label:       "FullGrid",
+	})
+}

@@ -1,0 +1,42 @@
+package unigrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/scan"
+)
+
+func TestFullGridMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := dataset.NewTable([]string{"a", "b", "c"})
+	for i := 0; i < 3000; i++ {
+		tab.Append([]float64{rng.Float64() * 100, rng.NormFloat64() * 10, rng.ExpFloat64()})
+	}
+	g, err := Build(tab, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "FullGrid" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if g.NumCells() != 6*6*6 {
+		t.Errorf("NumCells = %d, want 216", g.NumCells())
+	}
+	oracle := scan.New(tab)
+	for trial := 0; trial < 40; trial++ {
+		r := index.Full(3)
+		for d := 0; d < 3; d++ {
+			a, b := tab.Row(rng.Intn(tab.Len()))[d], tab.Row(rng.Intn(tab.Len()))[d]
+			if a > b {
+				a, b = b, a
+			}
+			r.Min[d], r.Max[d] = a, b
+		}
+		if got, want := index.Count(g, r), index.Count(oracle, r); got != want {
+			t.Fatalf("trial %d: %d, want %d", trial, got, want)
+		}
+	}
+}

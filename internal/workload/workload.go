@@ -1,0 +1,200 @@
+// Package workload generates the query sets of the paper's evaluation
+// (§8.1.2): range queries built by picking a random record, finding its K
+// nearest records, and taking the per-dimension min/max of that
+// neighbourhood; point queries (degenerate rectangles); and
+// selectivity-targeted rectangles for the Figure 7 sweep.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/stats"
+)
+
+// Generator produces query rectangles over one table. It precomputes
+// per-column scales so that nearest-neighbour distances are comparable
+// across dimensions with wildly different units (ids vs. degrees).
+type Generator struct {
+	t      *dataset.Table
+	rng    *rand.Rand
+	scale  []float64 // 1/range per column
+	sorted [][]float64
+}
+
+// NewGenerator creates a generator over t seeded deterministically.
+func NewGenerator(t *dataset.Table, seed int64) *Generator {
+	g := &Generator{t: t, rng: rand.New(rand.NewSource(seed))}
+	g.scale = make([]float64, t.Dims())
+	for c := 0; c < t.Dims(); c++ {
+		col := t.Column(c)
+		min, max := stats.MinMax(col)
+		if max > min {
+			g.scale[c] = 1 / (max - min)
+		}
+		sort.Float64s(col)
+		g.sorted = append(g.sorted, col)
+	}
+	return g
+}
+
+// PointQueries returns count point queries drawn from random records, so
+// every point query matches at least one row (the paper draws queries
+// "randomly from each dataset").
+func (g *Generator) PointQueries(count int) []index.Rect {
+	out := make([]index.Rect, count)
+	for i := range out {
+		out[i] = index.Point(g.t.Row(g.rng.Intn(g.t.Len())))
+	}
+	return out
+}
+
+// KNNRects returns count range queries, each the bounding rectangle of the
+// k records nearest (normalised Euclidean) to a randomly chosen seed
+// record. For tables larger than maxExact rows the neighbourhood is
+// computed on a uniform sample with k scaled proportionally, which keeps
+// the rectangle's expected data volume unchanged.
+func (g *Generator) KNNRects(count, k int) []index.Rect {
+	const maxExact = 200000
+	n := g.t.Len()
+	sampleIdx := []int(nil)
+	effK := k
+	if n > maxExact {
+		sampleIdx = stats.SampleIndices(n, maxExact, g.rng)
+		effK = int(float64(k) * float64(maxExact) / float64(n))
+		if effK < 2 {
+			effK = 2
+		}
+	}
+	out := make([]index.Rect, count)
+	for i := range out {
+		seed := g.t.Row(g.rng.Intn(n))
+		out[i] = g.knnRect(seed, effK, sampleIdx)
+	}
+	return out
+}
+
+type distRow struct {
+	d   float64
+	idx int
+}
+
+func (g *Generator) knnRect(seed []float64, k int, sampleIdx []int) index.Rect {
+	dims := g.t.Dims()
+	var cand []distRow
+	add := func(ri int) {
+		row := g.t.Row(ri)
+		d := 0.0
+		for c := 0; c < dims; c++ {
+			dv := (row[c] - seed[c]) * g.scale[c]
+			d += dv * dv
+		}
+		cand = append(cand, distRow{d: d, idx: ri})
+	}
+	if sampleIdx != nil {
+		cand = make([]distRow, 0, len(sampleIdx))
+		for _, ri := range sampleIdx {
+			add(ri)
+		}
+	} else {
+		cand = make([]distRow, 0, g.t.Len())
+		for ri := 0; ri < g.t.Len(); ri++ {
+			add(ri)
+		}
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	// Partial selection of the k nearest.
+	sort.Slice(cand, func(a, b int) bool { return cand[a].d < cand[b].d })
+	r := index.NewRect(seed, seed)
+	for _, c := range cand[:k] {
+		row := g.t.Row(c.idx)
+		for d := 0; d < dims; d++ {
+			if row[d] < r.Min[d] {
+				r.Min[d] = row[d]
+			}
+			if row[d] > r.Max[d] {
+				r.Max[d] = row[d]
+			}
+		}
+	}
+	return r
+}
+
+// SelectivityRects returns count rectangles each matching approximately
+// target rows (the Figure 7 workload). Around a random seed record, every
+// dimension receives a quantile window sized so the product of marginal
+// selectivities hits the target; correlations between columns make the true
+// count deviate, which mirrors how real rectangles behave.
+func (g *Generator) SelectivityRects(count, target int) ([]index.Rect, error) {
+	n := g.t.Len()
+	if target < 1 || target > n {
+		return nil, fmt.Errorf("workload: target %d out of range [1,%d]", target, n)
+	}
+	dims := g.t.Dims()
+	frac := float64(target) / float64(n)
+	perDim := math.Pow(frac, 1/float64(dims))
+
+	out := make([]index.Rect, count)
+	for i := range out {
+		seed := g.t.Row(g.rng.Intn(n))
+		r := index.Full(dims)
+		for d := 0; d < dims; d++ {
+			col := g.sorted[d]
+			pos := sort.SearchFloat64s(col, seed[d])
+			half := int(perDim * float64(n) / 2)
+			lo := pos - half
+			hi := pos + half
+			if lo < 0 {
+				hi -= lo
+				lo = 0
+			}
+			if hi > n-1 {
+				lo -= hi - (n - 1)
+				hi = n - 1
+				if lo < 0 {
+					lo = 0
+				}
+			}
+			r.Min[d] = col[lo]
+			r.Max[d] = col[hi]
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// PartialRects generates count rectangles that constrain only the listed
+// dimensions (others unbounded), each constrained dimension getting the
+// quantile window [center−width/2, center+width/2] around a random seed.
+// Used to exercise queries that target dependent attributes only.
+func (g *Generator) PartialRects(count int, dims []int, widthFrac float64) []index.Rect {
+	n := g.t.Len()
+	out := make([]index.Rect, count)
+	for i := range out {
+		seed := g.t.Row(g.rng.Intn(n))
+		r := index.Full(g.t.Dims())
+		for _, d := range dims {
+			col := g.sorted[d]
+			pos := sort.SearchFloat64s(col, seed[d])
+			half := int(widthFrac * float64(n) / 2)
+			lo := pos - half
+			hi := pos + half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n-1 {
+				hi = n - 1
+			}
+			r.Min[d] = col[lo]
+			r.Max[d] = col[hi]
+		}
+		out[i] = r
+	}
+	return out
+}

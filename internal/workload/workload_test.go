@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/scan"
+)
+
+func testTable(n int) *dataset.Table {
+	rng := rand.New(rand.NewSource(1))
+	t := dataset.NewTable([]string{"a", "b", "c"})
+	for i := 0; i < n; i++ {
+		t.Append([]float64{rng.Float64() * 1000, rng.NormFloat64() * 5, float64(i)})
+	}
+	return t
+}
+
+func TestPointQueriesHitRows(t *testing.T) {
+	tab := testTable(2000)
+	g := NewGenerator(tab, 7)
+	oracle := scan.New(tab)
+	qs := g.PointQueries(50)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if !q.IsPoint() {
+			t.Fatalf("query %d is not a point", i)
+		}
+		if index.Count(oracle, q) < 1 {
+			t.Fatalf("point query %d matches nothing", i)
+		}
+	}
+}
+
+func TestKNNRectsContainKSeeds(t *testing.T) {
+	tab := testTable(5000)
+	g := NewGenerator(tab, 11)
+	oracle := scan.New(tab)
+	qs := g.KNNRects(20, 100)
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+		n := index.Count(oracle, q)
+		// The bounding box of the 100 nearest rows contains at least those
+		// 100 rows.
+		if n < 100 {
+			t.Errorf("query %d matches %d rows, want ≥ 100", i, n)
+		}
+	}
+}
+
+func TestKNNRectsSampledPath(t *testing.T) {
+	// Above the exact-KNN cutoff the generator samples; rectangles must
+	// still be valid and non-trivial.
+	tab := testTable(250000)
+	g := NewGenerator(tab, 13)
+	qs := g.KNNRects(3, 1000)
+	oracle := scan.New(tab)
+	for i, q := range qs {
+		n := index.Count(oracle, q)
+		if n < 10 {
+			t.Errorf("sampled KNN query %d matches only %d rows", i, n)
+		}
+	}
+}
+
+func TestSelectivityRects(t *testing.T) {
+	tab := testTable(20000)
+	g := NewGenerator(tab, 17)
+	oracle := scan.New(tab)
+	const target = 1000
+	qs, err := g.SelectivityRects(15, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlated columns make individual counts wander; the median should
+	// land within a factor of ~4 of the target.
+	counts := make([]int, len(qs))
+	for i, q := range qs {
+		counts[i] = index.Count(oracle, q)
+	}
+	med := median(counts)
+	if med < target/4 || med > target*4 {
+		t.Errorf("median selectivity %d too far from target %d (counts %v)", med, target, counts)
+	}
+}
+
+func TestSelectivityRectsValidation(t *testing.T) {
+	g := NewGenerator(testTable(100), 1)
+	if _, err := g.SelectivityRects(1, 0); err == nil {
+		t.Error("target 0 must error")
+	}
+	if _, err := g.SelectivityRects(1, 1000); err == nil {
+		t.Error("target beyond table size must error")
+	}
+}
+
+func TestPartialRects(t *testing.T) {
+	tab := testTable(5000)
+	g := NewGenerator(tab, 19)
+	qs := g.PartialRects(10, []int{1}, 0.2)
+	for i, q := range qs {
+		// Only dimension 1 is constrained.
+		if math.IsInf(q.Min[1], -1) && math.IsInf(q.Max[1], 1) {
+			t.Errorf("query %d leaves dim 1 unconstrained", i)
+		}
+		for _, d := range []int{0, 2} {
+			if !math.IsInf(q.Min[d], -1) || !math.IsInf(q.Max[d], 1) {
+				t.Errorf("query %d constrains dim %d", i, d)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	tab := testTable(1000)
+	a := NewGenerator(tab, 23).PointQueries(5)
+	b := NewGenerator(tab, 23).PointQueries(5)
+	for i := range a {
+		for d := range a[i].Min {
+			if a[i].Min[d] != b[i].Min[d] {
+				t.Fatal("same seed must generate identical queries")
+			}
+		}
+	}
+}
+
+func median(xs []int) int {
+	s := append([]int(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestTinyTableWorkloads(t *testing.T) {
+	tab := dataset.NewTable([]string{"a"})
+	tab.Append([]float64{1})
+	tab.Append([]float64{2})
+	g := NewGenerator(tab, 1)
+	if qs := g.PointQueries(3); len(qs) != 3 {
+		t.Error("point queries on tiny table failed")
+	}
+	if qs := g.KNNRects(2, 5); len(qs) != 2 {
+		t.Error("KNN rects on tiny table failed")
+	}
+	if _, err := g.SelectivityRects(2, 1); err != nil {
+		t.Errorf("selectivity on tiny table: %v", err)
+	}
+}
