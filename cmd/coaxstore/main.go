@@ -1,0 +1,352 @@
+// Command coaxstore builds, persists, inspects, and queries COAX indexes
+// on disk, so the expensive build (soft-FD detection + index construction)
+// runs once while every later process answers queries straight from a
+// snapshot.
+//
+// Usage:
+//
+//	coaxstore build -dataset osm -rows 1000000 -out osm.coax
+//	coaxstore build -csv flights.csv -outlier rtree -out flights.coax
+//	coaxstore info -in osm.coax
+//	coaxstore query -in osm.coax -min '_,0,40,-75' -max '_,5000,41,-74'
+//	coaxstore query -in osm.coax -min '_,60,_,_' -max '_,90,_,_' -limit 5
+//	coaxstore bench -rows 200000 -json BENCH_snapshot.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/snapshot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "coaxstore: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coaxstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `coaxstore — build once, query many times from disk
+
+subcommands:
+  build   build a COAX index and save it as a snapshot
+  info    describe a snapshot file (format frame + index stats)
+  query   answer a range/point query from a snapshot
+  bench   time build/save/load and optionally emit JSON
+
+run 'coaxstore <subcommand> -h' for flags`)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	var (
+		ds      = fs.String("dataset", "osm", "synthetic dataset to generate: osm|airline (ignored with -csv)")
+		rows    = fs.Int("rows", 100000, "synthetic dataset size")
+		seed    = fs.Int64("seed", 0, "override generator seed (0 keeps the default)")
+		csvPath = fs.String("csv", "", "build from a CSV file instead of a synthetic dataset")
+		out     = fs.String("out", "index.coax", "snapshot output path")
+		outlier = fs.String("outlier", "grid", "outlier index kind: grid|rtree")
+		cells   = fs.Int("cells", 0, "primary grid cells per dimension (0 keeps the default)")
+	)
+	fs.Parse(args)
+
+	tab, err := loadTable(*csvPath, *ds, *rows, *seed)
+	if err != nil {
+		return err
+	}
+	opt := coax.DefaultOptions()
+	switch *outlier {
+	case "grid":
+		opt.OutlierKind = coax.OutlierGrid
+	case "rtree":
+		opt.OutlierKind = coax.OutlierRTree
+	default:
+		return fmt.Errorf("unknown outlier kind %q (want grid or rtree)", *outlier)
+	}
+	if *cells > 0 {
+		opt.PrimaryCellsPerDim = *cells
+	}
+
+	t0 := time.Now()
+	idx, err := coax.Build(tab, opt)
+	if err != nil {
+		return err
+	}
+	buildDur := time.Since(t0)
+
+	t0 = time.Now()
+	if err := coax.SaveFile(*out, idx); err != nil {
+		return err
+	}
+	saveDur := time.Since(t0)
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+
+	s := idx.BuildStats()
+	fmt.Printf("built  %d rows × %d dims in %v\n", s.Rows, s.Dims, buildDur.Round(time.Millisecond))
+	fmt.Printf("groups %d (dependent dims %d), primary ratio %.1f%%, sort dim %d\n",
+		len(s.Groups), s.DependentDims, 100*s.PrimaryRatio, s.SortDim)
+	fmt.Printf("saved  %s (%d bytes) in %v\n", *out, fi.Size(), saveDur.Round(time.Millisecond))
+	return nil
+}
+
+func loadTable(csvPath, ds string, rows int, seed int64) (*coax.Table, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return coax.ReadCSV(f)
+	}
+	switch ds {
+	case "osm":
+		cfg := coax.DefaultOSMConfig(rows)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return coax.GenerateOSM(cfg), nil
+	case "airline":
+		cfg := coax.DefaultAirlineConfig(rows)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return coax.GenerateAirline(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want osm or airline)", ds)
+	}
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "index.coax", "snapshot path")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	info, err := snapshot.Inspect(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: COAX snapshot, format version %d\n", *in, info.Version)
+	for _, s := range info.Sections {
+		fmt.Printf("  section %q  %10d bytes  crc32c %08x\n", s.ID, s.Len, s.CRC)
+	}
+
+	t0 := time.Now()
+	idx, err := coax.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	loadDur := time.Since(t0)
+	s := idx.BuildStats()
+	fmt.Printf("loaded in %v\n", loadDur.Round(time.Microsecond))
+	fmt.Printf("  rows %d, dims %d, sort dim %d\n", s.Rows, s.Dims, s.SortDim)
+	fmt.Printf("  primary rows %d (%.1f%%), outlier rows %d\n", s.PrimaryRows, 100*s.PrimaryRatio, s.OutlierRows)
+	for _, g := range s.Groups {
+		fmt.Printf("  group: predictor col %d → members %v\n", g.Predictor, g.Members)
+	}
+	fmt.Printf("  directory overhead: primary %dB, outlier %dB, models %dB\n",
+		s.PrimaryOverheadB, s.OutlierOverheadB, s.ModelOverheadB)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		in    = fs.String("in", "index.coax", "snapshot path")
+		min   = fs.String("min", "", "comma-separated lower bounds; '_' leaves a dimension unconstrained")
+		max   = fs.String("max", "", "comma-separated upper bounds; '_' leaves a dimension unconstrained")
+		limit = fs.Int("limit", 0, "print up to this many matching rows (0: count only)")
+	)
+	fs.Parse(args)
+
+	t0 := time.Now()
+	idx, err := coax.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	loadDur := time.Since(t0)
+
+	r := coax.FullRect(idx.Dims())
+	if err := fillBounds(r.Min, *min, math.Inf(-1), idx.Dims()); err != nil {
+		return fmt.Errorf("-min: %w", err)
+	}
+	if err := fillBounds(r.Max, *max, math.Inf(1), idx.Dims()); err != nil {
+		return fmt.Errorf("-max: %w", err)
+	}
+
+	t0 = time.Now()
+	count := 0
+	idx.Query(r, func(row []float64) {
+		if count < *limit {
+			fmt.Println(formatRow(row))
+		}
+		count++
+	})
+	queryDur := time.Since(t0)
+	fmt.Printf("%d rows matched %v (load %v, query %v)\n",
+		count, r, loadDur.Round(time.Microsecond), queryDur.Round(time.Microsecond))
+	return nil
+}
+
+// fillBounds parses a comma-separated bound list into dst; '_' (or an empty
+// field) keeps the unconstrained default.
+func fillBounds(dst []float64, spec string, unconstrained float64, dims int) error {
+	if spec == "" {
+		return nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != dims {
+		return fmt.Errorf("%d bounds for a %d-dimensional index", len(parts), dims)
+	}
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "_" || p == "" {
+			dst[i] = unconstrained
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return fmt.Errorf("bound %d: %w", i, err)
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+func formatRow(row []float64) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// benchReport is the JSON shape consumed by CI to track the perf
+// trajectory of the persistence subsystem.
+type benchReport struct {
+	Dataset       string  `json:"dataset"`
+	Rows          int     `json:"rows"`
+	BuildMS       float64 `json:"build_ms"`
+	SaveMS        float64 `json:"save_ms"`
+	LoadMS        float64 `json:"load_ms"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	LoadSpeedup   float64 `json:"load_speedup_vs_build"`
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		ds      = fs.String("dataset", "osm", "dataset: osm|airline")
+		rows    = fs.Int("rows", 200000, "dataset size")
+		jsonOut = fs.String("json", "", "also write the report as JSON to this path")
+	)
+	fs.Parse(args)
+
+	tab, err := loadTable("", *ds, *rows, 0)
+	if err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	idx, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	buildDur := time.Since(t0)
+
+	tmp, err := os.CreateTemp("", "coax-bench-*.coax")
+	if err != nil {
+		return err
+	}
+	path := tmp.Name()
+	tmp.Close()
+	defer os.Remove(path)
+
+	t0 = time.Now()
+	if err := coax.SaveFile(path, idx); err != nil {
+		return err
+	}
+	saveDur := time.Since(t0)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	t0 = time.Now()
+	loaded, err := coax.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	loadDur := time.Since(t0)
+
+	// Sanity: the loaded index must agree with the built one.
+	full := coax.FullRect(idx.Dims())
+	if b, l := coax.Count(idx, full), coax.Count(loaded, full); b != l {
+		return fmt.Errorf("loaded index counts %d rows, built counts %d", l, b)
+	}
+
+	rep := benchReport{
+		Dataset:       *ds,
+		Rows:          *rows,
+		BuildMS:       float64(buildDur.Microseconds()) / 1000,
+		SaveMS:        float64(saveDur.Microseconds()) / 1000,
+		LoadMS:        float64(loadDur.Microseconds()) / 1000,
+		SnapshotBytes: fi.Size(),
+	}
+	if rep.LoadMS > 0 {
+		rep.LoadSpeedup = rep.BuildMS / rep.LoadMS
+	}
+	fmt.Printf("dataset %s, %d rows\n", rep.Dataset, rep.Rows)
+	fmt.Printf("build %8.1f ms\n", rep.BuildMS)
+	fmt.Printf("save  %8.1f ms  (%d bytes)\n", rep.SaveMS, rep.SnapshotBytes)
+	fmt.Printf("load  %8.1f ms  (%.0fx faster than build)\n", rep.LoadMS, rep.LoadSpeedup)
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuildInfoQueryBench drives the full CLI flow against a temp
+// directory: build → save, then info / query / bench answer from the
+// snapshot alone.
+func TestBuildInfoQueryBench(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "osm.coax")
+
+	if err := cmdBuild([]string{"-dataset", "osm", "-rows", "20000", "-out", snap}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	if err := cmdInfo([]string{"-in", snap}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	// Constrain the timestamp (a dependent column): answering requires the
+	// persisted soft-FD models, not a re-detection.
+	if err := cmdQuery([]string{"-in", snap, "-min", "_,100,_,_", "-max", "_,5000,_,_"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := cmdQuery([]string{"-in", snap, "-min", "10,_,_,_", "-max", "200,_,_,_", "-limit", "3"}); err != nil {
+		t.Fatalf("query with limit: %v", err)
+	}
+
+	report := filepath.Join(dir, "BENCH_snapshot.json")
+	if err := cmdBench([]string{"-rows", "20000", "-json", report}); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	blob, err := os.ReadFile(report)
+	if err != nil || len(blob) == 0 {
+		t.Fatalf("bench report: %v (%d bytes)", err, len(blob))
+	}
+}
+
+func TestQueryBadBounds(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "x.coax")
+	if err := cmdBuild([]string{"-dataset", "osm", "-rows", "5000", "-out", snap}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := cmdQuery([]string{"-in", snap, "-min", "1,2"}); err == nil {
+		t.Fatal("wrong-arity -min accepted")
+	}
+	if err := cmdQuery([]string{"-in", snap, "-min", "a,_,_,_"}); err == nil {
+		t.Fatal("non-numeric bound accepted")
+	}
+}

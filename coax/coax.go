@@ -23,11 +23,15 @@
 package coax
 
 import (
+	"bufio"
 	"io"
+	"os"
+	"path/filepath"
 
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/snapshot"
 	"github.com/coax-index/coax/internal/softfd"
 )
 
@@ -69,6 +73,16 @@ type Options = core.Options
 // resolution, margins, acceptance thresholds).
 type SoftFDConfig = softfd.Config
 
+// OutlierIndexKind selects the structure holding the rows that violate the
+// learned dependencies.
+type OutlierIndexKind = core.OutlierIndexKind
+
+// Outlier index kinds.
+const (
+	OutlierGrid  = core.OutlierGrid
+	OutlierRTree = core.OutlierRTree
+)
+
 // DefaultOptions returns the recommended build configuration.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
@@ -94,6 +108,78 @@ type Index = core.COAX
 
 // Build learns the soft FDs of t and constructs the index.
 func Build(t *Table, opt Options) (*Index, error) { return core.Build(t, opt) }
+
+// Save writes a built index to w in the versioned COAX snapshot format
+// (magic, format version, checksummed sections — see internal/snapshot). A
+// loaded snapshot answers queries identically to the index that was saved,
+// without re-running soft-FD detection or index construction.
+func Save(w io.Writer, idx *Index) error { return snapshot.Encode(w, idx) }
+
+// Load reads an index previously written by Save. Corrupted, truncated, or
+// version-incompatible input yields an error, never a panic. The returned
+// index is safe for concurrent readers.
+func Load(r io.Reader) (*Index, error) { return snapshot.Decode(r) }
+
+// SaveFile writes a built index to path via Save. The write is atomic: the
+// snapshot goes to a temporary file in the same directory, is fsynced, and
+// is renamed over path only once complete — a crash or full disk midway
+// neither leaves a torn snapshot at path nor destroys the previous one.
+func SaveFile(path string, idx *Index) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "." // keep the temp file on path's filesystem, not os.TempDir
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// CreateTemp's 0600 would silently downgrade a world-readable snapshot
+	// on replace; keep the target's existing mode, defaulting to 0644.
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	if err := f.Chmod(mode); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := Save(w, idx); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadFile reads an index from a file written by SaveFile.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReaderSize(f, 1<<20))
+}
 
 // Count runs a query and returns the number of matching rows.
 func Count(idx *Index, r Rect) int { return index.Count(idx, r) }

@@ -1,0 +1,78 @@
+package coax_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/coax-index/coax/coax"
+)
+
+// TestSaveLoadFile exercises the public persistence API end to end: a
+// snapshot written by SaveFile and read by LoadFile answers queries
+// identically to the index that was saved.
+func TestSaveLoadFile(t *testing.T) {
+	tab := coax.GenerateAirline(coax.DefaultAirlineConfig(15000))
+	opt := coax.DefaultOptions()
+	opt.SoftFD.SampleCount = 5000
+	idx, err := coax.Build(tab, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "airline.coax")
+	if err := coax.SaveFile(path, idx); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := coax.LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+
+	queries := []coax.Rect{coax.FullRect(tab.Dims())}
+	q := coax.FullRect(tab.Dims())
+	q.Min[1], q.Max[1] = 60, 120 // elapsed: a dependent column → translated probe
+	queries = append(queries, q)
+	for i := 0; i < 20; i++ {
+		queries = append(queries, coax.PointQuery(tab.Row(i*37)))
+	}
+	for qi, q := range queries {
+		if b, l := coax.Count(idx, q), coax.Count(loaded, q); b != l {
+			t.Fatalf("query %d: built %d, loaded %d", qi, b, l)
+		}
+	}
+}
+
+// TestSaveFilePreservesMode ensures replacing a snapshot keeps the file
+// mode readers depend on instead of CreateTemp's private 0600.
+func TestSaveFilePreservesMode(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(500))
+	opt := coax.DefaultOptions()
+	opt.SoftFD.SampleCount = 500
+	idx, err := coax.Build(tab, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.coax")
+	if err := coax.SaveFile(path, idx); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	if fi, _ := os.Stat(path); fi.Mode().Perm() != 0o644 {
+		t.Fatalf("fresh snapshot mode %v, want 0644", fi.Mode().Perm())
+	}
+	if err := os.Chmod(path, 0o664); err != nil {
+		t.Fatal(err)
+	}
+	if err := coax.SaveFile(path, idx); err != nil {
+		t.Fatalf("SaveFile over existing: %v", err)
+	}
+	if fi, _ := os.Stat(path); fi.Mode().Perm() != 0o664 {
+		t.Fatalf("replaced snapshot mode %v, want preserved 0664", fi.Mode().Perm())
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := coax.LoadFile(filepath.Join(t.TempDir(), "absent.coax")); err == nil {
+		t.Fatal("LoadFile of missing path succeeded")
+	}
+}

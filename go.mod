@@ -1,0 +1,3 @@
+module github.com/coax-index/coax
+
+go 1.24

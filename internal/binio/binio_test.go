@@ -1,0 +1,124 @@
+package binio
+
+import (
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(1 << 62)
+	w.Int(-42)
+	w.Int64(math.MinInt64)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(math.Pi)
+	w.Float64(math.Inf(-1))
+	w.String("grid file")
+	w.String("")
+	w.Float64s([]float64{1.5, -2.5, math.NaN()})
+	w.Ints([]int{3, -7, 0})
+	w.Int64s([]int64{9, -9})
+
+	r := NewReader(w.Bytes())
+	if v := r.Uint32(); v != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %#x", v)
+	}
+	if v := r.Uint64(); v != 1<<62 {
+		t.Fatalf("Uint64 = %d", v)
+	}
+	if v := r.Int(); v != -42 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := r.Int64(); v != math.MinInt64 {
+		t.Fatalf("Int64 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatalf("Bool order wrong")
+	}
+	if v := r.Float64(); v != math.Pi {
+		t.Fatalf("Float64 = %v", v)
+	}
+	if v := r.Float64(); !math.IsInf(v, -1) {
+		t.Fatalf("Float64 inf = %v", v)
+	}
+	if v := r.String(); v != "grid file" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := r.String(); v != "" {
+		t.Fatalf("empty String = %q", v)
+	}
+	fs := r.Float64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || !math.IsNaN(fs[2]) {
+		t.Fatalf("Float64s = %v", fs)
+	}
+	if is := r.Ints(); len(is) != 3 || is[0] != 3 || is[1] != -7 || is[2] != 0 {
+		t.Fatalf("Ints = %v", is)
+	}
+	if is := r.Int64s(); len(is) != 2 || is[0] != 9 || is[1] != -9 {
+		t.Fatalf("Int64s = %v", is)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestReaderShortInput(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(7)
+	full := w.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		_ = r.Uint64()
+		if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix %d: err = %v", n, r.Err())
+		}
+	}
+}
+
+// TestReaderHugeLength ensures a corrupted length prefix cannot drive a
+// giant allocation: it must fail against the actual remaining payload.
+func TestReaderHugeLength(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(1 << 60) // claimed element count
+	w.Float64(1)      // 8 real bytes
+	r := NewReader(w.Bytes())
+	if vs := r.Float64s(); vs != nil {
+		t.Fatalf("Float64s returned %d elems", len(vs))
+	}
+	if r.Err() == nil {
+		t.Fatal("no error for huge declared length")
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.Uint64() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	_ = r.Bool() // would succeed on byte 0, but the error sticks
+	if r.Err() != first {
+		t.Fatalf("error replaced: %v", r.Err())
+	}
+}
+
+func TestReaderBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	_ = r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestCloseTrailing(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	_ = r.Bool()
+	if err := r.Close(); err == nil {
+		t.Fatal("Close ignored trailing byte")
+	}
+}

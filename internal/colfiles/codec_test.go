@@ -1,0 +1,55 @@
+package colfiles
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/binio"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/gridfile"
+	"github.com/coax-index/coax/internal/index"
+)
+
+// Column Files is a fixed configuration of the grid-file engine, so the
+// gridfile snapshot codec persists it unchanged; this test wires the
+// baseline into the snapshot subsystem.
+func TestColumnFilesSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tab := dataset.NewTable([]string{"x", "y", "z"})
+	row := make([]float64, 3)
+	for i := 0; i < 4000; i++ {
+		row[0] = rng.NormFloat64()
+		row[1] = row[0]*3 + rng.NormFloat64()*0.1
+		row[2] = rng.Float64() * 10
+		tab.Append(row)
+	}
+	cf, err := Build(tab, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := binio.NewWriter()
+	cf.Encode(w)
+	r := binio.NewReader(w.Bytes())
+	got, err := gridfile.Decode(r)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got.Name() != "ColumnFiles" || got.Len() != cf.Len() {
+		t.Fatalf("decoded %q with %d rows, want ColumnFiles with %d", got.Name(), got.Len(), cf.Len())
+	}
+	for q := 0; q < 30; q++ {
+		rect := index.Full(3)
+		d := rng.Intn(3)
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		if a > b {
+			a, b = b, a
+		}
+		rect.Min[d], rect.Max[d] = a, b
+		if w, g := index.Count(cf, rect), index.Count(got, rect); w != g {
+			t.Fatalf("query %d: %d != %d", q, w, g)
+		}
+	}
+}

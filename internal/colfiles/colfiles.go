@@ -3,7 +3,9 @@
 // (quantiles) and sorts the rows inside each cell on one attribute, thereby
 // dropping that attribute's grid lines and reducing the index dimensionality
 // by one. It is the same layout as Flood without workload awareness, and a
-// fixed configuration of the grid-file engine.
+// fixed configuration of the grid-file engine. Because the built index IS a
+// *gridfile.GridFile, the gridfile snapshot codec persists it unchanged —
+// Column Files needs no serialization code of its own.
 package colfiles
 
 import (

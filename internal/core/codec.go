@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/coax-index/coax/internal/binio"
+	"github.com/coax-index/coax/internal/gridfile"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/rtree"
+	"github.com/coax-index/coax/internal/softfd"
+)
+
+// Snapshot codec. A COAX index persists as independent sections — meta
+// scalars, the soft-FD result, the primary grid, the outlier index — so the
+// container format (internal/snapshot) can frame, length-prefix, and
+// checksum each layer separately. Decoding proceeds in the same order:
+// DecodeMeta produces a skeleton, the Attach methods hang the decoded
+// layers onto it, and FinishDecode re-verifies the cross-layer invariants
+// that Build guarantees by construction.
+
+// EncodeMeta appends the index's scalar state and partition bounds to w.
+func (c *COAX) EncodeMeta(w *binio.Writer) {
+	w.Int(c.dims)
+	w.Int(c.n)
+	w.Int(c.sortDim)
+	w.Int(c.primaryN)
+	w.Int(c.outlierN)
+	w.Int(c.primaryCells)
+	w.Int(int(c.outlierKind))
+	w.Int(c.outlierRTreeCap)
+	w.Bool(c.primary != nil)
+	w.Bool(c.outliers != nil)
+	w.Float64s(c.primaryBounds.Min)
+	w.Float64s(c.primaryBounds.Max)
+	w.Float64s(c.outlierBounds.Min)
+	w.Float64s(c.outlierBounds.Max)
+}
+
+// HasPrimary reports whether the index carries a primary grid (false only
+// when every row was an outlier).
+func (c *COAX) HasPrimary() bool { return c.primary != nil }
+
+// HasOutliers reports whether the index carries an outlier index (false
+// only when every row was an inlier).
+func (c *COAX) HasOutliers() bool { return c.outliers != nil }
+
+// EncodeFD appends the detection result to w.
+func (c *COAX) EncodeFD(w *binio.Writer) { softfd.EncodeResult(w, c.fd) }
+
+// EncodePrimary appends the primary grid file to w; the primary must exist.
+func (c *COAX) EncodePrimary(w *binio.Writer) { c.primary.Encode(w) }
+
+// EncodeOutliers appends the outlier index to w; it must exist. The
+// concrete codec follows the outlier kind recorded in the meta section.
+func (c *COAX) EncodeOutliers(w *binio.Writer) error {
+	switch o := c.outliers.(type) {
+	case *gridfile.GridFile:
+		o.Encode(w)
+		return nil
+	case *rtree.RTree:
+		o.Encode(w)
+		return nil
+	default:
+		return fmt.Errorf("core: outlier index %T has no snapshot codec", c.outliers)
+	}
+}
+
+// DecodeMeta reads a meta section written by EncodeMeta and returns a
+// skeleton index awaiting its FD and index layers.
+func DecodeMeta(r *binio.Reader) (*COAX, error) {
+	c := &COAX{
+		dims:            r.Int(),
+		n:               r.Int(),
+		sortDim:         r.Int(),
+		primaryN:        r.Int(),
+		outlierN:        r.Int(),
+		primaryCells:    r.Int(),
+		outlierKind:     OutlierIndexKind(r.Int()),
+		outlierRTreeCap: r.Int(),
+	}
+	wantPrimary := r.Bool()
+	wantOutliers := r.Bool()
+	c.primaryBounds = index.Rect{Min: r.Float64s(), Max: r.Float64s()}
+	c.outlierBounds = index.Rect{Min: r.Float64s(), Max: r.Float64s()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if c.dims < 1 {
+		return nil, fmt.Errorf("core: dims %d < 1", c.dims)
+	}
+	if c.primaryN < 0 || c.outlierN < 0 || c.primaryN+c.outlierN != c.n {
+		return nil, fmt.Errorf("core: partition counts %d+%d do not sum to %d rows", c.primaryN, c.outlierN, c.n)
+	}
+	if c.sortDim < -1 || c.sortDim >= c.dims {
+		return nil, fmt.Errorf("core: sort dimension %d out of range", c.sortDim)
+	}
+	if c.outlierKind != OutlierGrid && c.outlierKind != OutlierRTree {
+		return nil, fmt.Errorf("core: unknown outlier index kind %d", c.outlierKind)
+	}
+	if c.primaryCells < 1 || c.outlierRTreeCap < 2 {
+		return nil, fmt.Errorf("core: invalid build parameters (cells=%d, rtree cap=%d)", c.primaryCells, c.outlierRTreeCap)
+	}
+	if wantPrimary != (c.primaryN > 0) || wantOutliers != (c.outlierN > 0) {
+		return nil, fmt.Errorf("core: presence flags disagree with partition counts")
+	}
+	for _, b := range [][]float64{c.primaryBounds.Min, c.primaryBounds.Max, c.outlierBounds.Min, c.outlierBounds.Max} {
+		if len(b) != c.dims {
+			return nil, fmt.Errorf("core: partition bounds have %d dims, want %d", len(b), c.dims)
+		}
+	}
+	return c, nil
+}
+
+// DecodeAttachFD reads an FD section and installs it, rebuilding the
+// per-column dependency lookup exactly as BuildWithFD does.
+func (c *COAX) DecodeAttachFD(r *binio.Reader) error {
+	fd, err := softfd.DecodeResult(r, c.dims)
+	if err != nil {
+		return err
+	}
+	c.fd = fd
+	c.depends = make([]*softfd.PairModel, c.dims)
+	for gi := range c.fd.Groups {
+		g := &c.fd.Groups[gi]
+		for mi := range g.Models {
+			m := &g.Models[mi]
+			if c.depends[m.D] != nil {
+				return fmt.Errorf("core: column %d is dependent in two groups", m.D)
+			}
+			c.depends[m.D] = m
+		}
+	}
+	if c.sortDim >= 0 && c.depends[c.sortDim] != nil {
+		return fmt.Errorf("core: sort dimension %d is a dependent column", c.sortDim)
+	}
+	return nil
+}
+
+// DecodeAttachPrimary reads a primary-grid section and installs it.
+func (c *COAX) DecodeAttachPrimary(r *binio.Reader) error {
+	g, err := gridfile.Decode(r)
+	if err != nil {
+		return err
+	}
+	if g.Dims() != c.dims {
+		return fmt.Errorf("core: primary grid has %d dims, index has %d", g.Dims(), c.dims)
+	}
+	if g.Len() != c.primaryN {
+		return fmt.Errorf("core: primary grid holds %d rows, meta says %d", g.Len(), c.primaryN)
+	}
+	c.primary = g
+	return nil
+}
+
+// DecodeAttachOutliers reads an outlier-index section and installs it,
+// dispatching on the kind recorded in the meta section.
+func (c *COAX) DecodeAttachOutliers(r *binio.Reader) error {
+	var (
+		idx index.Interface
+		err error
+	)
+	switch c.outlierKind {
+	case OutlierRTree:
+		idx, err = rtree.Decode(r)
+	default:
+		idx, err = gridfile.Decode(r)
+	}
+	if err != nil {
+		return err
+	}
+	if idx.Dims() != c.dims {
+		return fmt.Errorf("core: outlier index has %d dims, index has %d", idx.Dims(), c.dims)
+	}
+	if idx.Len() != c.outlierN {
+		return fmt.Errorf("core: outlier index holds %d rows, meta says %d", idx.Len(), c.outlierN)
+	}
+	c.outliers = idx
+	return nil
+}
+
+// FinishDecode verifies the assembled index is complete and internally
+// consistent; it must be called after the attach steps.
+func (c *COAX) FinishDecode() error {
+	if c.depends == nil {
+		return fmt.Errorf("core: snapshot is missing its FD section")
+	}
+	if (c.primary != nil) != (c.primaryN > 0) {
+		return fmt.Errorf("core: primary section presence disagrees with meta")
+	}
+	if (c.outliers != nil) != (c.outlierN > 0) {
+		return fmt.Errorf("core: outlier section presence disagrees with meta")
+	}
+	if c.primary != nil {
+		wantDims := c.primaryGridDims()
+		gotDims := c.primary.GridDims()
+		if len(gotDims) != len(wantDims) {
+			return fmt.Errorf("core: primary grid indexes %d dims, FD layout implies %d", len(gotDims), len(wantDims))
+		}
+		for i := range wantDims {
+			if gotDims[i] != wantDims[i] {
+				return fmt.Errorf("core: primary grid dimension %d is column %d, FD layout implies %d", i, gotDims[i], wantDims[i])
+			}
+		}
+		if sd := c.primary.SortDim(); sd != c.sortDim {
+			return fmt.Errorf("core: primary grid sorts on %d, meta says %d", sd, c.sortDim)
+		}
+	}
+	return nil
+}

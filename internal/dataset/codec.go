@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/coax-index/coax/internal/binio"
+)
+
+// Snapshot codec for tables. The payload is column-major — each column is
+// one contiguous run of n float64 values — which compresses better under
+// downstream tooling and matches the column-file layout the paper's
+// baselines assume; Decode transposes back into the row-major in-memory
+// form.
+
+// EncodeTable appends t to w in column-major order.
+func EncodeTable(w *binio.Writer, t *Table) {
+	w.Uint64(uint64(len(t.Cols)))
+	for _, c := range t.Cols {
+		w.String(c)
+	}
+	n := t.Len()
+	w.Uint64(uint64(n))
+	for j := 0; j < t.Dims(); j++ {
+		for i := 0; i < n; i++ {
+			w.Float64(t.Data[i*t.dims+j])
+		}
+	}
+}
+
+// DecodeTable reads a table written by EncodeTable.
+func DecodeTable(r *binio.Reader) (*Table, error) {
+	nCols := r.Uint64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	// Each column name costs at least its 8-byte length prefix.
+	if nCols == 0 || nCols > uint64(r.Remaining()/8) {
+		return nil, fmt.Errorf("dataset: implausible column count %d", nCols)
+	}
+	cols := make([]string, nCols)
+	for i := range cols {
+		cols[i] = r.String()
+	}
+	n := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining())/(8*nCols) {
+		return nil, fmt.Errorf("dataset: declared %d rows exceed payload", n)
+	}
+	t := NewTable(cols)
+	t.Data = make([]float64, int(n)*t.dims)
+	for j := 0; j < t.dims; j++ {
+		for i := 0; i < int(n); i++ {
+			t.Data[i*t.dims+j] = r.Float64()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

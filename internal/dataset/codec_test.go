@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/coax-index/coax/internal/binio"
+)
+
+func TestTableCodecRoundTrip(t *testing.T) {
+	tab := GenerateOSM(DefaultOSMConfig(1234))
+	w := binio.NewWriter()
+	EncodeTable(w, tab)
+	r := binio.NewReader(w.Bytes())
+	got, err := DecodeTable(r)
+	if err != nil {
+		t.Fatalf("DecodeTable: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got.Len() != tab.Len() || got.Dims() != tab.Dims() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Len(), got.Dims(), tab.Len(), tab.Dims())
+	}
+	for i, c := range tab.Cols {
+		if got.Cols[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, got.Cols[i], c)
+		}
+	}
+	for i := range tab.Data {
+		if got.Data[i] != tab.Data[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+func TestTableCodecEmptyTable(t *testing.T) {
+	tab := NewTable([]string{"a", "b"})
+	w := binio.NewWriter()
+	EncodeTable(w, tab)
+	got, err := DecodeTable(binio.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeTable: %v", err)
+	}
+	if got.Len() != 0 || got.Dims() != 2 {
+		t.Fatalf("decoded %dx%d", got.Len(), got.Dims())
+	}
+}
+
+// TestTableCodecColumnMajor pins the on-disk layout: after the header the
+// payload must run column by column, not row by row.
+func TestTableCodecColumnMajor(t *testing.T) {
+	tab := NewTable([]string{"a", "b"})
+	tab.Append([]float64{1, 10})
+	tab.Append([]float64{2, 20})
+	w := binio.NewWriter()
+	EncodeTable(w, tab)
+	r := binio.NewReader(w.Bytes())
+	if n := r.Uint64(); n != 2 {
+		t.Fatalf("column count %d", n)
+	}
+	_, _ = r.String(), r.String() // skip the two column names
+	if n := r.Uint64(); n != 2 {
+		t.Fatalf("row count %d", n)
+	}
+	want := []float64{1, 2, 10, 20} // column-major
+	for i, x := range want {
+		if v := r.Float64(); v != x {
+			t.Fatalf("payload[%d] = %g, want %g", i, v, x)
+		}
+	}
+}
+
+func TestTableCodecTruncated(t *testing.T) {
+	tab := GenerateOSM(DefaultOSMConfig(50))
+	w := binio.NewWriter()
+	EncodeTable(w, tab)
+	blob := w.Bytes()
+	for n := 0; n < len(blob); n += 7 {
+		if _, err := DecodeTable(binio.NewReader(blob[:n])); err == nil {
+			t.Fatalf("prefix %d decoded successfully", n)
+		}
+	}
+}

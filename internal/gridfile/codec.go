@@ -1,0 +1,203 @@
+package gridfile
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coax-index/coax/internal/binio"
+)
+
+// Snapshot codec. A grid file serializes as its configuration, the
+// per-dimension boundary vectors, the per-cell offset table, the contiguous
+// row payload, and any live overflow pages (so saving does not force a
+// Compact on an index that concurrent readers may be using). Strides are
+// recomputed on decode rather than trusted from the payload.
+
+// Encode appends the complete grid file state to w.
+func (g *GridFile) Encode(w *binio.Writer) {
+	w.Ints(g.cfg.GridDims)
+	w.Int(g.cfg.SortDim)
+	w.Int(g.cfg.CellsPerDim)
+	w.Int(int(g.cfg.Mode))
+	w.String(g.cfg.Label)
+	w.Int(g.dims)
+	w.Int(g.n)
+	w.Uint64(uint64(len(g.bounds)))
+	for _, b := range g.bounds {
+		w.Float64s(b)
+	}
+	w.Int64s(g.offsets)
+	w.Float64s(g.data)
+
+	cells := make([]int, 0, len(g.overflow))
+	for c := range g.overflow {
+		cells = append(cells, c)
+	}
+	sort.Ints(cells)
+	w.Uint64(uint64(len(cells)))
+	for _, c := range cells {
+		w.Int(c)
+		w.Float64s(g.overflow[c].data)
+	}
+}
+
+// Decode reads a grid file written by Encode, revalidating every structural
+// invariant so a corrupted payload yields an error rather than an index
+// that panics at query time.
+func Decode(r *binio.Reader) (*GridFile, error) {
+	g := &GridFile{}
+	g.cfg.GridDims = r.Ints()
+	g.cfg.SortDim = r.Int()
+	g.cfg.CellsPerDim = r.Int()
+	g.cfg.Mode = BoundsMode(r.Int())
+	g.cfg.Label = r.String()
+	g.dims = r.Int()
+	g.n = r.Int()
+	nBounds := r.Uint64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nBounds != uint64(len(g.cfg.GridDims)) {
+		return nil, fmt.Errorf("gridfile: %d boundary vectors for %d grid dims", nBounds, len(g.cfg.GridDims))
+	}
+	g.bounds = make([][]float64, nBounds)
+	for i := range g.bounds {
+		g.bounds[i] = r.Float64s()
+	}
+	g.offsets = r.Int64s()
+	g.data = r.Float64s()
+
+	nOverflow := r.Uint64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	for i := uint64(0); i < nOverflow; i++ {
+		c := r.Int()
+		page := r.Float64s()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if g.overflow == nil {
+			g.overflow = make(map[int]*overflowPage)
+		}
+		if _, dup := g.overflow[c]; dup {
+			return nil, fmt.Errorf("gridfile: overflow page for cell %d listed twice", c)
+		}
+		g.overflow[c] = &overflowPage{data: page}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.validateDecoded(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validateDecoded checks the invariants Build guarantees by construction.
+func (g *GridFile) validateDecoded() error {
+	if g.dims < 1 {
+		return fmt.Errorf("gridfile: dims %d < 1", g.dims)
+	}
+	if g.cfg.CellsPerDim < 1 {
+		return fmt.Errorf("gridfile: CellsPerDim %d < 1", g.cfg.CellsPerDim)
+	}
+	if g.cfg.Mode != Quantile && g.cfg.Mode != Uniform {
+		return fmt.Errorf("gridfile: unknown bounds mode %d", g.cfg.Mode)
+	}
+	seen := make(map[int]bool, len(g.cfg.GridDims))
+	for _, d := range g.cfg.GridDims {
+		if d < 0 || d >= g.dims {
+			return fmt.Errorf("gridfile: grid dimension %d out of range [0,%d)", d, g.dims)
+		}
+		if seen[d] {
+			return fmt.Errorf("gridfile: grid dimension %d listed twice", d)
+		}
+		seen[d] = true
+	}
+	if g.cfg.SortDim >= g.dims || g.cfg.SortDim < -1 {
+		return fmt.Errorf("gridfile: sort dimension %d out of range", g.cfg.SortDim)
+	}
+	if g.cfg.SortDim >= 0 && seen[g.cfg.SortDim] {
+		return fmt.Errorf("gridfile: sort dimension %d is also a grid dimension", g.cfg.SortDim)
+	}
+
+	nCells := 1
+	g.strides = make([]int, len(g.cfg.GridDims))
+	for i := len(g.cfg.GridDims) - 1; i >= 0; i-- {
+		g.strides[i] = nCells
+		next := nCells * g.cfg.CellsPerDim
+		if next/g.cfg.CellsPerDim != nCells {
+			return fmt.Errorf("gridfile: cell lattice overflows int")
+		}
+		nCells = next
+	}
+	for i, b := range g.bounds {
+		if len(b) != g.cfg.CellsPerDim+1 {
+			return fmt.Errorf("gridfile: boundary vector %d has %d entries, want %d", i, len(b), g.cfg.CellsPerDim+1)
+		}
+		for j := 1; j < len(b); j++ {
+			if !(b[j] >= b[j-1]) { // also rejects NaN
+				return fmt.Errorf("gridfile: boundaries of grid dim %d not ascending at %d", i, j)
+			}
+		}
+	}
+	if len(g.offsets) != nCells+1 {
+		return fmt.Errorf("gridfile: offset table has %d entries, want %d", len(g.offsets), nCells+1)
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("gridfile: offsets must start at 0, got %d", g.offsets[0])
+	}
+	for c := 1; c <= nCells; c++ {
+		if g.offsets[c] < g.offsets[c-1] {
+			return fmt.Errorf("gridfile: offsets not monotone at cell %d", c)
+		}
+	}
+	if len(g.data)%g.dims != 0 {
+		return fmt.Errorf("gridfile: payload length %d not divisible by dims %d", len(g.data), g.dims)
+	}
+	mainRows := len(g.data) / g.dims
+	if g.offsets[nCells] != int64(mainRows) {
+		return fmt.Errorf("gridfile: offsets cover %d rows, payload has %d", g.offsets[nCells], mainRows)
+	}
+	overflowRows := 0
+	for c, page := range g.overflow {
+		if c < 0 || c >= nCells {
+			return fmt.Errorf("gridfile: overflow cell %d out of range [0,%d)", c, nCells)
+		}
+		if len(page.data)%g.dims != 0 {
+			return fmt.Errorf("gridfile: overflow page %d length %d not divisible by dims %d", c, len(page.data), g.dims)
+		}
+		overflowRows += len(page.data) / g.dims
+	}
+	g.inserted = overflowRows
+	if g.n != mainRows+overflowRows {
+		return fmt.Errorf("gridfile: row count %d does not match payload %d + overflow %d", g.n, mainRows, overflowRows)
+	}
+	// The query path binary-searches cell pages on the sort dimension; an
+	// unsorted page would silently drop matching rows, so the invariant is
+	// load-bearing and must be checked, not trusted.
+	if sd := g.cfg.SortDim; sd >= 0 {
+		for c := 0; c < nCells; c++ {
+			if !pageSorted(g.cellPage(c), g.dims, sd) {
+				return fmt.Errorf("gridfile: cell %d not sorted on dimension %d", c, sd)
+			}
+		}
+		for c, page := range g.overflow {
+			if !pageSorted(page.data, g.dims, sd) {
+				return fmt.Errorf("gridfile: overflow page %d not sorted on dimension %d", c, sd)
+			}
+		}
+	}
+	return nil
+}
+
+// pageSorted reports whether a row-major page is non-descending on key.
+func pageSorted(page []float64, dims, key int) bool {
+	for i := dims + key; i < len(page); i += dims {
+		if page[i] < page[i-dims] {
+			return false
+		}
+	}
+	return true
+}

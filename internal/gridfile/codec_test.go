@@ -1,0 +1,151 @@
+package gridfile
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/binio"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+)
+
+func testTable(n, dims int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]string, dims)
+	for i := range cols {
+		cols[i] = string(rune('a' + i))
+	}
+	t := dataset.NewTable(cols)
+	row := make([]float64, dims)
+	for i := 0; i < n; i++ {
+		for d := range row {
+			row[d] = rng.NormFloat64() * float64(d+1)
+		}
+		t.Append(row)
+	}
+	return t
+}
+
+func roundTrip(t *testing.T, g *GridFile) *GridFile {
+	t.Helper()
+	w := binio.NewWriter()
+	g.Encode(w)
+	r := binio.NewReader(w.Bytes())
+	got, err := Decode(r)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return got
+}
+
+func requireSameQueries(t *testing.T, want, got index.Interface, tab *dataset.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 50; q++ {
+		r := index.Full(tab.Dims())
+		for d := 0; d < tab.Dims(); d++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			a, b := rng.NormFloat64()*float64(d+1), rng.NormFloat64()*float64(d+1)
+			if a > b {
+				a, b = b, a
+			}
+			r.Min[d], r.Max[d] = a, b
+		}
+		if w, g := index.Count(want, r), index.Count(got, r); w != g {
+			t.Fatalf("query %d %v: %d != %d", q, r, w, g)
+		}
+	}
+	if w, g := index.Count(want, index.Full(tab.Dims())), got.Len(); w != g {
+		t.Fatalf("full scan %d != Len %d", w, g)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tab := testTable(5000, 3, 1)
+	g, err := Build(tab, Config{GridDims: []int{0, 2}, SortDim: 1, CellsPerDim: 8, Mode: Quantile, Label: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, g)
+	if got.Name() != "test" || got.Len() != g.Len() || got.Dims() != g.Dims() || got.NumCells() != g.NumCells() {
+		t.Fatalf("metadata mismatch after round trip")
+	}
+	requireSameQueries(t, g, got, tab)
+}
+
+func TestCodecRoundTripWithOverflow(t *testing.T) {
+	tab := testTable(2000, 3, 2)
+	g, err := Build(tab, Config{GridDims: []int{0, 1}, SortDim: 2, CellsPerDim: 4, Mode: Uniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := testTable(200, 3, 4)
+	for i := 0; i < extra.Len(); i++ {
+		if err := g.Insert(extra.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+		tab.Append(extra.Row(i))
+	}
+	got := roundTrip(t, g)
+	if got.Inserted() != g.Inserted() {
+		t.Fatalf("Inserted %d != %d", got.Inserted(), g.Inserted())
+	}
+	requireSameQueries(t, g, got, tab)
+	// The decoded index must stay mutable: Compact and further inserts.
+	got.Compact()
+	if got.Inserted() != 0 || got.Len() != g.Len() {
+		t.Fatalf("Compact broke decoded grid: inserted=%d len=%d", got.Inserted(), got.Len())
+	}
+	requireSameQueries(t, g, got, tab)
+}
+
+// TestCodecRejectsCorruptStructure hand-corrupts decoded-field invariants
+// that a CRC pass cannot rule out (the CRC guards bit rot, these guard
+// adversarial or buggy writers).
+func TestCodecRejectsCorruptStructure(t *testing.T) {
+	tab := testTable(500, 2, 5)
+	g, err := Build(tab, Config{GridDims: []int{0}, SortDim: 1, CellsPerDim: 4, Mode: Quantile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*GridFile){
+		"row count":      func(m *GridFile) { m.n++ },
+		"sort==grid dim": func(m *GridFile) { m.cfg.SortDim = 0 },
+		"offset start":   func(m *GridFile) { m.offsets[0] = 1 },
+		"offset order":   func(m *GridFile) { m.offsets[1] = m.offsets[len(m.offsets)-1] + 5 },
+		"bounds order":   func(m *GridFile) { m.bounds[0][0] = m.bounds[0][len(m.bounds[0])-1] + 1 },
+		"grid dim range": func(m *GridFile) { m.cfg.GridDims[0] = 7 },
+		"unsorted cell": func(m *GridFile) {
+			// Break the in-cell sort order of the first cell with ≥ 2 rows.
+			for c := 0; c < m.NumCells(); c++ {
+				if m.offsets[c+1]-m.offsets[c] >= 2 {
+					page := m.cellPage(c)
+					page[m.cfg.SortDim], page[m.dims+m.cfg.SortDim] = page[m.dims+m.cfg.SortDim]+1, page[m.cfg.SortDim]
+					return
+				}
+			}
+			panic("no cell with two rows")
+		},
+	}
+	for name, mutate := range mutations {
+		w := binio.NewWriter()
+		clone := *g
+		clone.cfg.GridDims = append([]int(nil), g.cfg.GridDims...)
+		clone.bounds = make([][]float64, len(g.bounds))
+		for i := range g.bounds {
+			clone.bounds[i] = append([]float64(nil), g.bounds[i]...)
+		}
+		clone.offsets = append([]int64(nil), g.offsets...)
+		clone.data = append([]float64(nil), g.data...)
+		mutate(&clone)
+		clone.Encode(w)
+		if _, err := Decode(binio.NewReader(w.Bytes())); err == nil {
+			t.Errorf("%s: Decode accepted corrupt structure", name)
+		}
+	}
+}

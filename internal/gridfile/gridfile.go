@@ -256,6 +256,16 @@ func (g *GridFile) Dims() int { return g.dims }
 // NumCells reports the total number of cells in the lattice.
 func (g *GridFile) NumCells() int { return len(g.offsets) - 1 }
 
+// GridDims returns a copy of the columns that receive grid lines.
+func (g *GridFile) GridDims() []int {
+	out := make([]int, len(g.cfg.GridDims))
+	copy(out, g.cfg.GridDims)
+	return out
+}
+
+// SortDim reports the in-cell sort dimension, or -1 when disabled.
+func (g *GridFile) SortDim() int { return g.cfg.SortDim }
+
 // CellSizes returns the row count of every cell (main plus overflow) — the
 // "page length" distribution of Figure 4a.
 func (g *GridFile) CellSizes() []int {

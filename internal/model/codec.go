@@ -1,0 +1,60 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coax-index/coax/internal/binio"
+)
+
+// Snapshot codec for model parameters. Linear models are two IEEE-754
+// values; splines are the knot vector followed by one line per segment.
+
+// Encode appends the line's parameters to w.
+func (l Linear) Encode(w *binio.Writer) {
+	w.Float64(l.Slope)
+	w.Float64(l.Intercept)
+}
+
+// DecodeLinear reads a line written by Linear.Encode.
+func DecodeLinear(r *binio.Reader) Linear {
+	return Linear{Slope: r.Float64(), Intercept: r.Float64()}
+}
+
+// Encode appends the spline's knots and segments to w.
+func (s *Spline) Encode(w *binio.Writer) {
+	w.Float64s(s.Knots)
+	w.Uint64(uint64(len(s.Segs)))
+	for _, seg := range s.Segs {
+		seg.Encode(w)
+	}
+}
+
+// DecodeSpline reads a spline written by Spline.Encode and checks its
+// structural invariants: len(Knots) == len(Segs)+1 with ascending knots.
+func DecodeSpline(r *binio.Reader) (*Spline, error) {
+	sp := &Spline{Knots: r.Float64s()}
+	nSegs := r.Uint64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nSegs == 0 || uint64(len(sp.Knots)) != nSegs+1 {
+		return nil, fmt.Errorf("model: spline has %d knots for %d segments", len(sp.Knots), nSegs)
+	}
+	sp.Segs = make([]Linear, nSegs)
+	for i := range sp.Segs {
+		sp.Segs[i] = DecodeLinear(r)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(sp.Knots[0]) {
+		return nil, fmt.Errorf("model: spline knot 0 is NaN")
+	}
+	for i := 1; i < len(sp.Knots); i++ {
+		if sp.Knots[i] < sp.Knots[i-1] || math.IsNaN(sp.Knots[i]) {
+			return nil, fmt.Errorf("model: spline knots not ascending at %d", i)
+		}
+	}
+	return sp, nil
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/coax-index/coax/internal/binio"
+)
+
+func TestLinearCodecRoundTrip(t *testing.T) {
+	l := Linear{Slope: -3.25, Intercept: 17}
+	w := binio.NewWriter()
+	l.Encode(w)
+	r := binio.NewReader(w.Bytes())
+	if got := DecodeLinear(r); got != l {
+		t.Fatalf("got %+v, want %+v", got, l)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplineCodecRoundTrip(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ys := []float64{0, 1, 4, 9, 16, 25, 36, 49, 64, 81}
+	sp, err := FitSplineMaxError(xs, ys, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := binio.NewWriter()
+	sp.Encode(w)
+	r := binio.NewReader(w.Bytes())
+	got, err := DecodeSpline(r)
+	if err != nil {
+		t.Fatalf("DecodeSpline: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSegments() != sp.NumSegments() {
+		t.Fatalf("segments %d, want %d", got.NumSegments(), sp.NumSegments())
+	}
+	for _, x := range []float64{-1, 0, 2.5, 4.7, 9, 12} {
+		if got.Predict(x) != sp.Predict(x) {
+			t.Fatalf("Predict(%g) diverges", x)
+		}
+	}
+}
+
+func TestSplineCodecRejectsBadStructure(t *testing.T) {
+	// Knot count disagrees with segment count.
+	w := binio.NewWriter()
+	w.Float64s([]float64{0, 1, 2}) // 3 knots
+	w.Uint64(1)                    // but 1 segment wants 2
+	Linear{}.Encode(w)
+	if _, err := DecodeSpline(binio.NewReader(w.Bytes())); err == nil {
+		t.Fatal("mismatched knots accepted")
+	}
+
+	// Knots out of order.
+	w = binio.NewWriter()
+	w.Float64s([]float64{2, 1})
+	w.Uint64(1)
+	Linear{}.Encode(w)
+	if _, err := DecodeSpline(binio.NewReader(w.Bytes())); err == nil {
+		t.Fatal("descending knots accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/binio"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+)
+
+func codecTable(n, dims int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]string, dims)
+	for i := range cols {
+		cols[i] = string(rune('a' + i))
+	}
+	t := dataset.NewTable(cols)
+	row := make([]float64, dims)
+	for i := 0; i < n; i++ {
+		for d := range row {
+			row[d] = rng.Float64() * 100
+		}
+		t.Append(row)
+	}
+	return t
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tab := codecTable(3000, 3, 1)
+	rt, err := Bulk(tab, Config{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := binio.NewWriter()
+	rt.Encode(w)
+	r := binio.NewReader(w.Bytes())
+	got, err := Decode(r)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got.Len() != rt.Len() || got.Dims() != rt.Dims() || got.Height() != rt.Height() || got.NumNodes() != rt.NumNodes() {
+		t.Fatalf("shape mismatch: len %d/%d height %d/%d nodes %d/%d",
+			got.Len(), rt.Len(), got.Height(), rt.Height(), got.NumNodes(), rt.NumNodes())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 50; q++ {
+		r := index.Full(3)
+		for d := 0; d < 3; d++ {
+			a, b := rng.Float64()*100, rng.Float64()*100
+			if a > b {
+				a, b = b, a
+			}
+			r.Min[d], r.Max[d] = a, b
+		}
+		if w, g := index.Count(rt, r), index.Count(got, r); w != g {
+			t.Fatalf("query %d: %d != %d", q, w, g)
+		}
+	}
+	// The decoded tree must remain insertable (internal boxes were
+	// recomputed, not trusted from the payload).
+	if err := got.Insert([]float64{50, 50, 50}); err != nil {
+		t.Fatalf("Insert into decoded tree: %v", err)
+	}
+	if got.Len() != rt.Len()+1 {
+		t.Fatalf("Len after insert %d, want %d", got.Len(), rt.Len()+1)
+	}
+}
+
+func TestCodecEmptyTree(t *testing.T) {
+	rt, err := New(2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := binio.NewWriter()
+	rt.Encode(w)
+	got, err := Decode(binio.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Len() != 0 || got.Height() != 1 {
+		t.Fatalf("empty tree decoded to len %d height %d", got.Len(), got.Height())
+	}
+}
+
+// TestCodecRejectsHugeCounts hand-crafts headers with absurd capacities and
+// child counts: Decode must error before attempting the implied allocation.
+func TestCodecRejectsHugeCounts(t *testing.T) {
+	huge := binio.NewWriter()
+	huge.Int(1 << 62) // MaxEntries
+	huge.Int(0)       // MinEntries (defaulted)
+	huge.Int(2)       // dims
+	huge.Int(0)       // n
+	huge.Int(2)       // height
+	huge.Bool(false)  // internal root
+	huge.Uint64(1 << 62)
+	if _, err := Decode(binio.NewReader(huge.Bytes())); err == nil {
+		t.Fatal("huge MaxEntries accepted")
+	}
+
+	manyChildren := binio.NewWriter()
+	manyChildren.Int(1 << 19) // MaxEntries: passes the capacity cap
+	manyChildren.Int(0)
+	manyChildren.Int(2)
+	manyChildren.Int(0)
+	manyChildren.Int(2)
+	manyChildren.Bool(false)
+	manyChildren.Uint64(1 << 18) // children far beyond the remaining bytes
+	if _, err := Decode(binio.NewReader(manyChildren.Bytes())); err == nil {
+		t.Fatal("child count beyond payload accepted")
+	}
+}
+
+func TestCodecRejectsCorruptStructure(t *testing.T) {
+	tab := codecTable(200, 2, 3)
+	rt, err := Bulk(tab, Config{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*RTree){
+		"row count": func(m *RTree) { m.n++ },
+		"height":    func(m *RTree) { m.height++ },
+		"capacity":  func(m *RTree) { m.cfg.MaxEntries = 2 },
+	} {
+		clone := *rt
+		mutate(&clone)
+		w := binio.NewWriter()
+		clone.Encode(w)
+		if _, err := Decode(binio.NewReader(w.Bytes())); err == nil {
+			t.Errorf("%s: Decode accepted corrupt structure", name)
+		}
+	}
+}

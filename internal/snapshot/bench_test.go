@@ -1,0 +1,73 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/snapshot"
+)
+
+// The benchmarks quantify the point of the subsystem: loading a snapshot
+// must cost a small fraction of rebuilding the index from raw rows.
+// Compare:
+//
+//	go test ./internal/snapshot -bench 'Build|Save|Load' -benchtime 5x
+
+func benchRows(b *testing.B) int {
+	if testing.Short() {
+		return 20000
+	}
+	return 200000
+}
+
+func benchIndex(b *testing.B) (*dataset.Table, *core.COAX) {
+	b.Helper()
+	tab := dataset.GenerateOSM(dataset.DefaultOSMConfig(benchRows(b)))
+	idx := buildIndex(b, tab, core.OutlierGrid)
+	return tab, idx
+}
+
+func BenchmarkBuild(b *testing.B) {
+	tab := dataset.GenerateOSM(dataset.DefaultOSMConfig(benchRows(b)))
+	opt := core.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(tab, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSave(b *testing.B) {
+	_, idx := benchIndex(b)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := snapshot.Encode(&buf, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkLoad(b *testing.B) {
+	_, idx := benchIndex(b)
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, idx); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.Decode(bytes.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package snapshot persists a built COAX index to a versioned,
+// self-describing binary file and loads it back, so the expensive build —
+// soft-FD detection, inlier/outlier split, grid-file and R-tree
+// construction — runs once while every subsequent process start is a
+// sequential read.
+//
+// # On-disk format (version 1)
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns.
+//
+//	header:
+//	  magic          [8]byte  "COAXSNAP"
+//	  formatVersion  uint32   currently 1
+//	  sectionCount   uint32
+//	sectionCount × section:
+//	  id             [4]byte  ASCII section tag
+//	  payloadLen     uint64
+//	  payload        [payloadLen]byte
+//	  crc32c         uint32   Castagnoli CRC of payload
+//
+// A COAX snapshot carries, in order: "meta" (scalar state, partition
+// bounds, build parameters), "sofd" (soft-FD groups, pair models, and
+// margins — loading it is what makes re-detection unnecessary), "prim"
+// (the primary grid file; omitted when every row was an outlier) and
+// "outl" (the outlier grid file or R-tree; omitted when every row was an
+// inlier). A standalone table snapshot carries a single "tabl" section
+// with the column-major payload of internal/dataset.EncodeTable.
+//
+// Section payloads are produced and consumed by the per-layer codecs
+// (internal/core, internal/softfd, internal/gridfile, internal/rtree,
+// internal/dataset over internal/binio primitives); this package owns only
+// the framing: magic, version, per-section lengths, and checksums. Decode
+// verifies every checksum before parsing a byte of payload, so truncation
+// and corruption surface as errors — never panics — and unknown trailing
+// sections written by a future minor revision are skipped, not fatal.
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/coax-index/coax/internal/binio"
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+var magic = [8]byte{'C', 'O', 'A', 'X', 'S', 'N', 'A', 'P'}
+
+// Section tags of format version 1.
+const (
+	secMeta     = "meta"
+	secSoftFD   = "sofd"
+	secPrimary  = "prim"
+	secOutliers = "outl"
+	secTable    = "tabl"
+)
+
+// Sentinel errors; Decode wraps them with positional detail.
+var (
+	ErrBadMagic  = errors.New("snapshot: bad magic (not a COAX snapshot)")
+	ErrVersion   = errors.New("snapshot: unsupported format version")
+	ErrChecksum  = errors.New("snapshot: section checksum mismatch")
+	ErrTruncated = errors.New("snapshot: truncated file")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes idx to w in snapshot format.
+func Encode(w io.Writer, idx *core.COAX) error {
+	type section struct {
+		id   string
+		emit func(*binio.Writer) error
+	}
+	sections := []section{
+		{secMeta, func(bw *binio.Writer) error { idx.EncodeMeta(bw); return nil }},
+		{secSoftFD, func(bw *binio.Writer) error { idx.EncodeFD(bw); return nil }},
+	}
+	if idx.HasPrimary() {
+		sections = append(sections, section{secPrimary, func(bw *binio.Writer) error { idx.EncodePrimary(bw); return nil }})
+	}
+	if idx.HasOutliers() {
+		sections = append(sections, section{secOutliers, idx.EncodeOutliers})
+	}
+
+	if err := writeHeader(w, len(sections)); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		bw := binio.NewWriter()
+		if err := s.emit(bw); err != nil {
+			return err
+		}
+		if err := writeSection(w, s.id, bw.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads a COAX snapshot and reassembles the index. The returned
+// index answers queries identically to the one that was saved and is safe
+// for concurrent readers.
+func Decode(r io.Reader) (*core.COAX, error) {
+	sections, err := readFile(r)
+	if err != nil {
+		return nil, err
+	}
+	metaPayload, ok := sections[secMeta]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: missing %q section", secMeta)
+	}
+	idx, err := decodeSection(secMeta, metaPayload, core.DecodeMeta)
+	if err != nil {
+		return nil, err
+	}
+	fdPayload, ok := sections[secSoftFD]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: missing %q section", secSoftFD)
+	}
+	if err := attachSection(secSoftFD, fdPayload, idx.DecodeAttachFD); err != nil {
+		return nil, err
+	}
+	if payload, ok := sections[secPrimary]; ok {
+		if err := attachSection(secPrimary, payload, idx.DecodeAttachPrimary); err != nil {
+			return nil, err
+		}
+	}
+	if payload, ok := sections[secOutliers]; ok {
+		if err := attachSection(secOutliers, payload, idx.DecodeAttachOutliers); err != nil {
+			return nil, err
+		}
+	}
+	if err := idx.FinishDecode(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// EncodeTable writes a standalone table snapshot — the column-major
+// payload used to persist datasets alongside their indexes.
+func EncodeTable(w io.Writer, t *dataset.Table) error {
+	bw := binio.NewWriter()
+	dataset.EncodeTable(bw, t)
+	if err := writeHeader(w, 1); err != nil {
+		return err
+	}
+	return writeSection(w, secTable, bw.Bytes())
+}
+
+// DecodeTable reads a table snapshot written by EncodeTable.
+func DecodeTable(r io.Reader) (*dataset.Table, error) {
+	sections, err := readFile(r)
+	if err != nil {
+		return nil, err
+	}
+	payload, ok := sections[secTable]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: missing %q section", secTable)
+	}
+	return decodeSection(secTable, payload, dataset.DecodeTable)
+}
+
+// SectionInfo describes one framed section without decoding its payload.
+type SectionInfo struct {
+	ID  string
+	Len uint64
+	CRC uint32
+}
+
+// Info is the frame-level description returned by Inspect.
+type Info struct {
+	Version  uint32
+	Sections []SectionInfo
+}
+
+// Inspect reads and checksums the snapshot frame without reassembling the
+// index; coaxstore's info subcommand uses it to describe a file cheaply.
+func Inspect(r io.Reader) (Info, error) {
+	version, count, err := readHeader(r)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{Version: version}
+	for i := uint32(0); i < count; i++ {
+		id, payload, crc, err := readSection(r)
+		if err != nil {
+			return Info{}, err
+		}
+		info.Sections = append(info.Sections, SectionInfo{
+			ID:  id,
+			Len: uint64(len(payload)),
+			CRC: crc,
+		})
+	}
+	return info, nil
+}
+
+// --- framing ---
+
+func writeHeader(w io.Writer, sections int) error {
+	bw := binio.NewWriter()
+	bw.Uint32(Version)
+	bw.Uint32(uint32(sections))
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(bw.Bytes())
+	return err
+}
+
+func writeSection(w io.Writer, id string, payload []byte) error {
+	if len(id) != 4 {
+		return fmt.Errorf("snapshot: section id %q must be 4 bytes", id)
+	}
+	bw := binio.NewWriter()
+	bw.Uint64(uint64(len(payload)))
+	if _, err := io.WriteString(w, id); err != nil {
+		return err
+	}
+	if _, err := w.Write(bw.Bytes()); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	tail := binio.NewWriter()
+	tail.Uint32(crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(tail.Bytes())
+	return err
+}
+
+func readHeader(r io.Reader) (version, sections uint32, err error) {
+	var head [16]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
+	}
+	if !bytes.Equal(head[:8], magic[:]) {
+		return 0, 0, ErrBadMagic
+	}
+	hr := binio.NewReader(head[8:])
+	version = hr.Uint32()
+	sections = hr.Uint32()
+	if version != Version {
+		return 0, 0, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, version, Version)
+	}
+	return version, sections, nil
+}
+
+// readSection reads one framed section, verifying its checksum before the
+// payload is handed to any parser; the verified CRC is returned so callers
+// need not recompute it.
+func readSection(r io.Reader) (id string, payload []byte, crc uint32, err error) {
+	var head [12]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return "", nil, 0, fmt.Errorf("%w: reading section header: %v", ErrTruncated, err)
+	}
+	id = string(head[:4])
+	length := binio.NewReader(head[4:]).Uint64()
+	// Copy incrementally rather than pre-allocating `length` bytes: a
+	// corrupted length then costs at most the real file size before the
+	// truncation error fires.
+	var buf bytes.Buffer
+	if n, err := io.CopyN(&buf, r, int64(length)); err != nil || uint64(n) != length {
+		return "", nil, 0, fmt.Errorf("%w: section %q declares %d payload bytes, read %d", ErrTruncated, id, length, buf.Len())
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return "", nil, 0, fmt.Errorf("%w: reading section %q checksum: %v", ErrTruncated, id, err)
+	}
+	payload = buf.Bytes()
+	want := binio.NewReader(tail[:]).Uint32()
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return "", nil, 0, fmt.Errorf("%w: section %q has CRC %#08x, want %#08x", ErrChecksum, id, got, want)
+	}
+	return id, payload, want, nil
+}
+
+// readFile reads the whole frame into a section map. Duplicate sections are
+// rejected; unknown ids are tolerated (forward compatibility for additive
+// revisions that keep the major version).
+func readFile(r io.Reader) (map[string][]byte, error) {
+	_, count, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	sections := make(map[string][]byte, count)
+	for i := uint32(0); i < count; i++ {
+		id, payload, _, err := readSection(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := sections[id]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate section %q", id)
+		}
+		sections[id] = payload
+	}
+	return sections, nil
+}
+
+// decodeSection parses one payload with a constructor-style codec and
+// requires the payload to be consumed exactly.
+func decodeSection[T any](id string, payload []byte, parse func(*binio.Reader) (T, error)) (T, error) {
+	br := binio.NewReader(payload)
+	v, err := parse(br)
+	if err != nil {
+		var zero T
+		return zero, fmt.Errorf("snapshot: section %q: %w", id, err)
+	}
+	if err := br.Close(); err != nil {
+		var zero T
+		return zero, fmt.Errorf("snapshot: section %q: %w", id, err)
+	}
+	return v, nil
+}
+
+// attachSection parses one payload with an attach-style codec.
+func attachSection(id string, payload []byte, attach func(*binio.Reader) error) error {
+	br := binio.NewReader(payload)
+	if err := attach(br); err != nil {
+		return fmt.Errorf("snapshot: section %q: %w", id, err)
+	}
+	if err := br.Close(); err != nil {
+		return fmt.Errorf("snapshot: section %q: %w", id, err)
+	}
+	return nil
+}

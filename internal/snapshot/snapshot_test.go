@@ -1,0 +1,346 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/snapshot"
+	"github.com/coax-index/coax/internal/softfd"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// testTable builds a small synthetic table of the named benchmark dataset.
+func testTable(t testing.TB, kind string, rows int) *dataset.Table {
+	t.Helper()
+	switch kind {
+	case "osm":
+		return dataset.GenerateOSM(dataset.DefaultOSMConfig(rows))
+	case "airline":
+		return dataset.GenerateAirline(dataset.DefaultAirlineConfig(rows))
+	default:
+		t.Fatalf("unknown dataset %q", kind)
+		return nil
+	}
+}
+
+func buildIndex(t testing.TB, tab *dataset.Table, kind core.OutlierIndexKind) *core.COAX {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.OutlierKind = kind
+	opt.SoftFD.SampleCount = 5000 // keep detection fast in tests
+	idx, err := core.Build(tab, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return idx
+}
+
+// testQueries mixes point, kNN-range, and partial-dimension rectangles so
+// the round-trip comparison exercises primary, outlier, and translated
+// probes.
+func testQueries(tab *dataset.Table) []index.Rect {
+	g := workload.NewGenerator(tab, 7)
+	qs := g.PointQueries(25)
+	qs = append(qs, g.KNNRects(25, 64)...)
+	for d := 0; d < tab.Dims(); d++ {
+		qs = append(qs, g.PartialRects(5, []int{d}, 0.2)...)
+	}
+	qs = append(qs, index.Full(tab.Dims()))
+	return qs
+}
+
+func saveToBytes(t testing.TB, idx *core.COAX) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, idx); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// sortRows canonicalises a Collect result for order-insensitive comparison.
+func sortRows(rows [][]float64) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+func requireSameResults(t *testing.T, want, got index.Interface, queries []index.Rect) {
+	t.Helper()
+	for qi, q := range queries {
+		if w, g := index.Count(want, q), index.Count(got, q); w != g {
+			t.Fatalf("query %d %v: Count %d != %d after round trip", qi, q, w, g)
+		}
+		wr, gr := index.Collect(want, q), index.Collect(got, q)
+		sortRows(wr)
+		sortRows(gr)
+		if len(wr) != len(gr) {
+			t.Fatalf("query %d: Collect %d rows != %d rows", qi, len(wr), len(gr))
+		}
+		for i := range wr {
+			for k := range wr[i] {
+				if wr[i][k] != gr[i][k] {
+					t.Fatalf("query %d row %d: %v != %v", qi, i, wr[i], gr[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTrip is the acceptance-criteria property test: for both
+// datasets and both outlier index kinds, a decoded snapshot must answer
+// Count and Collect bit-identically to the freshly built index.
+func TestRoundTrip(t *testing.T) {
+	for _, ds := range []string{"osm", "airline"} {
+		for _, kind := range []core.OutlierIndexKind{core.OutlierGrid, core.OutlierRTree} {
+			name := fmt.Sprintf("%s/%v", ds, kindName(kind))
+			t.Run(name, func(t *testing.T) {
+				tab := testTable(t, ds, 20000)
+				idx := buildIndex(t, tab, kind)
+				blob := saveToBytes(t, idx)
+				loaded, err := snapshot.Decode(bytes.NewReader(blob))
+				if err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+				if loaded.Len() != idx.Len() || loaded.Dims() != idx.Dims() {
+					t.Fatalf("loaded shape %dx%d, want %dx%d", loaded.Len(), loaded.Dims(), idx.Len(), idx.Dims())
+				}
+				ws, ls := idx.BuildStats(), loaded.BuildStats()
+				if ws.PrimaryRows != ls.PrimaryRows || ws.OutlierRows != ls.OutlierRows || ws.SortDim != ls.SortDim || len(ws.Groups) != len(ls.Groups) {
+					t.Fatalf("loaded stats %+v diverge from built %+v", ls, ws)
+				}
+				requireSameResults(t, idx, loaded, testQueries(tab))
+			})
+		}
+	}
+}
+
+func kindName(k core.OutlierIndexKind) string {
+	if k == core.OutlierRTree {
+		return "rtree"
+	}
+	return "grid"
+}
+
+// TestRoundTripAfterInserts covers live overflow pages: an index that has
+// absorbed inserts since its build must snapshot without a forced Compact.
+func TestRoundTripAfterInserts(t *testing.T) {
+	tab := testTable(t, "osm", 10000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	extra := dataset.GenerateOSM(dataset.OSMConfig{
+		N: 500, OutlierFrac: 0.3, NoiseFrac: 0.01, EditRate: 2.0,
+		Clusters: 4, ClusterStd: 0.35, UniformFrac: 0.15, Seed: 99,
+	})
+	for i := 0; i < extra.Len(); i++ {
+		if err := idx.Insert(extra.Row(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	loaded, err := snapshot.Decode(bytes.NewReader(saveToBytes(t, idx)))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("loaded %d rows, want %d", loaded.Len(), idx.Len())
+	}
+	requireSameResults(t, idx, loaded, testQueries(tab))
+}
+
+// TestRoundTripSpline covers persisted spline models (§7.2 extension).
+func TestRoundTripSpline(t *testing.T) {
+	tab := testTable(t, "osm", 10000)
+	opt := core.DefaultOptions()
+	opt.SoftFD.SampleCount = 5000
+	opt.SoftFD.Kind = softfd.ModelSpline
+	idx, err := core.Build(tab, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	loaded, err := snapshot.Decode(bytes.NewReader(saveToBytes(t, idx)))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	requireSameResults(t, idx, loaded, testQueries(tab))
+}
+
+// TestConcurrentReaders verifies a loaded index serves parallel readers:
+// the structure must be fully materialised by Decode, with no lazy state
+// mutated on the query path.
+func TestConcurrentReaders(t *testing.T) {
+	tab := testTable(t, "airline", 10000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	loaded, err := snapshot.Decode(bytes.NewReader(saveToBytes(t, idx)))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	queries := testQueries(tab)
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = index.Count(idx, q)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				if got := index.Count(loaded, q); got != want[i] {
+					errs <- fmt.Errorf("query %d: got %d, want %d", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeTruncated feeds every interesting prefix of a valid snapshot
+// to Decode; each must fail with an error — never panic, never succeed.
+func TestDecodeTruncated(t *testing.T) {
+	tab := testTable(t, "osm", 5000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob := saveToBytes(t, idx)
+
+	lengths := []int{0}
+	for n := 1; n < len(blob); n *= 2 {
+		lengths = append(lengths, n)
+	}
+	for n := 0; n < len(blob); n += 509 { // prime stride: hits all frame phases
+		lengths = append(lengths, n)
+	}
+	lengths = append(lengths, len(blob)-1)
+	for _, n := range lengths {
+		if n >= len(blob) {
+			continue
+		}
+		if _, err := snapshot.Decode(bytes.NewReader(blob[:n])); err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded", n, len(blob))
+		}
+	}
+	if _, err := snapshot.Decode(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("Decode of intact snapshot failed: %v", err)
+	}
+}
+
+// TestDecodeCorrupt flips single bytes throughout the file; CRC-32C must
+// catch every payload flip and the frame checks every header flip.
+func TestDecodeCorrupt(t *testing.T) {
+	tab := testTable(t, "osm", 5000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob := saveToBytes(t, idx)
+
+	positions := []int{}
+	for p := 0; p < len(blob); p += 251 {
+		positions = append(positions, p)
+	}
+	positions = append(positions, len(blob)-1)
+	for _, p := range positions {
+		mutated := bytes.Clone(blob)
+		mutated[p] ^= 0xFF
+		if _, err := snapshot.Decode(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("Decode accepted snapshot with byte %d flipped", p)
+		}
+	}
+}
+
+// TestDecodeBadCRC targets the checksum path specifically: corrupt one
+// payload byte and require the sentinel ErrChecksum.
+func TestDecodeBadCRC(t *testing.T) {
+	tab := testTable(t, "osm", 5000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob := saveToBytes(t, idx)
+	// Byte 28 sits inside the first section's payload (16-byte header +
+	// 12-byte section header).
+	blob[28] ^= 0x01
+	_, err := snapshot.Decode(bytes.NewReader(blob))
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	tab := testTable(t, "osm", 5000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob := saveToBytes(t, idx)
+	blob[8] = snapshot.Version + 1 // little-endian version field at offset 8
+	_, err := snapshot.Decode(bytes.NewReader(blob))
+	if !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	_, err := snapshot.Decode(bytes.NewReader([]byte("NOTACOAXFILE....")))
+	if !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	tab := testTable(t, "airline", 5000)
+	idx := buildIndex(t, tab, core.OutlierRTree)
+	blob := saveToBytes(t, idx)
+	info, err := snapshot.Inspect(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Version != snapshot.Version {
+		t.Fatalf("version %d, want %d", info.Version, snapshot.Version)
+	}
+	ids := make([]string, len(info.Sections))
+	var total uint64
+	for i, s := range info.Sections {
+		ids[i] = s.ID
+		total += s.Len
+	}
+	want := []string{"meta", "sofd", "prim", "outl"}
+	if fmt.Sprint(ids) != fmt.Sprint(want) {
+		t.Fatalf("sections %v, want %v", ids, want)
+	}
+	if total == 0 || total >= uint64(len(blob)) {
+		t.Fatalf("implausible total payload %d for %d-byte file", total, len(blob))
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tab := testTable(t, "airline", 3000)
+	var buf bytes.Buffer
+	if err := snapshot.EncodeTable(&buf, tab); err != nil {
+		t.Fatalf("EncodeTable: %v", err)
+	}
+	got, err := snapshot.DecodeTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeTable: %v", err)
+	}
+	if got.Len() != tab.Len() || got.Dims() != tab.Dims() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Len(), got.Dims(), tab.Len(), tab.Dims())
+	}
+	for i, c := range tab.Cols {
+		if got.Cols[i] != c {
+			t.Fatalf("column %d named %q, want %q", i, got.Cols[i], c)
+		}
+	}
+	for i := range tab.Data {
+		if got.Data[i] != tab.Data[i] {
+			t.Fatalf("payload differs at %d", i)
+		}
+	}
+}

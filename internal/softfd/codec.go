@@ -1,0 +1,147 @@
+package softfd
+
+import (
+	"fmt"
+
+	"github.com/coax-index/coax/internal/binio"
+	"github.com/coax-index/coax/internal/model"
+)
+
+// Snapshot codec for detection results. A persisted Result is what lets a
+// loaded COAX index answer translated queries without re-running Detect.
+
+// EncodeResult appends the full detection result to w.
+func EncodeResult(w *binio.Writer, res Result) {
+	w.Uint64(uint64(len(res.Groups)))
+	for _, g := range res.Groups {
+		encodeGroup(w, g)
+	}
+	w.Uint64(uint64(len(res.Pairs)))
+	for _, p := range res.Pairs {
+		encodePairModel(w, p)
+	}
+}
+
+// DecodeResult reads a result written by EncodeResult. dims bounds the
+// column indices; pass a negative value to skip the bound check.
+func DecodeResult(r *binio.Reader, dims int) (Result, error) {
+	var res Result
+	nGroups := r.Uint64()
+	if r.Err() != nil {
+		return Result{}, r.Err()
+	}
+	for i := uint64(0); i < nGroups; i++ {
+		g, err := decodeGroup(r, dims)
+		if err != nil {
+			return Result{}, fmt.Errorf("softfd: group %d: %w", i, err)
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	nPairs := r.Uint64()
+	if r.Err() != nil {
+		return Result{}, r.Err()
+	}
+	for i := uint64(0); i < nPairs; i++ {
+		p, err := decodePairModel(r, dims)
+		if err != nil {
+			return Result{}, fmt.Errorf("softfd: pair %d: %w", i, err)
+		}
+		res.Pairs = append(res.Pairs, p)
+	}
+	return res, nil
+}
+
+func encodeGroup(w *binio.Writer, g Group) {
+	w.Int(g.Predictor)
+	w.Ints(g.Members)
+	w.Uint64(uint64(len(g.Models)))
+	for _, m := range g.Models {
+		encodePairModel(w, m)
+	}
+}
+
+func decodeGroup(r *binio.Reader, dims int) (Group, error) {
+	g := Group{Predictor: r.Int(), Members: r.Ints()}
+	nModels := r.Uint64()
+	if r.Err() != nil {
+		return Group{}, r.Err()
+	}
+	for i := uint64(0); i < nModels; i++ {
+		m, err := decodePairModel(r, dims)
+		if err != nil {
+			return Group{}, err
+		}
+		g.Models = append(g.Models, m)
+	}
+	if !validCol(g.Predictor, dims) {
+		return Group{}, fmt.Errorf("predictor %d out of range [0,%d)", g.Predictor, dims)
+	}
+	seen := make(map[int]bool, len(g.Members))
+	for _, m := range g.Members {
+		if !validCol(m, dims) {
+			return Group{}, fmt.Errorf("member %d out of range [0,%d)", m, dims)
+		}
+		if seen[m] {
+			return Group{}, fmt.Errorf("member %d listed twice", m)
+		}
+		seen[m] = true
+	}
+	if !seen[g.Predictor] {
+		return Group{}, fmt.Errorf("predictor %d not among members", g.Predictor)
+	}
+	for _, m := range g.Models {
+		if m.X != g.Predictor {
+			return Group{}, fmt.Errorf("model %d→%d does not start at predictor %d", m.X, m.D, g.Predictor)
+		}
+		if !seen[m.D] {
+			return Group{}, fmt.Errorf("model dependent %d not among members", m.D)
+		}
+	}
+	return g, nil
+}
+
+func encodePairModel(w *binio.Writer, p PairModel) {
+	w.Int(p.X)
+	w.Int(p.D)
+	p.Model.Encode(w)
+	w.Bool(p.Spline != nil)
+	if p.Spline != nil {
+		p.Spline.Encode(w)
+	}
+	w.Float64(p.EpsLB)
+	w.Float64(p.EpsUB)
+	w.Float64(p.R2)
+	w.Float64(p.Inlier)
+}
+
+func decodePairModel(r *binio.Reader, dims int) (PairModel, error) {
+	p := PairModel{X: r.Int(), D: r.Int(), Model: model.DecodeLinear(r)}
+	if r.Bool() {
+		sp, err := model.DecodeSpline(r)
+		if err != nil {
+			return PairModel{}, err
+		}
+		p.Spline = sp
+	}
+	p.EpsLB = r.Float64()
+	p.EpsUB = r.Float64()
+	p.R2 = r.Float64()
+	p.Inlier = r.Float64()
+	if err := r.Err(); err != nil {
+		return PairModel{}, err
+	}
+	if !validCol(p.X, dims) || !validCol(p.D, dims) || p.X == p.D {
+		return PairModel{}, fmt.Errorf("invalid column pair %d→%d for %d dims", p.X, p.D, dims)
+	}
+	if p.EpsLB < 0 || p.EpsUB < 0 {
+		return PairModel{}, fmt.Errorf("negative margin (εLB=%g, εUB=%g)", p.EpsLB, p.EpsUB)
+	}
+	return p, nil
+}
+
+func validCol(c, dims int) bool {
+	if dims < 0 {
+		return c >= 0
+	}
+	return c >= 0 && c < dims
+}
