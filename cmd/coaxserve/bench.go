@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/softfd"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// runReport is the measurement of one engine configuration over the whole
+// query workload.
+type runReport struct {
+	Shards          int     `json:"shards"`
+	Batch           int     `json:"batch"`
+	QPS             float64 `json:"qps"`
+	P50us           float64 `json:"p50_us"`
+	P99us           float64 `json:"p99_us"`
+	RowsMatched     int64   `json:"rows_matched"`
+	BuildMS         float64 `json:"build_ms"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// serveReport is the JSON shape written to BENCH_serve.json and consumed
+// by CI to track the serving-layer perf trajectory. Serial is the
+// single-shard one-query-at-a-time baseline every run is compared against.
+type serveReport struct {
+	Dataset    string      `json:"dataset"`
+	Rows       int         `json:"rows"`
+	Queries    int         `json:"queries"`
+	KNN        int         `json:"knn"`
+	CPUs       int         `json:"cpus"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Serial     runReport   `json:"serial"`
+	Runs       []runReport `json:"runs"`
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		ds      = fs.String("dataset", "osm", "dataset: osm|airline")
+		rows    = fs.Int("rows", 500000, "dataset size")
+		queries = fs.Int("queries", 2000, "workload size")
+		knn     = fs.Int("knn", 100, "rectangles bound the k nearest records of a random seed row (the paper's §8.1.2 range workload)")
+		shards  = fs.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
+		batch   = fs.String("batch", "1,16,64", "comma-separated batch sizes to sweep")
+		workers = fs.Int("workers", 0, "fan-out workers per call (0: one per CPU)")
+		jsonOut = fs.String("json", "", "also write the report as JSON to this path")
+	)
+	fs.Parse(args)
+
+	shardCounts, err := parseIntList(*shards)
+	if err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+	batchSizes, err := parseIntList(*batch)
+	if err != nil {
+		return fmt.Errorf("-batch: %w", err)
+	}
+
+	tab, err := makeTable(*ds, *rows)
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions()
+	fd, err := softfd.Detect(tab, opt.SoftFD)
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(tab, 1)
+	rects := gen.KNNRects(*queries, *knn)
+
+	rep := serveReport{
+		Dataset:    *ds,
+		Rows:       tab.Len(),
+		Queries:    len(rects),
+		KNN:        *knn,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Serial single-shard baseline: one plain COAX, one query at a time on
+	// one goroutine — the engine this PR's serving layer replaces.
+	t0 := time.Now()
+	single, err := core.BuildWithFD(tab, fd, opt)
+	if err != nil {
+		return err
+	}
+	singleBuild := time.Since(t0)
+	rep.Serial = measureSerial(single, rects)
+	rep.Serial.BuildMS = ms(singleBuild)
+	fmt.Printf("dataset %s, %d rows, %d queries (%d-NN rects), %d CPU(s)\n",
+		rep.Dataset, rep.Rows, rep.Queries, rep.KNN, rep.CPUs)
+	printRun("serial", rep.Serial)
+
+	for _, k := range shardCounts {
+		t0 = time.Now()
+		s, err := shard.BuildWithFD(tab, fd, opt, shard.Options{NumShards: k, Workers: *workers})
+		if err != nil {
+			return fmt.Errorf("building %d shards: %w", k, err)
+		}
+		build := time.Since(t0)
+		for _, b := range batchSizes {
+			run := measureBatched(s, rects, b)
+			run.BuildMS = ms(build)
+			run.SpeedupVsSerial = run.QPS / rep.Serial.QPS
+			if run.RowsMatched != rep.Serial.RowsMatched {
+				return fmt.Errorf("shards=%d batch=%d matched %d rows, serial matched %d",
+					k, b, run.RowsMatched, rep.Serial.RowsMatched)
+			}
+			rep.Runs = append(rep.Runs, run)
+			printRun(fmt.Sprintf("shards=%-3d batch=%-3d", k, b), run)
+		}
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// measureSerial times one-at-a-time execution on the calling goroutine.
+func measureSerial(idx index.Interface, rects []index.Rect) runReport {
+	warmup(func(r index.Rect) { index.Count(idx, r) }, rects)
+	lat := make([]time.Duration, len(rects))
+	var rows int64
+	t0 := time.Now()
+	for i, r := range rects {
+		q0 := time.Now()
+		idx.Query(r, func([]float64) { rows++ })
+		lat[i] = time.Since(q0)
+	}
+	total := time.Since(t0)
+	return report(1, 1, total, lat, rows)
+}
+
+// measureBatched times BatchQuery over consecutive slices of the workload.
+// Every query in a batch is assigned the batch's completion latency — the
+// time a caller of the batch endpoint would wait for its answer.
+func measureBatched(s *shard.Sharded, rects []index.Rect, batch int) runReport {
+	warmup(func(r index.Rect) { index.Count(s, r) }, rects)
+	lat := make([]time.Duration, 0, len(rects))
+	var rows int64
+	t0 := time.Now()
+	for off := 0; off < len(rects); off += batch {
+		end := min(off+batch, len(rects))
+		b0 := time.Now()
+		s.BatchQuery(rects[off:end], func(int, []float64) { rows++ })
+		d := time.Since(b0)
+		for i := off; i < end; i++ {
+			lat = append(lat, d)
+		}
+	}
+	total := time.Since(t0)
+	return report(s.NumShards(), batch, total, lat, rows)
+}
+
+// warmup touches the index with a slice of the workload so page faults and
+// lazy allocations land outside the measured window.
+func warmup(query func(index.Rect), rects []index.Rect) {
+	n := min(len(rects), 100)
+	for _, r := range rects[:n] {
+		query(r)
+	}
+}
+
+func report(shards, batch int, total time.Duration, lat []time.Duration, rows int64) runReport {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return runReport{
+		Shards:      shards,
+		Batch:       batch,
+		QPS:         float64(len(lat)) / total.Seconds(),
+		P50us:       us(percentile(lat, 0.50)),
+		P99us:       us(percentile(lat, 0.99)),
+		RowsMatched: rows,
+	}
+}
+
+// percentile returns the p-quantile of ascending-sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func printRun(label string, r runReport) {
+	line := fmt.Sprintf("%-22s %10.0f qps   p50 %8.1fµs   p99 %8.1fµs", label, r.QPS, r.P50us, r.P99us)
+	if r.SpeedupVsSerial > 0 {
+		line += fmt.Sprintf("   %5.2fx vs serial", r.SpeedupVsSerial)
+	}
+	fmt.Println(line)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d must be ≥ 1", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

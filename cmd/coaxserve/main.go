@@ -1,0 +1,63 @@
+// Command coaxserve serves a sharded COAX index over HTTP/JSON and
+// benchmarks the sharded engine under load.
+//
+// Usage:
+//
+//	coaxserve serve -dataset osm -rows 500000 -shards 8 -addr :8080 -save osm-sharded.coax
+//	coaxserve serve -in osm-sharded.coax
+//	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json
+//
+// The serve mode loads a sharded snapshot (or builds one over a synthetic
+// dataset at startup) and answers:
+//
+//	GET  /healthz  liveness probe
+//	GET  /stats    index shape: rows, dims, shards, partition, overheads
+//	POST /query    {"min":[...],"max":[...],"limit":100} — null bounds are
+//	               unconstrained; responds {"count":N,"rows":[[...],...]}
+//	POST /batch    {"queries":[{...},...]} — one fan-out for the whole batch
+//	POST /insert   {"row":[...]} — routes the row to its shard
+//
+// The bench mode generates a rectangle workload, measures a serial
+// single-shard baseline, then sweeps shard count × batch size through
+// BatchQuery, reporting QPS and p50/p99 latency (see BENCH_serve.json).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "coaxserve: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coaxserve:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `coaxserve — sharded concurrent COAX query serving
+
+subcommands:
+  serve   answer HTTP/JSON queries from a sharded index
+  bench   measure QPS and latency vs. shard count and batch size
+
+run 'coaxserve <subcommand> -h' for flags`)
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"github.com/coax-index/coax/coax"
+)
+
+func testServer(t *testing.T) (*coax.ShardedIndex, *httptest.Server) {
+	t.Helper()
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(8000))
+	so := coax.DefaultShardOptions()
+	so.NumShards = 4
+	idx, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatalf("BuildSharded: %v", err)
+	}
+	srv := httptest.NewServer(newServerMux(idx))
+	t.Cleanup(srv.Close)
+	return idx, srv
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp
+}
+
+func f(v float64) *float64 { return &v }
+
+func TestHealthzAndStats(t *testing.T) {
+	idx, srv := testServer(t)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Rows != idx.Len() || st.Shards != idx.NumShards() || st.Dims != idx.Dims() {
+		t.Errorf("stats = %+v, index = %d/%d/%d", st, idx.Len(), idx.NumShards(), idx.Dims())
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	idx, srv := testServer(t)
+
+	// Unconstrained query counts everything; default limit caps rows.
+	var full queryResponse
+	postJSON(t, srv.URL+"/query", rectRequest{}, &full)
+	if full.Count != idx.Len() {
+		t.Errorf("full count = %d, want %d", full.Count, idx.Len())
+	}
+	if len(full.Rows) != defaultRowLimit {
+		t.Errorf("default limit returned %d rows, want %d", len(full.Rows), defaultRowLimit)
+	}
+
+	// limit 0 means count only; the count must agree with the engine.
+	lim := 0
+	var countOnly queryResponse
+	postJSON(t, srv.URL+"/query", rectRequest{Limit: &lim}, &countOnly)
+	if countOnly.Count != idx.Len() || countOnly.Rows != nil {
+		t.Errorf("count-only response: %+v", countOnly)
+	}
+
+	// A one-dimension window must match the engine's own answer.
+	q := rectRequest{
+		Min:   []*float64{nil, f(0), nil, nil},
+		Max:   []*float64{nil, f(50000), nil, nil},
+		Limit: &lim,
+	}
+	r := coax.FullRect(idx.Dims())
+	r.Min[1], r.Max[1] = 0, 50000
+	var window queryResponse
+	postJSON(t, srv.URL+"/query", q, &window)
+	if want := coax.Count(idx, r); window.Count != want {
+		t.Errorf("window count = %d, want %d", window.Count, want)
+	}
+
+	// Malformed requests are 400s, not 500s.
+	for _, bad := range []rectRequest{
+		{Min: []*float64{f(1)}},                         // wrong dims
+		{Max: []*float64{f(1), f(2), f(3), f(4), f(5)}}, // wrong dims
+	} {
+		if resp := postJSON(t, srv.URL+"/query", bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %+v: status %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	idx, srv := testServer(t)
+	lim := 5
+	zero := 0
+	req := batchRequest{Queries: []rectRequest{
+		{Limit: &zero},
+		{Min: []*float64{nil, f(1e12), nil, nil}, Limit: &zero}, // matches nothing
+		{Limit: &lim},
+	}}
+	var resp batchResponse
+	postJSON(t, srv.URL+"/batch", req, &resp)
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Count != idx.Len() {
+		t.Errorf("batch[0] count = %d, want %d", resp.Results[0].Count, idx.Len())
+	}
+	if resp.Results[1].Count != 0 {
+		t.Errorf("batch[1] count = %d, want 0", resp.Results[1].Count)
+	}
+	if resp.Results[2].Count != idx.Len() || len(resp.Results[2].Rows) != lim {
+		t.Errorf("batch[2] = count %d rows %d, want count %d rows %d",
+			resp.Results[2].Count, len(resp.Results[2].Rows), idx.Len(), lim)
+	}
+
+	// Oversized batches are rejected before they reach the engine.
+	wide := batchRequest{Queries: make([]rectRequest, maxBatchQueries+1)}
+	if r := postJSON(t, srv.URL+"/batch", wide, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch accepted: %d", r.StatusCode)
+	}
+}
+
+func TestInsertEndpoint(t *testing.T) {
+	idx, srv := testServer(t)
+	before := idx.Len()
+	var ok map[string]int
+	postJSON(t, srv.URL+"/insert", insertRequest{Row: []float64{1, 2, 3, 4}}, &ok)
+	if ok["rows"] != before+1 || idx.Len() != before+1 {
+		t.Errorf("rows after insert = %d (engine %d), want %d", ok["rows"], idx.Len(), before+1)
+	}
+	// Wrong arity and non-finite values are rejected.
+	if resp := postJSON(t, srv.URL+"/insert", insertRequest{Row: []float64{1}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short row accepted: %d", resp.StatusCode)
+	}
+	var naughty struct {
+		Row []any `json:"row"`
+	}
+	naughty.Row = []any{1.0, "NaN", 3.0, 4.0}
+	if resp := postJSON(t, srv.URL+"/insert", naughty, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-numeric row accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestOpenIndexWrapsSingleSnapshot(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(3000))
+	single, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/single.coax"
+	if err := coax.SaveFile(path, single); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := openIndex(path, "", 0, 0, 2)
+	if err != nil {
+		t.Fatalf("openIndex(single snapshot): %v", err)
+	}
+	if idx.NumShards() != 1 || idx.Len() != tab.Len() {
+		t.Errorf("wrapped index: %d shards, %d rows", idx.NumShards(), idx.Len())
+	}
+}
+
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not short")
+	}
+	out := t.TempDir() + "/BENCH_serve.json"
+	err := cmdBench([]string{
+		"-rows", "20000", "-queries", "60", "-knn", "50",
+		"-shards", "1,2", "-batch", "1,8", "-json", out,
+	})
+	if err != nil {
+		t.Fatalf("cmdBench: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Serial.QPS <= 0 || len(rep.Runs) != 4 {
+		t.Errorf("report shape: serial qps %v, %d runs", rep.Serial.QPS, len(rep.Runs))
+	}
+	for _, run := range rep.Runs {
+		if run.RowsMatched != rep.Serial.RowsMatched {
+			t.Errorf("run %+v matched %d rows, serial %d", run, run.RowsMatched, rep.Serial.RowsMatched)
+		}
+	}
+}

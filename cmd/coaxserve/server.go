@@ -1,0 +1,302 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/shard"
+)
+
+// defaultRowLimit bounds how many rows a query returns when the request
+// does not say; counts are always exact regardless of the limit.
+const defaultRowLimit = 1000
+
+// Abuse bounds: a request body larger than maxRequestBytes or a batch
+// wider than maxBatchQueries is rejected before it can drive the engine
+// into buffering an unbounded result set.
+const (
+	maxRequestBytes = 8 << 20
+	maxBatchQueries = 1024
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		in      = fs.String("in", "", "serve from this snapshot (sharded or single-index)")
+		ds      = fs.String("dataset", "osm", "synthetic dataset when -in is empty: osm|airline")
+		rows    = fs.Int("rows", 500000, "synthetic dataset size")
+		shards  = fs.Int("shards", 0, "shard count (0: one per CPU)")
+		workers = fs.Int("workers", 0, "query fan-out workers (0: one per CPU)")
+		save    = fs.String("save", "", "persist the index as a sharded snapshot before serving")
+	)
+	fs.Parse(args)
+
+	idx, err := openIndex(*in, *ds, *rows, *shards, *workers)
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		if err := coax.SaveShardedFile(*save, idx); err != nil {
+			return fmt.Errorf("saving %s: %w", *save, err)
+		}
+		fmt.Printf("saved sharded snapshot to %s\n", *save)
+	}
+	st := idx.BuildStats()
+	fmt.Printf("serving %d rows × %d dims on %d %s shard(s) at %s\n",
+		st.Rows, st.Dims, st.Shards, st.Partition, *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServerMux(idx),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// openIndex loads a sharded snapshot, wraps a single-index snapshot into a
+// one-shard serving layer, or builds a synthetic sharded index.
+func openIndex(in, ds string, rows, shards, workers int) (*coax.ShardedIndex, error) {
+	if in != "" {
+		idx, err := coax.LoadShardedFile(in)
+		if err == nil {
+			return idx, nil
+		}
+		single, serr := coax.LoadFile(in)
+		if serr != nil {
+			return nil, fmt.Errorf("loading %s: %w", in, errors.Join(err, serr))
+		}
+		return shard.Reassemble([]*core.COAX{single}, shard.ByHash, -1, nil, workers)
+	}
+	tab, err := makeTable(ds, rows)
+	if err != nil {
+		return nil, err
+	}
+	so := coax.DefaultShardOptions()
+	so.NumShards = shards
+	so.Workers = workers
+	t0 := time.Now()
+	idx, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "built %d rows on %d shards in %v\n",
+		tab.Len(), idx.NumShards(), time.Since(t0).Round(time.Millisecond))
+	return idx, nil
+}
+
+func makeTable(ds string, rows int) (*coax.Table, error) {
+	switch ds {
+	case "osm":
+		return coax.GenerateOSM(coax.DefaultOSMConfig(rows)), nil
+	case "airline":
+		return coax.GenerateAirline(coax.DefaultAirlineConfig(rows)), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want osm or airline)", ds)
+	}
+}
+
+// --- HTTP surface ---
+
+// rectRequest is one rectangle in wire form: per-dimension bounds where
+// null (or a missing array) leaves the side unconstrained, plus an
+// optional row cap — limit 0 returns counts only, a negative limit streams
+// every matching row, omitted defaults to defaultRowLimit.
+type rectRequest struct {
+	Min   []*float64 `json:"min"`
+	Max   []*float64 `json:"max"`
+	Limit *int       `json:"limit"`
+}
+
+type batchRequest struct {
+	Queries []rectRequest `json:"queries"`
+}
+
+type queryResponse struct {
+	Count int         `json:"count"`
+	Rows  [][]float64 `json:"rows,omitempty"`
+}
+
+type batchResponse struct {
+	Results []queryResponse `json:"results"`
+}
+
+type insertRequest struct {
+	Row []float64 `json:"row"`
+}
+
+type statsResponse struct {
+	Rows            int    `json:"rows"`
+	Dims            int    `json:"dims"`
+	Shards          int    `json:"shards"`
+	Partition       string `json:"partition"`
+	RangeColumn     int    `json:"range_column"`
+	RowsPerShard    []int  `json:"rows_per_shard"`
+	MemoryOverheadB int64  `json:"memory_overhead_bytes"`
+}
+
+func (q *rectRequest) rect(dims int) (coax.Rect, error) {
+	r := coax.FullRect(dims)
+	fill := func(dst []float64, src []*float64, side string) error {
+		if src == nil {
+			return nil
+		}
+		if len(src) != dims {
+			return fmt.Errorf("%s has %d bounds, index has %d dims", side, len(src), dims)
+		}
+		for i, v := range src {
+			if v == nil {
+				continue
+			}
+			if math.IsNaN(*v) {
+				return fmt.Errorf("%s[%d] is NaN", side, i)
+			}
+			dst[i] = *v
+		}
+		return nil
+	}
+	if err := fill(r.Min, q.Min, "min"); err != nil {
+		return r, err
+	}
+	if err := fill(r.Max, q.Max, "max"); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func (q *rectRequest) limit() int {
+	if q.Limit == nil {
+		return defaultRowLimit
+	}
+	return *q.Limit
+}
+
+// newServerMux wires the HTTP surface over idx. ShardedIndex is safe for
+// fully concurrent use, so handlers need no extra locking.
+func newServerMux(idx *coax.ShardedIndex) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := idx.BuildStats()
+		writeJSON(w, http.StatusOK, statsResponse{
+			Rows:            st.Rows,
+			Dims:            st.Dims,
+			Shards:          st.Shards,
+			Partition:       st.Partition,
+			RangeColumn:     st.RangeColumn,
+			RowsPerShard:    st.RowsPerShard,
+			MemoryOverheadB: st.MemoryOverheadB,
+		})
+	})
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, req *http.Request) {
+		var q rectRequest
+		if !readJSON(w, req, &q) {
+			return
+		}
+		r, err := q.rect(idx.Dims())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := runQuery(idx, r, q.limit())
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, req *http.Request) {
+		var b batchRequest
+		if !readJSON(w, req, &b) {
+			return
+		}
+		if len(b.Queries) > maxBatchQueries {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("batch has %d queries, limit is %d", len(b.Queries), maxBatchQueries))
+			return
+		}
+		rects := make([]coax.Rect, len(b.Queries))
+		limits := make([]int, len(b.Queries))
+		for i := range b.Queries {
+			r, err := b.Queries[i].rect(idx.Dims())
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+				return
+			}
+			rects[i] = r
+			limits[i] = b.Queries[i].limit()
+		}
+		resp := batchResponse{Results: make([]queryResponse, len(rects))}
+		idx.BatchQuery(rects, func(qi int, row []float64) {
+			res := &resp.Results[qi]
+			res.Count++
+			if limits[qi] < 0 || len(res.Rows) < limits[qi] {
+				res.Rows = append(res.Rows, row) // rows are stable copies
+			}
+		})
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, req *http.Request) {
+		var ins insertRequest
+		if !readJSON(w, req, &ins) {
+			return
+		}
+		for i, v := range ins.Row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("row[%d] is not finite", i))
+				return
+			}
+		}
+		if err := idx.Insert(ins.Row); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"rows": idx.Len()})
+	})
+
+	return mux
+}
+
+func runQuery(idx *coax.ShardedIndex, r coax.Rect, limit int) queryResponse {
+	var resp queryResponse
+	idx.Query(r, func(row []float64) {
+		resp.Count++
+		if limit < 0 || len(resp.Rows) < limit {
+			resp.Rows = append(resp.Rows, row) // rows are stable copies
+		}
+	})
+	return resp
+}
+
+func readJSON(w http.ResponseWriter, req *http.Request, v any) bool {
+	req.Body = http.MaxBytesReader(w, req.Body, maxRequestBytes)
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

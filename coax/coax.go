@@ -31,6 +31,7 @@ import (
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/snapshot"
 	"github.com/coax-index/coax/internal/softfd"
 )
@@ -62,8 +63,11 @@ func FullRect(dims int) Rect { return index.Full(dims) }
 // PointQuery returns the degenerate rectangle matching exactly p.
 func PointQuery(p []float64) Rect { return index.Point(p) }
 
-// Visitor receives one matching row per call; the slice is only valid
-// during the call.
+// Visitor receives one matching row per call. Slice ownership depends on
+// the index answering the query: *Index passes a slice aliasing its
+// internals that is only valid for the duration of the call (copy it to
+// retain it); *ShardedIndex merges rows across goroutines and therefore
+// always passes a stable copy that stays valid after the call returns.
 type Visitor = index.Visitor
 
 // Options configures a Build. Start from DefaultOptions.
@@ -125,6 +129,12 @@ func Load(r io.Reader) (*Index, error) { return snapshot.Decode(r) }
 // is renamed over path only once complete — a crash or full disk midway
 // neither leaves a torn snapshot at path nor destroys the previous one.
 func SaveFile(path string, idx *Index) error {
+	return atomicWriteFile(path, func(w io.Writer) error { return Save(w, idx) })
+}
+
+// atomicWriteFile streams emit's output to a temporary file beside path and
+// renames it over path only once fully written and fsynced.
+func atomicWriteFile(path string, emit func(io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "." // keep the temp file on path's filesystem, not os.TempDir
@@ -151,7 +161,7 @@ func SaveFile(path string, idx *Index) error {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	if err := Save(w, idx); err != nil {
+	if err := emit(w); err != nil {
 		return fail(err)
 	}
 	if err := w.Flush(); err != nil {
@@ -181,11 +191,101 @@ func LoadFile(path string) (*Index, error) {
 	return Load(bufio.NewReaderSize(f, 1<<20))
 }
 
+// Sharded serving layer. BuildSharded partitions a table into K shards,
+// builds an independent COAX per shard in parallel, and answers queries by
+// fanning rectangles (or whole batches of rectangles) across shards on a
+// bounded worker pool — the path for serving heavy concurrent traffic. See
+// internal/shard for the concurrency and visitor-ownership contract.
+
+// ShardedIndex is a partitioned COAX index built by BuildSharded. It
+// answers Query interchangeably with *Index, adds BatchQuery for amortised
+// fan-out over many rectangles, and — unlike *Index — is safe for fully
+// concurrent use: Query, BatchQuery, and Insert may race freely.
+type ShardedIndex = shard.Sharded
+
+// ShardOptions configures BuildSharded. Start from DefaultShardOptions.
+type ShardOptions = shard.Options
+
+// ShardPartition selects how rows are assigned to shards.
+type ShardPartition = shard.Partition
+
+// Shard partition schemes.
+const (
+	// ShardByRange splits one column into quantile slabs so queries
+	// constraining it probe only overlapping shards.
+	ShardByRange = shard.ByRange
+	// ShardByHash routes rows by a hash of their bit pattern.
+	ShardByHash = shard.ByHash
+)
+
+// BatchVisitor receives one matching row per call, tagged with the batch
+// position of the query it matched; rows are stable copies.
+type BatchVisitor = shard.BatchVisitor
+
+// DefaultShardOptions returns the recommended sharding configuration:
+// range partitioning on an automatically chosen column, with one shard and
+// one worker per CPU.
+func DefaultShardOptions() ShardOptions { return shard.DefaultOptions() }
+
+// BuildSharded learns the soft FDs of t once, partitions the table, and
+// constructs one COAX per shard in parallel.
+func BuildSharded(t *Table, opt Options, so ShardOptions) (*ShardedIndex, error) {
+	return shard.Build(t, opt, so)
+}
+
+// SaveSharded writes a sharded index to w in the versioned COAX snapshot
+// format: a shard-layout section followed by one checksummed section per
+// shard. Encoding takes per-shard read locks, so the index may keep
+// serving while it is being saved.
+func SaveSharded(w io.Writer, idx *ShardedIndex) error { return snapshot.EncodeSharded(w, idx) }
+
+// LoadSharded reads a sharded index previously written by SaveSharded. The
+// returned index is immediately safe for concurrent use. Loading a
+// single-index snapshot yields an error directing the caller to Load.
+func LoadSharded(r io.Reader) (*ShardedIndex, error) { return snapshot.DecodeSharded(r) }
+
+// SaveShardedFile writes a sharded index to path with the same atomic
+// write-then-rename protocol as SaveFile.
+func SaveShardedFile(path string, idx *ShardedIndex) error {
+	return atomicWriteFile(path, func(w io.Writer) error { return SaveSharded(w, idx) })
+}
+
+// LoadShardedFile reads a sharded index from a file written by
+// SaveShardedFile.
+func LoadShardedFile(path string) (*ShardedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSharded(bufio.NewReaderSize(f, 1<<20))
+}
+
+// Querier is the query surface shared by *Index and *ShardedIndex; Count
+// and Collect accept either.
+type Querier interface {
+	Len() int
+	Dims() int
+	Query(r Rect, visit Visitor)
+}
+
 // Count runs a query and returns the number of matching rows.
-func Count(idx *Index, r Rect) int { return index.Count(idx, r) }
+func Count(idx Querier, r Rect) int {
+	n := 0
+	idx.Query(r, func([]float64) { n++ })
+	return n
+}
 
 // Collect runs a query and returns copies of all matching rows.
-func Collect(idx *Index, r Rect) [][]float64 { return index.Collect(idx, r) }
+func Collect(idx Querier, r Rect) [][]float64 {
+	var out [][]float64
+	idx.Query(r, func(row []float64) {
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		out = append(out, cp)
+	})
+	return out
+}
 
 // Synthetic dataset generators. The repository's benchmarks run on
 // synthetic stand-ins for the paper's OSM and Airline extracts; they are

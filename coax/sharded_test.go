@@ -1,0 +1,142 @@
+package coax_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/coax-index/coax/coax"
+)
+
+func buildShardedOSM(t *testing.T, rows, shards int) (*coax.Table, *coax.ShardedIndex) {
+	t.Helper()
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(rows))
+	so := coax.DefaultShardOptions()
+	so.NumShards = shards
+	idx, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatalf("BuildSharded: %v", err)
+	}
+	return tab, idx
+}
+
+func sortedRows(rows [][]float64) [][]float64 {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+func TestBuildShardedMatchesBuild(t *testing.T) {
+	tab, sharded := buildShardedOSM(t, 20000, 4)
+	single, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	queries := []coax.Rect{coax.FullRect(tab.Dims()), coax.PointQuery(tab.Row(17))}
+	for i := 0; i < 20; i++ {
+		q := coax.FullRect(tab.Dims())
+		lo := tab.Row(i * 31 % tab.Len())
+		hi := tab.Row(i * 57 % tab.Len())
+		for d := 0; d < tab.Dims(); d++ {
+			a, b := lo[d], hi[d]
+			if a > b {
+				a, b = b, a
+			}
+			q.Min[d], q.Max[d] = a, b
+		}
+		queries = append(queries, q)
+	}
+	for qi, q := range queries {
+		want := sortedRows(coax.Collect(single, q))
+		got := sortedRows(coax.Collect(sharded, q))
+		if len(want) != len(got) {
+			t.Fatalf("query %d: %d rows, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			for k := range want[i] {
+				if want[i][k] != got[i][k] {
+					t.Fatalf("query %d row %d differs", qi, i)
+				}
+			}
+		}
+	}
+
+	// BatchQuery covers the same queries in one fan-out.
+	counts := make([]int, len(queries))
+	sharded.BatchQuery(queries, func(qi int, _ []float64) { counts[qi]++ })
+	for qi, q := range queries {
+		if want := coax.Count(single, q); counts[qi] != want {
+			t.Fatalf("batch query %d: count %d, want %d", qi, counts[qi], want)
+		}
+	}
+}
+
+func TestShardedSaveLoadRoundTrip(t *testing.T) {
+	tab, idx := buildShardedOSM(t, 10000, 3)
+
+	var buf bytes.Buffer
+	if err := coax.SaveSharded(&buf, idx); err != nil {
+		t.Fatalf("SaveSharded: %v", err)
+	}
+	loaded, err := coax.LoadSharded(&buf)
+	if err != nil {
+		t.Fatalf("LoadSharded: %v", err)
+	}
+	full := coax.FullRect(tab.Dims())
+	if w, g := coax.Count(idx, full), coax.Count(loaded, full); w != g {
+		t.Fatalf("loaded counts %d, want %d", g, w)
+	}
+
+	path := filepath.Join(t.TempDir(), "sharded.coax")
+	if err := coax.SaveShardedFile(path, idx); err != nil {
+		t.Fatalf("SaveShardedFile: %v", err)
+	}
+	fromFile, err := coax.LoadShardedFile(path)
+	if err != nil {
+		t.Fatalf("LoadShardedFile: %v", err)
+	}
+	if w, g := coax.Count(idx, full), coax.Count(fromFile, full); w != g {
+		t.Fatalf("file round trip counts %d, want %d", g, w)
+	}
+
+	// Cross-loading must fail with a clear error in both directions.
+	if _, err := coax.LoadShardedFile(path); err != nil {
+		t.Fatalf("sanity reload: %v", err)
+	}
+	if _, err := coax.LoadFile(path); err == nil {
+		t.Error("Load accepted a sharded snapshot")
+	}
+	singlePath := filepath.Join(t.TempDir(), "single.coax")
+	single, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coax.SaveFile(singlePath, single); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coax.LoadShardedFile(singlePath); err == nil {
+		t.Error("LoadSharded accepted a single-index snapshot")
+	}
+}
+
+func TestShardedInsertServesConcurrently(t *testing.T) {
+	tab, idx := buildShardedOSM(t, 5000, 4)
+	row := make([]float64, tab.Dims())
+	copy(row, tab.Row(0))
+	before := coax.Count(idx, coax.FullRect(tab.Dims()))
+	if err := idx.Insert(row); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if got := coax.Count(idx, coax.FullRect(tab.Dims())); got != before+1 {
+		t.Fatalf("count after insert = %d, want %d", got, before+1)
+	}
+}

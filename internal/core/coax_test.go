@@ -11,6 +11,7 @@ import (
 	"github.com/coax-index/coax/internal/model"
 	"github.com/coax-index/coax/internal/scan"
 	"github.com/coax-index/coax/internal/softfd"
+	"github.com/coax-index/coax/internal/workload"
 )
 
 // fdTable builds a 4-column table with one planted FD (col1 ≈ 2·col0 + 50),
@@ -37,19 +38,7 @@ func testOptions() Options {
 }
 
 func randQuery(rng *rand.Rand, t *dataset.Table) index.Rect {
-	r := index.Full(t.Dims())
-	for d := 0; d < t.Dims(); d++ {
-		if rng.Float64() < 0.35 {
-			continue
-		}
-		a := t.Row(rng.Intn(t.Len()))[d]
-		b := t.Row(rng.Intn(t.Len()))[d]
-		if a > b {
-			a, b = b, a
-		}
-		r.Min[d], r.Max[d] = a, b
-	}
-	return r
+	return workload.RandRect(rng, t)
 }
 
 func TestBuildDetectsFDAndSplits(t *testing.T) {

@@ -17,6 +17,12 @@ func ReadCSV(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
 	}
+	// A single empty header field (`""`) is rejected: encoding/csv writes
+	// that record as a blank line, which readers skip, so a table built
+	// from it could never round-trip through WriteCSV (found by fuzzing).
+	if len(header) == 1 && header[0] == "" {
+		return nil, fmt.Errorf("dataset: CSV header is a single empty field")
+	}
 	cols := make([]string, len(header))
 	copy(cols, header)
 	t := NewTable(cols)

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the CSV loader with arbitrary input. ReadCSV must
+// never panic — malformed rows, ragged field counts, bad floats, and
+// quoting edge cases all surface as errors — and any input it accepts must
+// survive a WriteCSV→ReadCSV round trip unchanged.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("x\n1\n")
+	f.Add("a,b,c\n1,2,3\n4,5,6\n7,8,9\n")
+	f.Add("a,b\n1\n")                       // ragged row
+	f.Add("a,b\n1,notanumber\n")            // bad float
+	f.Add("a,b\nNaN,+Inf\n-Inf,1e308\n")    // non-finite values parse
+	f.Add("\"a\",\"b\"\n\"1\",\"2\"\n")     // quoted fields
+	f.Add("a,b\n\"1,5\",2\n")               // comma inside quotes
+	f.Add("a,b\r\n1,2\r\n")                 // CRLF
+	f.Add("")                               // empty input
+	f.Add("a,b\n1,2\n\n3,4\n")              // blank line
+	f.Add("a,a\n0,-0\n")                    // duplicate headers, signed zero
+	f.Add("a,b\n1e-308,2.225073858e-308\n") // subnormals
+	f.Add(strings.Repeat("c,", 100) + "c\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must produce a structurally coherent table…
+		if tab.Dims() == 0 {
+			t.Fatalf("accepted CSV with zero columns: %q", data)
+		}
+		if len(tab.Data)%tab.Dims() != 0 {
+			t.Fatalf("ragged buffer: %d values, %d dims", len(tab.Data), tab.Dims())
+		}
+		// …that round-trips through the writer bit-for-bit (NaN ≡ NaN).
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tab); err != nil {
+			t.Fatalf("WriteCSV on accepted table: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written CSV: %v", err)
+		}
+		if back.Len() != tab.Len() || back.Dims() != tab.Dims() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				tab.Len(), tab.Dims(), back.Len(), back.Dims())
+		}
+		for i, v := range tab.Data {
+			w := back.Data[i]
+			if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+				t.Fatalf("round trip changed value %d: %v -> %v", i, v, w)
+			}
+		}
+	})
+}

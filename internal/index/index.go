@@ -1,8 +1,15 @@
 package index
 
-// Visitor receives one matching row per call. The row slice aliases index
-// internals and is only valid for the duration of the call; copy it if it
-// must be retained.
+// Visitor receives one matching row per call.
+//
+// Ownership contract: the slice must be valid — unread and unwritten by
+// any other goroutine — for the full duration of the call. Single-threaded
+// indexes (grid file, R-tree, scan, COAX) pass a slice aliasing their
+// internals that may be reused after the call returns, so visitors must
+// copy rows they retain. Engines that merge results across goroutines
+// (internal/shard) may not hand out internal slices at all: they must copy
+// each row at the merge boundary before invoking the visitor, which makes
+// their rows stable copies that stay valid even after the call.
 type Visitor func(row []float64)
 
 // Interface is the contract shared by every multidimensional index in this

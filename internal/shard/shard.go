@@ -1,0 +1,547 @@
+// Package shard is the concurrent serving layer over COAX: it partitions a
+// table into K shards, builds an independent core.COAX per shard in
+// parallel, and answers rectangle queries — one at a time or in batches —
+// by fanning them across shards on a bounded worker pool and merging the
+// results safely.
+//
+// Partitioning is either by range (quantile cut points on one column, so
+// queries constraining that column probe only the shards whose slab
+// overlaps) or by hash (FNV-1a over the row's bit pattern, which balances
+// load under any distribution but prunes nothing). Soft-FD detection runs
+// once over the whole table and every shard is built from the same learned
+// dependencies, so the shards agree on query translation and the build
+// parallelises over index construction, the expensive part.
+//
+// # Concurrency and visitor ownership
+//
+// A Sharded index is safe for concurrent use: Query, BatchQuery, and Insert
+// may be called from any number of goroutines. Each shard is guarded by its
+// own RWMutex — queries take read locks, inserts write-lock only the one
+// shard the row routes to.
+//
+// Because rows are produced by worker goroutines and delivered to the
+// caller's visitor afterwards, the fan-out cannot hand the visitor slices
+// that alias live index internals. Workers therefore copy every matching
+// row into a per-worker buffer at the merge boundary, and the visitor
+// receives sub-slices of those buffers. This gives Sharded a stronger
+// guarantee than index.Visitor's baseline contract: rows passed to the
+// visitor are stable copies that remain valid after the call returns and
+// are never overwritten by a later match.
+//
+// The flip side of copy-at-merge is that a fan-out buffers its complete
+// result set before the first visitor call, so a query's memory cost is
+// proportional to the rows it matches — a full-table rectangle buffers the
+// whole table. Callers serving untrusted input should bound rectangle
+// selectivity or batch width at their own layer (cmd/coaxserve caps
+// request size and batch length).
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/softfd"
+)
+
+// MaxShards bounds the shard count; the snapshot container encodes the
+// shard ordinal in a three-hex-digit section id.
+const MaxShards = 4096
+
+// Partition selects how rows are assigned to shards.
+type Partition int
+
+const (
+	// ByRange splits one column into K quantile slabs. Queries that
+	// constrain that column (directly — translated dependent constraints
+	// apply only to inliers and cannot prune soundly) probe only the
+	// overlapping shards.
+	ByRange Partition = iota
+	// ByHash routes each row by a hash of its bit pattern: perfectly
+	// balanced, never pruned.
+	ByHash
+)
+
+func (p Partition) String() string {
+	switch p {
+	case ByRange:
+		return "range"
+	case ByHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
+// Options configures a sharded build. The zero value selects range
+// partitioning on an automatically chosen column with one shard and one
+// worker per CPU; start from DefaultOptions.
+type Options struct {
+	// NumShards is K; 0 means runtime.GOMAXPROCS(0).
+	NumShards int
+	// Workers bounds the query fan-out pool; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// BuildWorkers bounds the parallel shard construction; 0 means
+	// runtime.GOMAXPROCS(0).
+	BuildWorkers int
+	// Partition selects range or hash row assignment.
+	Partition Partition
+	// Column is the range-partition column; -1 picks the predictor of the
+	// largest detected soft-FD group (falling back to column 0), so range
+	// pruning lines up with the column most queries constrain. Ignored for
+	// ByHash.
+	Column int
+}
+
+// DefaultOptions returns the recommended sharding configuration.
+func DefaultOptions() Options {
+	return Options{Partition: ByRange, Column: -1}
+}
+
+// shardSlot pairs one COAX with the lock that serialises its mutation.
+type shardSlot struct {
+	mu  sync.RWMutex
+	idx *core.COAX
+}
+
+// Sharded is a partitioned COAX index. Build one with Build (or reassemble
+// a decoded snapshot with Reassemble); it satisfies index.Interface, so it
+// answers queries interchangeably with a single *core.COAX.
+type Sharded struct {
+	dims int
+	n    atomic.Int64
+
+	partition Partition
+	col       int       // range column; -1 under ByHash
+	cuts      []float64 // K-1 ascending cut points; shard j holds cuts[j-1] <= v < cuts[j]
+	workers   int
+
+	shards []*shardSlot
+}
+
+var _ index.Interface = (*Sharded)(nil)
+
+// Build detects soft FDs once over t, partitions it into K shards, and
+// builds every shard's COAX in parallel.
+func Build(t *dataset.Table, opt core.Options, so Options) (*Sharded, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("shard: cannot build over an empty table")
+	}
+	fd, err := softfd.Detect(t, opt.SoftFD)
+	if err != nil {
+		return nil, fmt.Errorf("shard: soft-FD detection: %w", err)
+	}
+	return BuildWithFD(t, fd, opt, so)
+}
+
+// BuildWithFD builds a sharded index from pre-detected dependencies.
+func BuildWithFD(t *dataset.Table, fd softfd.Result, opt core.Options, so Options) (*Sharded, error) {
+	k := so.NumShards
+	if k == 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k < 1 || k > MaxShards {
+		return nil, fmt.Errorf("shard: NumShards %d out of range [1,%d]", k, MaxShards)
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("shard: cannot build over an empty table")
+	}
+	s := &Sharded{
+		dims:      t.Dims(),
+		partition: so.Partition,
+		col:       -1,
+		workers:   poolSize(so.Workers),
+	}
+
+	switch so.Partition {
+	case ByRange:
+		col := so.Column
+		if col < 0 {
+			col = autoRangeColumn(fd)
+		}
+		if col >= t.Dims() {
+			return nil, fmt.Errorf("shard: range column %d out of range [0,%d)", col, t.Dims())
+		}
+		s.col = col
+		s.cuts = rangeCuts(t.Column(col), k)
+	case ByHash:
+		// No routing state beyond the shard count.
+	default:
+		return nil, fmt.Errorf("shard: unknown partition kind %d", so.Partition)
+	}
+
+	s.shards = make([]*shardSlot, k)
+	for i := range s.shards {
+		s.shards[i] = &shardSlot{}
+	}
+
+	// Partition rows. Shard tables may be empty (k > distinct values); an
+	// empty shard still gets a COAX skeleton so inserts can land later.
+	tabs := make([]*dataset.Table, k)
+	for i := range tabs {
+		tabs[i] = dataset.NewTable(t.Cols)
+	}
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		tabs[s.routeRow(row)].Append(row)
+	}
+	// Build shards in parallel on a bounded pool; construction is the
+	// expensive step and each shard is independent.
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		buildErr error
+	)
+	work := make(chan int)
+	for w := 0; w < min(poolSize(so.BuildWorkers), k); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				idx, err := core.BuildWithFD(tabs[i], fd, opt)
+				if err != nil {
+					errOnce.Do(func() { buildErr = fmt.Errorf("shard %d: %w", i, err) })
+					continue
+				}
+				s.shards[i].idx = idx
+			}
+		}()
+	}
+	for i := 0; i < k; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	s.n.Store(int64(t.Len()))
+	return s, nil
+}
+
+// Reassemble wires pre-built (typically snapshot-decoded) shard indexes
+// into a serving Sharded. For ByRange, cuts must hold len(shards)-1
+// ascending cut points and col must be a valid column; for ByHash, cuts
+// must be empty and col is ignored (recorded as -1).
+func Reassemble(shards []*core.COAX, partition Partition, col int, cuts []float64, workers int) (*Sharded, error) {
+	if len(shards) < 1 || len(shards) > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards out of range [1,%d]", len(shards), MaxShards)
+	}
+	dims := shards[0].Dims()
+	n := 0
+	for i, idx := range shards {
+		if idx == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", i)
+		}
+		if idx.Dims() != dims {
+			return nil, fmt.Errorf("shard: shard %d has %d dims, shard 0 has %d", i, idx.Dims(), dims)
+		}
+		n += idx.Len()
+	}
+	s := &Sharded{dims: dims, partition: partition, col: -1, workers: poolSize(workers)}
+	switch partition {
+	case ByRange:
+		if col < 0 || col >= dims {
+			return nil, fmt.Errorf("shard: range column %d out of range [0,%d)", col, dims)
+		}
+		if len(cuts) != len(shards)-1 {
+			return nil, fmt.Errorf("shard: %d cut points for %d shards, want %d", len(cuts), len(shards), len(shards)-1)
+		}
+		if !sort.Float64sAreSorted(cuts) {
+			return nil, fmt.Errorf("shard: cut points are not ascending")
+		}
+		s.col = col
+		s.cuts = append([]float64(nil), cuts...)
+	case ByHash:
+		if len(cuts) != 0 {
+			return nil, fmt.Errorf("shard: hash partition carries %d cut points, want 0", len(cuts))
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown partition kind %d", partition)
+	}
+	s.shards = make([]*shardSlot, len(shards))
+	for i, idx := range shards {
+		s.shards[i] = &shardSlot{idx: idx}
+	}
+	s.n.Store(int64(n))
+	return s, nil
+}
+
+// autoRangeColumn picks the predictor of the largest soft-FD group, the
+// column range queries are most likely to constrain (directly or through
+// translation of its dependents), falling back to column 0.
+func autoRangeColumn(fd softfd.Result) int {
+	best, bestSize := 0, 0
+	for _, g := range fd.Groups {
+		if len(g.Members) > bestSize {
+			best, bestSize = g.Predictor, len(g.Members)
+		}
+	}
+	return best
+}
+
+// rangeCuts places k-1 cut points on the quantiles of col.
+func rangeCuts(col []float64, k int) []float64 {
+	if k <= 1 {
+		return nil
+	}
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	cuts := make([]float64, k-1)
+	for i := 1; i < k; i++ {
+		cuts[i-1] = sorted[i*len(sorted)/k]
+	}
+	return cuts
+}
+
+func poolSize(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// routeRow maps a row to its shard ordinal.
+func (s *Sharded) routeRow(row []float64) int {
+	if s.partition == ByHash {
+		return int(hashRow(row) % uint64(len(s.shards)))
+	}
+	return s.routeValue(row[s.col])
+}
+
+// routeValue maps a range-column value to its shard: the first shard whose
+// upper cut exceeds v, so shard j holds cuts[j-1] <= v < cuts[j].
+func (s *Sharded) routeValue(v float64) int {
+	return sort.Search(len(s.cuts), func(j int) bool { return s.cuts[j] > v })
+}
+
+// hashRow is FNV-1a over the little-endian bit pattern of the row.
+func hashRow(row []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range row {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xff
+			h *= prime64
+			bits >>= 8
+		}
+	}
+	return h
+}
+
+// shardRange returns the inclusive shard interval a rectangle can match.
+// Only the query's native constraint on the range column prunes: translated
+// dependent constraints bound inliers, not the outliers that shards also
+// hold, so using them here would drop rows.
+func (s *Sharded) shardRange(r index.Rect) (lo, hi int) {
+	lo, hi = 0, len(s.shards)-1
+	if s.partition != ByRange || len(s.cuts) == 0 {
+		return lo, hi
+	}
+	if v := r.Min[s.col]; !math.IsInf(v, -1) {
+		lo = s.routeValue(v)
+	}
+	if v := r.Max[s.col]; !math.IsInf(v, 1) {
+		hi = s.routeValue(v)
+	}
+	return lo, hi
+}
+
+// Name implements index.Interface.
+func (s *Sharded) Name() string { return "COAX-sharded" }
+
+// Len implements index.Interface.
+func (s *Sharded) Len() int { return int(s.n.Load()) }
+
+// Dims implements index.Interface.
+func (s *Sharded) Dims() int { return s.dims }
+
+// NumShards reports K.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Partition reports the row-assignment scheme.
+func (s *Sharded) Partition() Partition { return s.partition }
+
+// RangeColumn reports the range-partition column, or -1 under ByHash.
+func (s *Sharded) RangeColumn() int { return s.col }
+
+// Cuts returns a copy of the range cut points (nil under ByHash or K=1).
+func (s *Sharded) Cuts() []float64 { return append([]float64(nil), s.cuts...) }
+
+// MemoryOverhead implements index.Interface: the sum of the shard
+// directories.
+func (s *Sharded) MemoryOverhead() int64 {
+	var b int64
+	for _, slot := range s.shards {
+		slot.mu.RLock()
+		b += slot.idx.MemoryOverhead()
+		slot.mu.RUnlock()
+	}
+	return b
+}
+
+// WithShard runs fn with shard i's index under its read lock; the snapshot
+// encoder uses it to serialise a shard that may be receiving inserts.
+func (s *Sharded) WithShard(i int, fn func(*core.COAX) error) error {
+	slot := s.shards[i]
+	slot.mu.RLock()
+	defer slot.mu.RUnlock()
+	return fn(slot.idx)
+}
+
+// Insert routes one row to its shard and inserts it under that shard's
+// write lock; concurrent queries keep running against every other shard.
+func (s *Sharded) Insert(row []float64) error {
+	if len(row) != s.dims {
+		return fmt.Errorf("shard: row has %d values, index has %d dims", len(row), s.dims)
+	}
+	slot := s.shards[s.routeRow(row)]
+	slot.mu.Lock()
+	err := slot.idx.Insert(row)
+	slot.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.n.Add(1)
+	return nil
+}
+
+// BatchVisitor receives one matching row per call together with the batch
+// position of the query it matched. The row slice is a stable copy (see the
+// package comment on visitor ownership).
+type BatchVisitor func(qi int, row []float64)
+
+// task is one (query, shard) probe of a fan-out.
+type task struct {
+	qi, si int
+	rows   []float64 // matching rows, flattened; filled by a worker
+}
+
+// Query implements index.Interface by fanning r across the shards it can
+// match. Rows are delivered on the calling goroutine.
+func (s *Sharded) Query(r index.Rect, visit index.Visitor) {
+	s.BatchQuery([]index.Rect{r}, func(_ int, row []float64) { visit(row) })
+}
+
+// BatchQuery answers a batch of rectangles in one fan-out: every (query,
+// overlapping shard) pair becomes a task, tasks run on a bounded worker
+// pool, and results are merged back in batch order on the calling
+// goroutine. Rows handed to visit are stable copies. Every query of the
+// batch is answered exactly, including duplicates and empty rectangles.
+func (s *Sharded) BatchQuery(rs []index.Rect, visit BatchVisitor) {
+	tasks := make([]task, 0, len(rs))
+	for qi, r := range rs {
+		if r.Empty() {
+			continue
+		}
+		lo, hi := s.shardRange(r)
+		for si := lo; si <= hi; si++ {
+			tasks = append(tasks, task{qi: qi, si: si})
+		}
+	}
+	if len(tasks) == 0 {
+		return
+	}
+
+	// Execute shard-major (counting sort by shard): consecutive probes hit
+	// the same shard's pages, keeping large batches cache-resident per
+	// shard. Merge order is unaffected — it walks tasks, which stays
+	// query-major.
+	order := make([]int, len(tasks))
+	starts := make([]int, len(s.shards)+1)
+	for i := range tasks {
+		starts[tasks[i].si+1]++
+	}
+	for si := 1; si <= len(s.shards); si++ {
+		starts[si] += starts[si-1]
+	}
+	for ti := range tasks {
+		order[starts[tasks[ti].si]] = ti
+		starts[tasks[ti].si]++
+	}
+
+	workers := min(s.workers, len(tasks))
+	if workers <= 1 {
+		for _, ti := range order {
+			s.runTask(rs, &tasks[ti])
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ti := range work {
+					s.runTask(rs, &tasks[ti])
+				}
+			}()
+		}
+		for _, ti := range order {
+			work <- ti
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Merge: tasks were appended in (qi, si) order, so delivery is
+	// deterministic. Full-capacity sub-slices keep a retaining visitor from
+	// reaching neighbouring rows through append.
+	for _, t := range tasks {
+		for o := 0; o+s.dims <= len(t.rows); o += s.dims {
+			visit(t.qi, t.rows[o:o+s.dims:o+s.dims])
+		}
+	}
+}
+
+// runTask probes one shard with one rectangle, copying matches into the
+// task's buffer — the merge-boundary copy that makes the delivered slices
+// stable.
+func (s *Sharded) runTask(rs []index.Rect, t *task) {
+	slot := s.shards[t.si]
+	slot.mu.RLock()
+	slot.idx.Query(rs[t.qi], func(row []float64) {
+		t.rows = append(t.rows, row...)
+	})
+	slot.mu.RUnlock()
+}
+
+// Stats summarises the sharded build.
+type Stats struct {
+	Shards          int
+	Rows            int
+	Dims            int
+	Partition       string
+	RangeColumn     int // -1 under ByHash
+	RowsPerShard    []int
+	MemoryOverheadB int64
+}
+
+// BuildStats reports the current shape of the sharded index.
+func (s *Sharded) BuildStats() Stats {
+	st := Stats{
+		Shards:      len(s.shards),
+		Rows:        s.Len(),
+		Dims:        s.dims,
+		Partition:   s.partition.String(),
+		RangeColumn: s.col,
+	}
+	st.RowsPerShard = make([]int, len(s.shards))
+	for i, slot := range s.shards {
+		slot.mu.RLock()
+		st.RowsPerShard[i] = slot.idx.Len()
+		st.MemoryOverheadB += slot.idx.MemoryOverhead()
+		slot.mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,129 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/snapshot"
+)
+
+func buildSharded(t testing.TB, so shard.Options) (*shard.Sharded, []index.Rect) {
+	t.Helper()
+	tab := testTable(t, "osm", 12000)
+	opt := core.DefaultOptions()
+	opt.SoftFD.SampleCount = 5000
+	s, err := shard.Build(tab, opt, so)
+	if err != nil {
+		t.Fatalf("shard.Build: %v", err)
+	}
+	return s, testQueries(tab)
+}
+
+func shardedToBytes(t testing.TB, s *shard.Sharded) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snapshot.EncodeSharded(&buf, s); err != nil {
+		t.Fatalf("EncodeSharded: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		so   shard.Options
+	}{
+		{"range4", shard.Options{NumShards: 4, Partition: shard.ByRange, Column: -1}},
+		{"hash3", shard.Options{NumShards: 3, Partition: shard.ByHash}},
+		{"single", shard.Options{NumShards: 1, Partition: shard.ByRange, Column: 0}},
+		{"manyShards", shard.Options{NumShards: 17, Partition: shard.ByRange, Column: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, queries := buildSharded(t, tc.so)
+			blob := shardedToBytes(t, s)
+			loaded, err := snapshot.DecodeSharded(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("DecodeSharded: %v", err)
+			}
+			if loaded.NumShards() != s.NumShards() || loaded.Len() != s.Len() || loaded.Dims() != s.Dims() {
+				t.Fatalf("shape changed: %d/%d/%d vs %d/%d/%d",
+					loaded.NumShards(), loaded.Len(), loaded.Dims(), s.NumShards(), s.Len(), s.Dims())
+			}
+			if loaded.Partition() != s.Partition() || loaded.RangeColumn() != s.RangeColumn() {
+				t.Fatalf("routing state changed: %v/%d vs %v/%d",
+					loaded.Partition(), loaded.RangeColumn(), s.Partition(), s.RangeColumn())
+			}
+			requireSameResults(t, s, loaded, queries)
+
+			// A loaded index must keep accepting inserts routed like the
+			// original: equal counts after the same insert on both.
+			row := make([]float64, s.Dims())
+			for i := range row {
+				row[i] = float64(i + 1)
+			}
+			if err := s.Insert(row); err != nil {
+				t.Fatalf("Insert original: %v", err)
+			}
+			if err := loaded.Insert(row); err != nil {
+				t.Fatalf("Insert loaded: %v", err)
+			}
+			full := index.Full(s.Dims())
+			if w, g := index.Count(s, full), index.Count(loaded, full); w != g {
+				t.Fatalf("post-insert counts diverge: %d vs %d", w, g)
+			}
+		})
+	}
+}
+
+// A shard count larger than the row variety leaves some shards empty; they
+// must round-trip too (empty COAX skeletons, no prim/outl sections).
+func TestShardedRoundTripEmptyShards(t *testing.T) {
+	s, queries := buildSharded(t, shard.Options{NumShards: 64, Partition: shard.ByRange, Column: 3})
+	blob := shardedToBytes(t, s)
+	loaded, err := snapshot.DecodeSharded(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("DecodeSharded: %v", err)
+	}
+	requireSameResults(t, s, loaded, queries)
+}
+
+func TestDecodeShardedRejectsSingle(t *testing.T) {
+	tab := testTable(t, "osm", 5000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob := saveToBytes(t, idx)
+	if _, err := snapshot.DecodeSharded(bytes.NewReader(blob)); !errors.Is(err, snapshot.ErrNotSharded) {
+		t.Fatalf("err = %v, want ErrNotSharded", err)
+	}
+}
+
+func TestDecodeRejectsSharded(t *testing.T) {
+	s, _ := buildSharded(t, shard.Options{NumShards: 2})
+	blob := shardedToBytes(t, s)
+	if _, err := snapshot.Decode(bytes.NewReader(blob)); !errors.Is(err, snapshot.ErrSharded) {
+		t.Fatalf("err = %v, want ErrSharded", err)
+	}
+}
+
+func TestShardedDecodeCorruption(t *testing.T) {
+	s, _ := buildSharded(t, shard.Options{NumShards: 3})
+	blob := shardedToBytes(t, s)
+
+	// Truncations at every framing-sensitive prefix must error, not panic.
+	for _, cut := range []int{0, 4, 8, 16, 20, 28, len(blob) / 2, len(blob) - 1} {
+		if _, err := snapshot.DecodeSharded(bytes.NewReader(blob[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Flipping payload bytes must fail the section checksum.
+	for _, pos := range []int{40, len(blob) / 3, 2 * len(blob) / 3} {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0xff
+		if _, err := snapshot.DecodeSharded(bytes.NewReader(mut)); err == nil {
+			t.Errorf("corruption at %d accepted", pos)
+		}
+	}
+}

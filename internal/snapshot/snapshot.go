@@ -26,6 +26,13 @@
 // inlier). A standalone table snapshot carries a single "tabl" section
 // with the column-major payload of internal/dataset.EncodeTable.
 //
+// A sharded snapshot (internal/shard) reuses the same container: a "shmt"
+// section records the shard layout (shard count, partition scheme, range
+// column, cut points), followed by one section per shard — ids "s000",
+// "s001", … (the ordinal in hex) — whose payload is itself a complete
+// single-index snapshot. Each shard therefore round-trips through the
+// exact codecs above, and every layer stays independently checksummed.
+//
 // Section payloads are produced and consumed by the per-layer codecs
 // (internal/core, internal/softfd, internal/gridfile, internal/rtree,
 // internal/dataset over internal/binio primitives); this package owns only
@@ -45,6 +52,7 @@ import (
 	"github.com/coax-index/coax/internal/binio"
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/shard"
 )
 
 // Version is the current snapshot format version.
@@ -54,12 +62,17 @@ var magic = [8]byte{'C', 'O', 'A', 'X', 'S', 'N', 'A', 'P'}
 
 // Section tags of format version 1.
 const (
-	secMeta     = "meta"
-	secSoftFD   = "sofd"
-	secPrimary  = "prim"
-	secOutliers = "outl"
-	secTable    = "tabl"
+	secMeta      = "meta"
+	secSoftFD    = "sofd"
+	secPrimary   = "prim"
+	secOutliers  = "outl"
+	secTable     = "tabl"
+	secShardMeta = "shmt"
 )
+
+// shardSection names the section holding shard i: "s" plus the ordinal in
+// three hex digits, which covers shard.MaxShards.
+func shardSection(i int) string { return fmt.Sprintf("s%03x", i) }
 
 // Sentinel errors; Decode wraps them with positional detail.
 var (
@@ -67,6 +80,10 @@ var (
 	ErrVersion   = errors.New("snapshot: unsupported format version")
 	ErrChecksum  = errors.New("snapshot: section checksum mismatch")
 	ErrTruncated = errors.New("snapshot: truncated file")
+	// ErrSharded is returned by Decode for a file holding a sharded index.
+	ErrSharded = errors.New("snapshot: file holds a sharded index (use DecodeSharded)")
+	// ErrNotSharded is returned by DecodeSharded for a single-index file.
+	ErrNotSharded = errors.New("snapshot: file holds a single index (use Decode)")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -111,6 +128,9 @@ func Decode(r io.Reader) (*core.COAX, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, ok := sections[secShardMeta]; ok {
+		return nil, ErrSharded
+	}
 	metaPayload, ok := sections[secMeta]
 	if !ok {
 		return nil, fmt.Errorf("snapshot: missing %q section", secMeta)
@@ -140,6 +160,92 @@ func Decode(r io.Reader) (*core.COAX, error) {
 		return nil, err
 	}
 	return idx, nil
+}
+
+// EncodeSharded writes a sharded index to w: one "shmt" layout section,
+// then one section per shard whose payload is a complete single-index
+// snapshot. Each shard is serialised under its read lock, so encoding is
+// safe while the index keeps serving queries and inserts; shards encoded
+// earlier may miss inserts that land later during the write (the snapshot
+// is per-shard consistent, not a global point-in-time cut).
+func EncodeSharded(w io.Writer, s *shard.Sharded) error {
+	k := s.NumShards()
+	if err := writeHeader(w, 1+k); err != nil {
+		return err
+	}
+
+	layout := binio.NewWriter()
+	layout.Int(k)
+	layout.Int(int(s.Partition()))
+	layout.Int(s.RangeColumn())
+	layout.Float64s(s.Cuts())
+	layout.Int(s.Dims())
+	if err := writeSection(w, secShardMeta, layout.Bytes()); err != nil {
+		return err
+	}
+
+	for i := 0; i < k; i++ {
+		var buf bytes.Buffer
+		err := s.WithShard(i, func(idx *core.COAX) error { return Encode(&buf, idx) })
+		if err != nil {
+			return fmt.Errorf("snapshot: encoding shard %d: %w", i, err)
+		}
+		if err := writeSection(w, shardSection(i), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeSharded reads a snapshot written by EncodeSharded and reassembles
+// the sharded index. The result answers queries identically to the index
+// that was saved and is immediately safe for concurrent use.
+func DecodeSharded(r io.Reader) (*shard.Sharded, error) {
+	sections, err := readFile(r)
+	if err != nil {
+		return nil, err
+	}
+	layout, ok := sections[secShardMeta]
+	if !ok {
+		if _, single := sections[secMeta]; single {
+			return nil, ErrNotSharded
+		}
+		return nil, fmt.Errorf("snapshot: missing %q section", secShardMeta)
+	}
+	br := binio.NewReader(layout)
+	k := br.Int()
+	partition := shard.Partition(br.Int())
+	col := br.Int()
+	cuts := br.Float64s()
+	dims := br.Int()
+	if err := br.Close(); err != nil {
+		return nil, fmt.Errorf("snapshot: section %q: %w", secShardMeta, err)
+	}
+	if k < 1 || k > shard.MaxShards {
+		return nil, fmt.Errorf("snapshot: shard count %d out of range [1,%d]", k, shard.MaxShards)
+	}
+
+	shards := make([]*core.COAX, k)
+	for i := range shards {
+		id := shardSection(i)
+		payload, ok := sections[id]
+		if !ok {
+			return nil, fmt.Errorf("snapshot: missing shard section %q", id)
+		}
+		idx, err := Decode(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: shard %d: %w", i, err)
+		}
+		if idx.Dims() != dims {
+			return nil, fmt.Errorf("snapshot: shard %d has %d dims, layout says %d", i, idx.Dims(), dims)
+		}
+		shards[i] = idx
+	}
+	s, err := shard.Reassemble(shards, partition, col, cuts, 0)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return s, nil
 }
 
 // EncodeTable writes a standalone table snapshot — the column-major
@@ -289,7 +395,10 @@ func readFile(r io.Reader) (map[string][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	sections := make(map[string][]byte, count)
+	// The declared section count is untrusted input: a crafted header can
+	// claim 2³² sections, so it must not size an allocation up front (found
+	// by fuzzing). Truncation errors cap the loop at the real section count.
+	sections := make(map[string][]byte, min(count, 64))
 	for i := uint32(0); i < count; i++ {
 		id, payload, _, err := readSection(r)
 		if err != nil {

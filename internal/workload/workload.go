@@ -169,6 +169,26 @@ func (g *Generator) SelectivityRects(count, target int) ([]index.Rect, error) {
 	return out, nil
 }
 
+// RandRect returns one random rectangle over t for randomised testing:
+// each dimension is independently left unconstrained (35%) or bounded by
+// the ordered values of two random rows, so rectangles range from full
+// scans to empty slivers while always lying inside the data's support.
+func RandRect(rng *rand.Rand, t *dataset.Table) index.Rect {
+	r := index.Full(t.Dims())
+	for d := 0; d < t.Dims(); d++ {
+		if rng.Float64() < 0.35 {
+			continue
+		}
+		a := t.Row(rng.Intn(t.Len()))[d]
+		b := t.Row(rng.Intn(t.Len()))[d]
+		if a > b {
+			a, b = b, a
+		}
+		r.Min[d], r.Max[d] = a, b
+	}
+	return r
+}
+
 // PartialRects generates count rectangles that constrain only the listed
 // dimensions (others unbounded), each constrained dimension getting the
 // quantile window [center−width/2, center+width/2] around a random seed.
