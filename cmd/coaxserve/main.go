@@ -4,22 +4,34 @@
 // Usage:
 //
 //	coaxserve serve -dataset osm -rows 500000 -shards 8 -addr :8080 -save osm-sharded.coax
-//	coaxserve serve -in osm-sharded.coax
+//	coaxserve serve -in osm-sharded.coax -compact-interval 30s
 //	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json
+//	coaxserve mutbench -rows 200000 -shards 4 -json BENCH_mutation.json
 //
 // The serve mode loads a sharded snapshot (or builds one over a synthetic
 // dataset at startup) and answers:
 //
 //	GET  /healthz  liveness probe
-//	GET  /stats    index shape: rows, dims, shards, partition, overheads
+//	GET  /stats    index shape plus lifecycle health: outlier/tombstone
+//	               ratios, model drift, per-shard rebuild epochs, staleness
 //	POST /query    {"min":[...],"max":[...],"limit":100} — null bounds are
 //	               unconstrained; responds {"count":N,"rows":[[...],...]}
 //	POST /batch    {"queries":[{...},...]} — one fan-out for the whole batch
 //	POST /insert   {"row":[...]} — routes the row to its shard
+//	POST /delete   {"row":[...]} — removes one exact-match row (404 if absent)
+//	POST /update   {"old":[...],"new":[...]} — replaces one row
+//	POST /compact  rebuild stale shards online now (?force=true: all shards)
+//
+// A background compactor (-compact-interval) polls the same staleness
+// thresholds and rebuilds drifted shards automatically — the self-healing
+// loop; queries keep being served from the old epoch during every rebuild.
 //
 // The bench mode generates a rectangle workload, measures a serial
 // single-shard baseline, then sweeps shard count × batch size through
 // BatchQuery, reporting QPS and p50/p99 latency (see BENCH_serve.json).
+// The mutbench mode measures query QPS/p99 before a drift-inducing write
+// workload, during the online rebuild it triggers, and after the epoch
+// swap (see BENCH_mutation.json).
 package main
 
 import (
@@ -38,6 +50,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "mutbench":
+		err = cmdMutBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -56,8 +70,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `coaxserve — sharded concurrent COAX query serving
 
 subcommands:
-  serve   answer HTTP/JSON queries from a sharded index
-  bench   measure QPS and latency vs. shard count and batch size
+  serve     answer HTTP/JSON queries and mutations from a sharded index
+  bench     measure QPS and latency vs. shard count and batch size
+  mutbench  measure query latency before/during/after an online rebuild
 
 run 'coaxserve <subcommand> -h' for flags`)
 }

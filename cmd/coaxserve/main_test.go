@@ -20,7 +20,8 @@ func testServer(t *testing.T) (*coax.ShardedIndex, *httptest.Server) {
 	if err != nil {
 		t.Fatalf("BuildSharded: %v", err)
 	}
-	srv := httptest.NewServer(newServerMux(idx))
+	th := coax.DefaultThresholds()
+	srv := httptest.NewServer(newServerMux(idx, coax.NewCompactor(idx, th, 0), th))
 	t.Cleanup(srv.Close)
 	return idx, srv
 }

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/lifecycle"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/softfd"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// Mutation-mix benchmark: measures query QPS and tail latency before a
+// drift-inducing write workload, while the stale shards rebuild online,
+// and after the epoch swaps land — the serving-layer cost of self-healing.
+// The headline number is p99_during / p99_steady: how much the online
+// rebuild disturbs the query tail (the design goal is "a little", since
+// detection and construction run off the query path and only the collect
+// and swap steps briefly block one shard's writes).
+
+// phaseReport measures one query-loop phase.
+type phaseReport struct {
+	Phase   string  `json:"phase"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50us   float64 `json:"p50_us"`
+	P99us   float64 `json:"p99_us"`
+}
+
+// mutationReport is the JSON shape written to BENCH_mutation.json.
+type mutationReport struct {
+	Dataset      string               `json:"dataset"`
+	Rows         int                  `json:"rows"`
+	Shards       int                  `json:"shards"`
+	QueryWorkers int                  `json:"query_workers"`
+	CPUs         int                  `json:"cpus"`
+	Thresholds   lifecycle.Thresholds `json:"thresholds"`
+
+	DriftOps           int     `json:"drift_ops"`
+	OutlierRatioBase   float64 `json:"outlier_ratio_base"`
+	OutlierRatioDrift  float64 `json:"outlier_ratio_after_drift"`
+	OutlierRatioHealed float64 `json:"outlier_ratio_after_rebuild"`
+	StaleShards        int     `json:"stale_shards"`
+	RebuiltShards      []int   `json:"rebuilt_shards"`
+	RebuildMS          float64 `json:"rebuild_ms"`
+
+	Steady  phaseReport `json:"steady"`
+	During  phaseReport `json:"during_rebuild"`
+	After   phaseReport `json:"after_rebuild"`
+	P99Blow float64     `json:"p99_during_over_steady"`
+}
+
+func cmdMutBench(args []string) error {
+	fs := flag.NewFlagSet("mutbench", flag.ExitOnError)
+	th := lifecycle.DefaultThresholds()
+	var (
+		ds      = fs.String("dataset", "osm", "dataset: osm|airline")
+		rows    = fs.Int("rows", 200000, "dataset size")
+		shards  = fs.Int("shards", 4, "shard count")
+		queries = fs.Int("queries", 1500, "queries per measured phase")
+		knn     = fs.Int("knn", 100, "rectangle size: k nearest records of a random seed row")
+		qwork   = fs.Int("query-workers", 4, "concurrent query goroutines")
+		maxOps  = fs.Int("max-drift-ops", 0, "cap on drift mutations (0: half the dataset size)")
+		jsonOut = fs.String("json", "", "also write the report as JSON to this path")
+	)
+	fs.Float64Var(&th.MaxOutlierRatio, "max-outlier-ratio", th.MaxOutlierRatio, "outlier fraction marking a shard stale")
+	fs.Parse(args)
+
+	tab, err := makeTable(*ds, *rows)
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions()
+	fd, err := softfd.Detect(tab, opt.SoftFD)
+	if err != nil {
+		return err
+	}
+	s, err := shard.BuildWithFD(tab, fd, opt, shard.Options{NumShards: *shards})
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(tab, 1)
+	rects := gen.KNNRects(*queries, *knn)
+
+	rep := mutationReport{
+		Dataset:          *ds,
+		Rows:             tab.Len(),
+		Shards:           s.NumShards(),
+		QueryWorkers:     *qwork,
+		CPUs:             runtime.NumCPU(),
+		Thresholds:       th,
+		OutlierRatioBase: s.LifecycleStats().OutlierRatio,
+	}
+
+	// Phase 1 — steady state: queries only, no mutations in flight.
+	rep.Steady = measurePhase("steady", s, rects, *qwork, *queries, nil)
+	printPhase(rep.Steady)
+
+	// Phase 2 — drift: hammer the engine with a write mix whose inserts
+	// deliberately violate the learned models (perturbed on the dependent
+	// columns) until every shard trips the outlier-ratio threshold.
+	deps := fd.DependentColumns()
+	perturb := make([]int, 0, len(deps))
+	for c := range deps {
+		perturb = append(perturb, c)
+	}
+	sort.Ints(perturb)
+	mix := workload.NewMixGenerator(tab, 2, workload.MixConfig{
+		InsertWeight: 6,
+		DeleteWeight: 1,
+		UpdateWeight: 1,
+		OutlierFrac:  0.8,
+		PerturbCols:  perturb,
+	})
+	opCap := *maxOps
+	if opCap <= 0 {
+		opCap = tab.Len()
+	}
+	for rep.DriftOps = 0; rep.DriftOps < opCap; rep.DriftOps++ {
+		// Drive until the aggregate outlier ratio itself trips the
+		// threshold — the degenerate state the rebuild exists to fix.
+		if rep.DriftOps%2048 == 0 && s.LifecycleStats().OutlierRatio > th.MaxOutlierRatio {
+			break
+		}
+		if err := applyMixOp(s, mix.Next()); err != nil {
+			return fmt.Errorf("drift op %d: %w", rep.DriftOps, err)
+		}
+	}
+	rep.OutlierRatioDrift = s.LifecycleStats().OutlierRatio
+	rep.StaleShards = len(s.StaleShards(th))
+	fmt.Printf("drift: %d ops, outlier ratio %.3f → %.3f, %d/%d shards stale\n",
+		rep.DriftOps, rep.OutlierRatioBase, rep.OutlierRatioDrift, rep.StaleShards, s.NumShards())
+
+	// Phase 3 — rebuild every stale shard online while the query loop
+	// keeps running; the phase measures the queries that complete while at
+	// least one rebuild is in flight (and keeps going to the query budget
+	// so the percentiles are comparable).
+	done := make(chan struct{})
+	t0 := time.Now()
+	var rebuildErr error
+	go func() {
+		defer close(done)
+		rep.RebuiltShards, rebuildErr = s.RebuildStale(th)
+	}()
+	rep.During = measurePhase("during_rebuild", s, rects, *qwork, *queries, done)
+	<-done
+	rep.RebuildMS = float64(time.Since(t0).Microseconds()) / 1000
+	if rebuildErr != nil {
+		return fmt.Errorf("rebuild: %w", rebuildErr)
+	}
+	printPhase(rep.During)
+	rep.OutlierRatioHealed = s.LifecycleStats().OutlierRatio
+	fmt.Printf("rebuilt %v in %.0fms, outlier ratio %.3f → %.3f\n",
+		rep.RebuiltShards, rep.RebuildMS, rep.OutlierRatioDrift, rep.OutlierRatioHealed)
+
+	// Phase 4 — steady state again on the fresh epochs.
+	rep.After = measurePhase("after_rebuild", s, rects, *qwork, *queries, nil)
+	printPhase(rep.After)
+
+	if rep.Steady.P99us > 0 {
+		rep.P99Blow = rep.During.P99us / rep.Steady.P99us
+	}
+	fmt.Printf("p99 during rebuild: %.2fx steady-state\n", rep.P99Blow)
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// applyMixOp drives one generated mutation into the engine (queries in the
+// mix are executed unmeasured, just for load).
+func applyMixOp(s *shard.Sharded, op workload.MixOp) error {
+	switch op.Kind {
+	case workload.OpInsert:
+		return s.Insert(op.Row)
+	case workload.OpDelete:
+		return s.Delete(op.Row)
+	case workload.OpUpdate:
+		return s.Update(op.Old, op.New)
+	default:
+		index.Count(s, op.Rect)
+		return nil
+	}
+}
+
+// measurePhase runs minQueries rectangle queries across workers goroutines
+// (round-robin over the workload) and reports throughput and latency
+// percentiles. With a non-nil running channel the loop also keeps querying
+// until that channel closes, so the phase spans the whole background
+// rebuild it is measuring.
+func measurePhase(name string, s *shard.Sharded, rects []index.Rect, workers, minQueries int, running <-chan struct{}) phaseReport {
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		lat  []time.Duration
+		wg   sync.WaitGroup
+	)
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, minQueries/workers+1)
+		loop:
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(minQueries) {
+					if running == nil {
+						break loop
+					}
+					select {
+					case <-running:
+						break loop
+					default:
+					}
+				}
+				r := rects[int(i)%len(rects)]
+				q0 := time.Now()
+				index.Count(s, r)
+				local = append(local, time.Since(q0))
+			}
+			mu.Lock()
+			lat = append(lat, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	total := time.Since(t0)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return phaseReport{
+		Phase:   name,
+		Queries: len(lat),
+		QPS:     float64(len(lat)) / total.Seconds(),
+		P50us:   us(percentile(lat, 0.50)),
+		P99us:   us(percentile(lat, 0.99)),
+	}
+}
+
+func printPhase(p phaseReport) {
+	fmt.Printf("%-16s %7d queries %10.0f qps   p50 %8.1fµs   p99 %8.1fµs\n",
+		p.Phase, p.Queries, p.QPS, p.P50us, p.P99us)
+}

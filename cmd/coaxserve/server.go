@@ -12,6 +12,7 @@ import (
 
 	"github.com/coax-index/coax/coax"
 	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/shard"
 )
 
@@ -29,6 +30,7 @@ const (
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	th := lifecycle.DefaultThresholds()
 	var (
 		addr    = fs.String("addr", ":8080", "listen address")
 		in      = fs.String("in", "", "serve from this snapshot (sharded or single-index)")
@@ -37,7 +39,13 @@ func cmdServe(args []string) error {
 		shards  = fs.Int("shards", 0, "shard count (0: one per CPU)")
 		workers = fs.Int("workers", 0, "query fan-out workers (0: one per CPU)")
 		save    = fs.String("save", "", "persist the index as a sharded snapshot before serving")
+		sweep   = fs.Duration("compact-interval", 30*time.Second, "background compactor poll interval (0 disables self-healing; /compact still works)")
 	)
+	fs.Float64Var(&th.MaxOutlierRatio, "max-outlier-ratio", th.MaxOutlierRatio, "outlier fraction marking a shard stale")
+	fs.Float64Var(&th.MinOutlierGain, "min-outlier-gain", th.MinOutlierGain, "required outlier-ratio growth over the build-time baseline (guards against rebuild loops; 0 disables)")
+	fs.Float64Var(&th.MaxTombstoneRatio, "max-tombstone-ratio", th.MaxTombstoneRatio, "tombstone fraction marking a shard stale")
+	fs.Float64Var(&th.MaxResidualDrift, "max-residual-drift", th.MaxResidualDrift, "normalised model-residual drift marking a shard stale")
+	fs.Int64Var(&th.MinMutations, "min-mutations", th.MinMutations, "mutations required before staleness is evaluated")
 	fs.Parse(args)
 
 	idx, err := openIndex(*in, *ds, *rows, *shards, *workers)
@@ -50,13 +58,22 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf("saved sharded snapshot to %s\n", *save)
 	}
+
+	compactor := lifecycle.NewCompactor(idx, th, *sweep)
+	if *sweep > 0 {
+		if err := compactor.Start(); err != nil {
+			return err
+		}
+		defer compactor.Stop()
+	}
+
 	st := idx.BuildStats()
-	fmt.Printf("serving %d rows × %d dims on %d %s shard(s) at %s\n",
-		st.Rows, st.Dims, st.Shards, st.Partition, *addr)
+	fmt.Printf("serving %d rows × %d dims on %d %s shard(s) at %s (compactor: %v)\n",
+		st.Rows, st.Dims, st.Shards, st.Partition, *addr, *sweep)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServerMux(idx),
+		Handler:           newServerMux(idx, compactor, th),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return srv.ListenAndServe()
@@ -133,6 +150,11 @@ type insertRequest struct {
 	Row []float64 `json:"row"`
 }
 
+type updateRequest struct {
+	Old []float64 `json:"old"`
+	New []float64 `json:"new"`
+}
+
 type statsResponse struct {
 	Rows            int    `json:"rows"`
 	Dims            int    `json:"dims"`
@@ -141,6 +163,24 @@ type statsResponse struct {
 	RangeColumn     int    `json:"range_column"`
 	RowsPerShard    []int  `json:"rows_per_shard"`
 	MemoryOverheadB int64  `json:"memory_overhead_bytes"`
+
+	// Index-health signals: aggregated lifecycle counters (outlier ratio,
+	// tombstone ratio, drift, mutation counts), the per-shard rebuild
+	// epochs, and whether the engine is stale under the serving thresholds
+	// — what an operator watches to see drift and self-healing happen.
+	Lifecycle    lifecycle.Stats        `json:"lifecycle"`
+	ShardEpochs  []uint64               `json:"shard_epochs"`
+	Stale        bool                   `json:"stale"`
+	StaleReasons []string               `json:"stale_reasons,omitempty"`
+	LastSweep    *lifecycle.SweepResult `json:"last_sweep,omitempty"`
+}
+
+type compactResponse struct {
+	Forced  bool     `json:"forced"`
+	Stale   []int    `json:"stale,omitempty"`
+	Rebuilt []int    `json:"rebuilt,omitempty"`
+	Errors  []string `json:"errors,omitempty"`
+	Epochs  []uint64 `json:"epochs"`
 }
 
 func (q *rectRequest) rect(dims int) (coax.Rect, error) {
@@ -181,7 +221,7 @@ func (q *rectRequest) limit() int {
 
 // newServerMux wires the HTTP surface over idx. ShardedIndex is safe for
 // fully concurrent use, so handlers need no extra locking.
-func newServerMux(idx *coax.ShardedIndex) *http.ServeMux {
+func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lifecycle.Thresholds) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -190,7 +230,30 @@ func newServerMux(idx *coax.ShardedIndex) *http.ServeMux {
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := idx.BuildStats()
-		writeJSON(w, http.StatusOK, statsResponse{
+		// One per-shard stats pass serves both views: the aggregate is
+		// merged from it rather than recomputed by LifecycleStats (which
+		// would take every shard lock a second time).
+		per := idx.ShardLifecycleStats()
+		life := lifecycle.Merge(per)
+		epochs := make([]uint64, len(per))
+		// Staleness is a per-shard property (that is what the compactor
+		// rebuilds); aggregating first would let one badly drifted shard
+		// hide behind healthy neighbours and report stale=false while
+		// epochs visibly advance.
+		var (
+			stale   bool
+			reasons []string
+		)
+		for i, p := range per {
+			epochs[i] = p.Epoch
+			if s, rs := p.Stale(th); s {
+				stale = true
+				for _, r := range rs {
+					reasons = append(reasons, fmt.Sprintf("shard %d: %s", i, r))
+				}
+			}
+		}
+		resp := statsResponse{
 			Rows:            st.Rows,
 			Dims:            st.Dims,
 			Shards:          st.Shards,
@@ -198,7 +261,15 @@ func newServerMux(idx *coax.ShardedIndex) *http.ServeMux {
 			RangeColumn:     st.RangeColumn,
 			RowsPerShard:    st.RowsPerShard,
 			MemoryOverheadB: st.MemoryOverheadB,
-		})
+			Lifecycle:       life,
+			ShardEpochs:     epochs,
+			Stale:           stale,
+			StaleReasons:    reasons,
+		}
+		if last := compactor.Last(); !last.At.IsZero() {
+			resp.LastSweep = &last
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, req *http.Request) {
@@ -247,25 +318,79 @@ func newServerMux(idx *coax.ShardedIndex) *http.ServeMux {
 		writeJSON(w, http.StatusOK, resp)
 	})
 
+	// Mutations validate inside the engine (the shared
+	// lifecycle.ValidateRow path), so the handlers just map error kinds to
+	// status codes.
 	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, req *http.Request) {
 		var ins insertRequest
 		if !readJSON(w, req, &ins) {
 			return
 		}
-		for i, v := range ins.Row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("row[%d] is not finite", i))
-				return
-			}
-		}
 		if err := idx.Insert(ins.Row); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeMutationError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"rows": idx.Len()})
 	})
 
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, req *http.Request) {
+		var del insertRequest
+		if !readJSON(w, req, &del) {
+			return
+		}
+		if err := idx.Delete(del.Row); err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"rows": idx.Len()})
+	})
+
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, req *http.Request) {
+		var up updateRequest
+		if !readJSON(w, req, &up) {
+			return
+		}
+		if err := idx.Update(up.Old, up.New); err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"rows": idx.Len()})
+	})
+
+	// /compact rebuilds stale shards now (?force=true rebuilds all). The
+	// rebuilds run online — queries keep being served from the old epochs
+	// while replacements are built.
+	mux.HandleFunc("POST /compact", func(w http.ResponseWriter, req *http.Request) {
+		resp := compactResponse{Forced: req.URL.Query().Get("force") == "true"}
+		if resp.Forced {
+			// Route through the compactor so a forced rebuild serialises
+			// with any in-flight periodic sweep instead of colliding with
+			// it shard by shard.
+			sweep, _ := compactor.ForceSweep()
+			resp.Rebuilt, resp.Errors = sweep.Rebuilt, sweep.Errs
+		} else {
+			sweep := compactor.Kick()
+			resp.Stale, resp.Rebuilt, resp.Errors = sweep.Stale, sweep.Rebuilt, sweep.Errs
+		}
+		resp.Epochs = idx.Epochs()
+		writeJSON(w, http.StatusOK, resp)
+	})
+
 	return mux
+}
+
+// writeMutationError maps engine errors to HTTP statuses: invalid rows are
+// the client's fault, a missing row is 404, anything else is internal.
+func writeMutationError(w http.ResponseWriter, err error) {
+	var rowErr *lifecycle.RowError
+	switch {
+	case errors.As(err, &rowErr):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, core.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 func runQuery(idx *coax.ShardedIndex, r coax.Rect, limit int) queryResponse {

@@ -28,9 +28,12 @@ import (
 	"os"
 	"path/filepath"
 
+	"time"
+
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/snapshot"
 	"github.com/coax-index/coax/internal/softfd"
@@ -106,12 +109,55 @@ type PairModel = softfd.PairModel
 type Stats = core.Stats
 
 // Index is a built COAX index. It is safe for concurrent readers once
-// built; it does not support concurrent mutation (the structure is static,
-// matching the paper).
+// built, and supports single-writer mutation: Insert, Delete, and Update
+// classify each row against the learned models and route it into (or out
+// of) the primary or outlier partition; deletes tombstone main-page rows
+// and queries filter the tombstones at the visitor boundary. Watch
+// LifecycleStats for drift and call Rebuild when the index goes stale; for
+// fully concurrent mutation and online self-healing use ShardedIndex.
 type Index = core.COAX
 
 // Build learns the soft FDs of t and constructs the index.
 func Build(t *Table, opt Options) (*Index, error) { return core.Build(t, opt) }
+
+// ErrNotFound is returned by Delete and Update when no live row equals the
+// given one.
+var ErrNotFound = core.ErrNotFound
+
+// ErrRebuildInProgress is returned by ShardedIndex.RebuildShard when that
+// shard is already mid-rebuild.
+var ErrRebuildInProgress = shard.ErrRebuildInProgress
+
+// LifecycleStats is the mutation-health snapshot of an Index or
+// ShardedIndex: live/stored/tombstoned row counts, outlier ratio against
+// its build-time baseline, per-dependency model residual drift, mutation
+// counters, and the rebuild epoch.
+type LifecycleStats = lifecycle.Stats
+
+// GroupDrift reports how far inserted rows have drifted from one learned
+// dependency since the last build.
+type GroupDrift = lifecycle.GroupDrift
+
+// Thresholds configures when an index counts as stale (outlier ratio,
+// tombstone ratio, residual drift, minimum mutation count).
+type Thresholds = lifecycle.Thresholds
+
+// DefaultThresholds returns the staleness rules used by the serving layer.
+func DefaultThresholds() Thresholds { return lifecycle.DefaultThresholds() }
+
+// Compactor is the background maintenance loop: it polls a ShardedIndex
+// for shards stale under its thresholds and rebuilds them online — the
+// self-healing loop of cmd/coaxserve.
+type Compactor = lifecycle.Compactor
+
+// SweepResult summarises one compactor pass.
+type SweepResult = lifecycle.SweepResult
+
+// NewCompactor creates a compactor over idx; call Start for background
+// polling, Kick for an immediate sweep, Stop to shut it down.
+func NewCompactor(idx *ShardedIndex, th Thresholds, interval time.Duration) *Compactor {
+	return lifecycle.NewCompactor(idx, th, interval)
+}
 
 // Save writes a built index to w in the versioned COAX snapshot format
 // (magic, format version, checksummed sections — see internal/snapshot). A
@@ -200,7 +246,11 @@ func LoadFile(path string) (*Index, error) {
 // ShardedIndex is a partitioned COAX index built by BuildSharded. It
 // answers Query interchangeably with *Index, adds BatchQuery for amortised
 // fan-out over many rectangles, and — unlike *Index — is safe for fully
-// concurrent use: Query, BatchQuery, and Insert may race freely.
+// concurrent use: Query, BatchQuery, Insert, Delete, and Update may race
+// freely. Shards rebuild independently and online (RebuildShard,
+// RebuildStale, or a background Compactor): queries and mutations keep
+// running against the old epoch while its replacement is built, a delta
+// log catches the swap up, and only that one shard's writes block briefly.
 type ShardedIndex = shard.Sharded
 
 // ShardOptions configures BuildSharded. Start from DefaultShardOptions.

@@ -13,6 +13,7 @@ import (
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/gridfile"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/rtree"
 	"github.com/coax-index/coax/internal/softfd"
 )
@@ -91,6 +92,14 @@ type COAX struct {
 	primaryCells    int
 	outlierKind     OutlierIndexKind
 	outlierRTreeCap int
+
+	// Lifecycle state (see mutate.go): the full build options retained for
+	// Rebuild, the mutation/drift tracker, the rebuild generation, and the
+	// outlier ratio measured at build time (the staleness baseline).
+	opt              Options
+	tracker          *lifecycle.Tracker
+	epoch            uint64
+	baseOutlierRatio float64
 }
 
 var _ index.Interface = (*COAX)(nil)
@@ -121,6 +130,7 @@ func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error)
 		primaryCells:    opt.PrimaryCellsPerDim,
 		outlierKind:     opt.OutlierKind,
 		outlierRTreeCap: opt.OutlierRTreeCapacity,
+		opt:             opt,
 	}
 	if c.primaryCells < 1 {
 		c.primaryCells = 1
@@ -136,6 +146,7 @@ func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error)
 			c.depends[m.D] = m
 		}
 	}
+	c.initTracker()
 
 	if err := c.pickSortDim(opt); err != nil {
 		return nil, err
@@ -143,6 +154,9 @@ func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error)
 
 	primaryTab, outlierTab := c.split(t)
 	c.primaryN, c.outlierN = primaryTab.Len(), outlierTab.Len()
+	if c.n > 0 {
+		c.baseOutlierRatio = float64(c.outlierN) / float64(c.n)
+	}
 
 	if primaryTab.Len() > 0 {
 		cfg := gridfile.Config{

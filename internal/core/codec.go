@@ -6,6 +6,7 @@ import (
 	"github.com/coax-index/coax/internal/binio"
 	"github.com/coax-index/coax/internal/gridfile"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/rtree"
 	"github.com/coax-index/coax/internal/softfd"
 )
@@ -100,7 +101,10 @@ func DecodeMeta(r *binio.Reader) (*COAX, error) {
 	if c.primaryCells < 1 || c.outlierRTreeCap < 2 {
 		return nil, fmt.Errorf("core: invalid build parameters (cells=%d, rtree cap=%d)", c.primaryCells, c.outlierRTreeCap)
 	}
-	if wantPrimary != (c.primaryN > 0) || wantOutliers != (c.outlierN > 0) {
+	// A structure may outlive its last live row (deletes tombstone rather
+	// than drop pages), so presence may exceed the live counts — but live
+	// rows without a structure to hold them are corrupt.
+	if (!wantPrimary && c.primaryN > 0) || (!wantOutliers && c.outlierN > 0) {
 		return nil, fmt.Errorf("core: presence flags disagree with partition counts")
 	}
 	for _, b := range [][]float64{c.primaryBounds.Min, c.primaryBounds.Max, c.outlierBounds.Min, c.outlierBounds.Max} {
@@ -136,7 +140,10 @@ func (c *COAX) DecodeAttachFD(r *binio.Reader) error {
 	return nil
 }
 
-// DecodeAttachPrimary reads a primary-grid section and installs it.
+// DecodeAttachPrimary reads a primary-grid section and installs it. The
+// exact live-row count is checked in FinishDecode, after any lifecycle
+// section has installed its tombstones; here only the stored count is
+// bounded (stored rows can exceed the live count, never undercut it).
 func (c *COAX) DecodeAttachPrimary(r *binio.Reader) error {
 	g, err := gridfile.Decode(r)
 	if err != nil {
@@ -145,15 +152,16 @@ func (c *COAX) DecodeAttachPrimary(r *binio.Reader) error {
 	if g.Dims() != c.dims {
 		return fmt.Errorf("core: primary grid has %d dims, index has %d", g.Dims(), c.dims)
 	}
-	if g.Len() != c.primaryN {
-		return fmt.Errorf("core: primary grid holds %d rows, meta says %d", g.Len(), c.primaryN)
+	if g.StoredRows() < c.primaryN {
+		return fmt.Errorf("core: primary grid stores %d rows, meta says %d live", g.StoredRows(), c.primaryN)
 	}
 	c.primary = g
 	return nil
 }
 
 // DecodeAttachOutliers reads an outlier-index section and installs it,
-// dispatching on the kind recorded in the meta section.
+// dispatching on the kind recorded in the meta section. As with the
+// primary, the exact live-row check waits for FinishDecode.
 func (c *COAX) DecodeAttachOutliers(r *binio.Reader) error {
 	var (
 		idx index.Interface
@@ -171,24 +179,114 @@ func (c *COAX) DecodeAttachOutliers(r *binio.Reader) error {
 	if idx.Dims() != c.dims {
 		return fmt.Errorf("core: outlier index has %d dims, index has %d", idx.Dims(), c.dims)
 	}
-	if idx.Len() != c.outlierN {
-		return fmt.Errorf("core: outlier index holds %d rows, meta says %d", idx.Len(), c.outlierN)
+	if idx.Len() < c.outlierN {
+		return fmt.Errorf("core: outlier index holds %d rows, meta says %d live", idx.Len(), c.outlierN)
 	}
 	c.outliers = idx
 	return nil
 }
 
+// EncodeLifecycle appends the lifecycle section: the rebuild epoch, the
+// staleness baseline, the mutation/drift tracker, and the tombstone slots
+// of the primary and (grid-file) outlier indexes, so a loaded snapshot
+// resumes mid-lifecycle instead of forgetting its drift history. An
+// in-flight epoch rebuild is deliberately not persisted: the serving epoch
+// already holds every mutation its delta log records, so after a load the
+// compactor simply re-detects staleness and restarts the rebuild.
+func (c *COAX) EncodeLifecycle(w *binio.Writer) {
+	w.Uint64(c.epoch)
+	w.Float64(c.baseOutlierRatio)
+	c.tracker.Encode(w)
+	var primaryDead, outlierDead []int64
+	if c.primary != nil {
+		primaryDead = c.primary.DeadSlots()
+	}
+	if g, ok := c.outliers.(*gridfile.GridFile); ok {
+		outlierDead = g.DeadSlots()
+	}
+	w.Int64s(primaryDead)
+	w.Int64s(outlierDead)
+}
+
+// DecodeAttachLifecycle reads a lifecycle section written by
+// EncodeLifecycle and installs it; it must run after the primary and
+// outlier sections are attached so the tombstone slots have pages to land
+// in.
+func (c *COAX) DecodeAttachLifecycle(r *binio.Reader) error {
+	c.epoch = r.Uint64()
+	c.baseOutlierRatio = r.Float64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if c.baseOutlierRatio < 0 || c.baseOutlierRatio > 1 {
+		return fmt.Errorf("core: base outlier ratio %v out of range [0,1]", c.baseOutlierRatio)
+	}
+	tr, err := lifecycle.DecodeTracker(r, c.dims)
+	if err != nil {
+		return err
+	}
+	c.tracker = tr
+	primaryDead := r.Int64s()
+	outlierDead := r.Int64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(primaryDead) > 0 {
+		if c.primary == nil {
+			return fmt.Errorf("core: lifecycle section tombstones a missing primary grid")
+		}
+		if err := c.primary.SetDeadSlots(primaryDead); err != nil {
+			return err
+		}
+	}
+	if len(outlierDead) > 0 {
+		g, ok := c.outliers.(*gridfile.GridFile)
+		if !ok {
+			return fmt.Errorf("core: lifecycle section tombstones outliers of kind %d", c.outlierKind)
+		}
+		if err := g.SetDeadSlots(outlierDead); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FinishDecode verifies the assembled index is complete and internally
-// consistent; it must be called after the attach steps.
+// consistent; it must be called after the attach steps (including the
+// lifecycle section, whose tombstones the live-row checks account for).
 func (c *COAX) FinishDecode() error {
 	if c.depends == nil {
 		return fmt.Errorf("core: snapshot is missing its FD section")
 	}
-	if (c.primary != nil) != (c.primaryN > 0) {
-		return fmt.Errorf("core: primary section presence disagrees with meta")
+	if c.primary == nil && c.primaryN > 0 {
+		return fmt.Errorf("core: meta declares %d primary rows but no primary section", c.primaryN)
 	}
-	if (c.outliers != nil) != (c.outlierN > 0) {
-		return fmt.Errorf("core: outlier section presence disagrees with meta")
+	if c.outliers == nil && c.outlierN > 0 {
+		return fmt.Errorf("core: meta declares %d outlier rows but no outlier section", c.outlierN)
+	}
+	if c.primary != nil && c.primary.Len() != c.primaryN {
+		return fmt.Errorf("core: primary grid holds %d live rows, meta says %d", c.primary.Len(), c.primaryN)
+	}
+	if c.outliers != nil && c.outliers.Len() != c.outlierN {
+		return fmt.Errorf("core: outlier index holds %d live rows, meta says %d", c.outliers.Len(), c.outlierN)
+	}
+	// Pre-lifecycle snapshots carry no tracker; start a fresh lifecycle at
+	// the loaded state (the current outlier ratio becomes the baseline).
+	if c.tracker == nil {
+		c.initTracker()
+		if c.n > 0 {
+			c.baseOutlierRatio = float64(c.outlierN) / float64(c.n)
+		}
+	}
+	// Rebuild needs the full options; the snapshot records the structural
+	// parameters, so reconstruct those and fall back to the default
+	// detector configuration (SortDim re-picks automatically on rebuild).
+	c.opt = Options{
+		SoftFD:               softfd.DefaultConfig(),
+		PrimaryCellsPerDim:   c.primaryCells,
+		OutlierKind:          c.outlierKind,
+		OutlierRTreeCapacity: c.outlierRTreeCap,
+		SortDim:              -1,
 	}
 	if c.primary != nil {
 		wantDims := c.primaryGridDims()

@@ -25,6 +25,16 @@ func NewTable(cols []string) *Table {
 	return &Table{Cols: c, dims: len(cols)}
 }
 
+// View wraps an existing row-major buffer as a table without copying; the
+// caller keeps ownership of both slices. len(data) must be a multiple of
+// len(cols).
+func View(cols []string, data []float64) *Table {
+	if len(cols) > 0 && len(data)%len(cols) != 0 {
+		panic(fmt.Sprintf("dataset: buffer length %d not divisible by %d columns", len(data), len(cols)))
+	}
+	return &Table{Cols: cols, Data: data, dims: len(cols)}
+}
+
 // Dims reports the number of columns.
 func (t *Table) Dims() int { return t.dims }
 

@@ -61,6 +61,14 @@ type GridFile struct {
 	// Compact.
 	overflow map[int]*overflowPage
 	inserted int
+
+	// Delete support (see insert.go): a tombstone bitmap over the main
+	// pages' row slots. Queries skip dead slots at the visitor boundary;
+	// Compact physically drops them. Overflow-page rows are removed in
+	// place instead (the pages are small and mutable), so the bitmap only
+	// ever covers len(data)/dims slots.
+	dead      []uint64
+	deadCount int
 }
 
 var _ index.Interface = (*GridFile)(nil)
@@ -247,8 +255,16 @@ func (g *GridFile) Name() string {
 	return "GridFile"
 }
 
-// Len implements index.Interface.
-func (g *GridFile) Len() int { return g.n }
+// Len implements index.Interface: the number of live (non-tombstoned)
+// rows a query can match.
+func (g *GridFile) Len() int { return g.n - g.deadCount }
+
+// StoredRows reports the number of rows physically held in pages,
+// including tombstoned ones awaiting Compact.
+func (g *GridFile) StoredRows() int { return g.n }
+
+// Tombstones reports the number of dead rows still occupying main pages.
+func (g *GridFile) Tombstones() int { return g.deadCount }
 
 // Dims implements index.Interface.
 func (g *GridFile) Dims() int { return g.dims }
@@ -291,6 +307,7 @@ func (g *GridFile) MemoryOverhead() int64 {
 	// Each live overflow page costs a map slot and a slice header; the row
 	// payload inside it is data, not directory.
 	b += int64(len(g.overflow)) * 48
+	b += int64(len(g.dead) * 8) // tombstone bitmap
 	return b
 }
 
@@ -337,20 +354,50 @@ func (g *GridFile) Query(r index.Rect, visit index.Visitor) {
 	}
 }
 
+// sortSpan returns the row interval [lo, hi) of a page that can hold
+// values in [min, max] on the sort dimension — the whole page when in-cell
+// sorting is disabled. Every page walk (query and delete, main and
+// overflow) locates its candidates through this one helper.
+func (g *GridFile) sortSpan(page []float64, min, max float64) (lo, hi int) {
+	nRows := len(page) / g.dims
+	sd := g.cfg.SortDim
+	if sd < 0 {
+		return 0, nRows
+	}
+	lo = sort.Search(nRows, func(i int) bool { return page[i*g.dims+sd] >= min })
+	hi = sort.Search(nRows, func(i int) bool { return page[i*g.dims+sd] > max })
+	return lo, hi
+}
+
+// querySpan is sortSpan over a query rectangle's sort-dimension window.
+func (g *GridFile) querySpan(page []float64, r index.Rect) (lo, hi int) {
+	if sd := g.cfg.SortDim; sd >= 0 {
+		return g.sortSpan(page, r.Min[sd], r.Max[sd])
+	}
+	return g.sortSpan(page, 0, 0)
+}
+
+// rowSpan is sortSpan pinned to one row's sort-dimension value — the
+// candidate window an exact-match delete scans.
+func (g *GridFile) rowSpan(page []float64, row []float64) (lo, hi int) {
+	if sd := g.cfg.SortDim; sd >= 0 {
+		return g.sortSpan(page, row[sd], row[sd])
+	}
+	return g.sortSpan(page, 0, 0)
+}
+
 func (g *GridFile) scanCell(c int, r index.Rect, visit index.Visitor) {
 	page := g.cellPage(c)
 	if len(page) == 0 {
 		return
 	}
 	dims := g.dims
-	nRows := len(page) / dims
-
-	lo, hi := 0, nRows
-	if sd := g.cfg.SortDim; sd >= 0 {
-		lo = sort.Search(nRows, func(i int) bool { return page[i*dims+sd] >= r.Min[sd] })
-		hi = sort.Search(nRows, func(i int) bool { return page[i*dims+sd] > r.Max[sd] })
-	}
+	lo, hi := g.querySpan(page, r)
+	base := int(g.offsets[c]) // global slot of the page's first row
 	for i := lo; i < hi; i++ {
+		if g.deadCount > 0 && g.isDead(base+i) {
+			continue // tombstoned: filtered at the visitor boundary
+		}
 		row := page[i*dims : (i+1)*dims]
 		if r.Contains(row) {
 			visit(row)

@@ -2,18 +2,22 @@ package gridfile
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/lifecycle"
 )
 
-// Insert support. The paper leaves updates as future work (§9) but sketches
-// the mechanism in §5: the bucketed training grid can absorb new samples,
-// and the static layout needs a delta area. We implement the classic
-// main/delta design: every cell owns a small overflow page that absorbs
-// inserts (kept sorted on the sort dimension so lookups stay logarithmic),
-// and Compact merges all overflow pages back into the contiguous main
-// storage.
+// Mutation support. The paper leaves updates as future work (§9) but
+// sketches the mechanism in §5: the bucketed training grid can absorb new
+// samples, and the static layout needs a delta area. We implement the
+// classic main/delta design plus tombstones: every cell owns a small
+// overflow page that absorbs inserts (kept sorted on the sort dimension so
+// lookups stay logarithmic); deletes in the contiguous main pages set a bit
+// in a tombstone bitmap that the query path skips, while deletes in an
+// overflow page remove the row in place; Compact merges all overflow pages
+// back into contiguous storage and drops the tombstoned rows.
 
 // overflow pages are lazily allocated per cell.
 type overflowPage struct {
@@ -59,21 +63,142 @@ func (g *GridFile) Insert(row []float64) error {
 // Compact.
 func (g *GridFile) Inserted() int { return g.inserted }
 
+// Delete removes one live row exactly equal to row (all dimensions compared
+// bit-for-bit) and reports whether one was found. A main-page match is
+// tombstoned — the page stays contiguous and the bitmap filters it out of
+// every query until Compact drops it; an overflow-page match is removed in
+// place. With duplicate rows exactly one is removed per call.
+func (g *GridFile) Delete(row []float64) bool {
+	if len(row) != g.dims {
+		return false
+	}
+	c := g.cellOf(row)
+	if g.deleteMain(c, row) {
+		return true
+	}
+	return g.deleteOverflow(c, row)
+}
+
+// deleteMain tombstones the first live exact match in cell c's main page.
+func (g *GridFile) deleteMain(c int, row []float64) bool {
+	page := g.cellPage(c)
+	dims := g.dims
+	lo, hi := g.rowSpan(page, row)
+	base := int(g.offsets[c])
+	for i := lo; i < hi; i++ {
+		if g.deadCount > 0 && g.isDead(base+i) {
+			continue
+		}
+		if lifecycle.RowsEqual(page[i*dims:(i+1)*dims], row) {
+			g.setDead(base + i)
+			return true
+		}
+	}
+	return false
+}
+
+// deleteOverflow removes the first exact match from cell c's overflow page.
+func (g *GridFile) deleteOverflow(c int, row []float64) bool {
+	page := g.overflow[c]
+	if page == nil {
+		return false
+	}
+	dims := g.dims
+	lo, hi := g.rowSpan(page.data, row)
+	for i := lo; i < hi; i++ {
+		if lifecycle.RowsEqual(page.data[i*dims:(i+1)*dims], row) {
+			copy(page.data[i*dims:], page.data[(i+1)*dims:])
+			page.data = page.data[:len(page.data)-dims]
+			if len(page.data) == 0 {
+				delete(g.overflow, c)
+			}
+			g.n--
+			g.inserted--
+			return true
+		}
+	}
+	return false
+}
+
+// --- tombstone bitmap ---
+
+func (g *GridFile) isDead(slot int) bool {
+	w := slot >> 6
+	if w >= len(g.dead) {
+		return false
+	}
+	return g.dead[w]&(1<<(uint(slot)&63)) != 0
+}
+
+func (g *GridFile) setDead(slot int) {
+	w := slot >> 6
+	if g.dead == nil {
+		g.dead = make([]uint64, (len(g.data)/g.dims+63)/64)
+	}
+	if g.dead[w]&(1<<(uint(slot)&63)) == 0 {
+		g.dead[w] |= 1 << (uint(slot) & 63)
+		g.deadCount++
+	}
+}
+
+// DeadSlots returns the tombstoned main-page row slots in ascending order;
+// the snapshot codec persists them so a loaded index resumes mid-lifecycle.
+func (g *GridFile) DeadSlots() []int64 {
+	if g.deadCount == 0 {
+		return nil
+	}
+	out := make([]int64, 0, g.deadCount)
+	for w, word := range g.dead {
+		for word != 0 {
+			out = append(out, int64(w*64+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// SetDeadSlots installs a tombstone set (typically decoded from a
+// snapshot). Slots must be unique and within the main pages.
+func (g *GridFile) SetDeadSlots(slots []int64) error {
+	mainRows := len(g.data) / g.dims
+	g.dead = nil
+	g.deadCount = 0
+	for _, s := range slots {
+		if s < 0 || s >= int64(mainRows) {
+			return fmt.Errorf("gridfile: tombstone slot %d out of range [0,%d)", s, mainRows)
+		}
+		if g.isDead(int(s)) {
+			return fmt.Errorf("gridfile: tombstone slot %d listed twice", s)
+		}
+		g.setDead(int(s))
+	}
+	return nil
+}
+
 // Compact merges every overflow page into the main contiguous storage,
-// re-sorting affected cells, and drops the overflow map. After Compact the
-// grid file is byte-for-byte equivalent to one built over the combined
-// data (with the original grid boundaries — boundaries are not recomputed,
-// so heavily drifted data distributions may warrant a full rebuild).
+// drops tombstoned rows, re-sorts affected cells, and clears the overflow
+// map and tombstone bitmap. After Compact the grid file is byte-for-byte
+// equivalent to one built over the live data (with the original grid
+// boundaries — boundaries are not recomputed, so heavily drifted data
+// distributions warrant a full rebuild instead; see internal/lifecycle).
 func (g *GridFile) Compact() {
-	if g.inserted == 0 {
+	if g.inserted == 0 && g.deadCount == 0 {
 		return
 	}
 	nCells := g.NumCells()
-	newData := make([]float64, 0, g.n*g.dims)
+	live := g.Len()
+	newData := make([]float64, 0, live*g.dims)
 	newOffsets := make([]int64, nCells+1)
 	for c := 0; c < nCells; c++ {
 		newOffsets[c] = int64(len(newData) / g.dims)
-		newData = append(newData, g.cellPage(c)...)
+		page := g.cellPage(c)
+		base := int(g.offsets[c])
+		for i := 0; i*g.dims < len(page); i++ {
+			if g.deadCount > 0 && g.isDead(base+i) {
+				continue
+			}
+			newData = append(newData, page[i*g.dims:(i+1)*g.dims]...)
+		}
 		if page := g.overflow[c]; page != nil {
 			newData = append(newData, page.data...)
 		}
@@ -83,6 +208,9 @@ func (g *GridFile) Compact() {
 	g.offsets = newOffsets
 	g.overflow = nil
 	g.inserted = 0
+	g.dead = nil
+	g.deadCount = 0
+	g.n = live
 	if g.cfg.SortDim >= 0 {
 		for c := 0; c < nCells; c++ {
 			g.sortCell(c)
@@ -98,12 +226,7 @@ func (g *GridFile) scanOverflow(c int, r index.Rect, visit index.Visitor) {
 		return
 	}
 	dims := g.dims
-	nRows := len(page.data) / dims
-	lo, hi := 0, nRows
-	if sd := g.cfg.SortDim; sd >= 0 {
-		lo = sort.Search(nRows, func(i int) bool { return page.data[i*dims+sd] >= r.Min[sd] })
-		hi = sort.Search(nRows, func(i int) bool { return page.data[i*dims+sd] > r.Max[sd] })
-	}
+	lo, hi := g.querySpan(page.data, r)
 	for i := lo; i < hi; i++ {
 		row := page.data[i*dims : (i+1)*dims]
 		if r.Contains(row) {

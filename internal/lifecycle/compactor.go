@@ -1,0 +1,164 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Rebuildable is the surface the background compactor drives. It is
+// satisfied by shard.Sharded: shards rebuild independently, so only one
+// shard's writes ever block (briefly, during the epoch swap) while every
+// other shard keeps serving untouched.
+type Rebuildable interface {
+	// StaleShards lists the shard ordinals currently stale under th.
+	StaleShards(th Thresholds) []int
+	// RebuildShard rebuilds one shard RCU-style and swaps the new epoch in.
+	RebuildShard(i int) error
+}
+
+// Compactor polls a Rebuildable for stale shards and rebuilds them off the
+// query path. Start launches the background goroutine; Kick forces an
+// immediate sweep (the /compact endpoint); Stop shuts the goroutine down
+// and waits for an in-flight sweep to finish.
+type Compactor struct {
+	target   Rebuildable
+	th       Thresholds
+	interval time.Duration
+
+	kick chan chan SweepResult
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// sweepMu serialises Sweep itself: a Kick that falls back to a
+	// synchronous sweep (loop busy or not running) must not overlap an
+	// in-flight periodic sweep, or the two would race RebuildShard on the
+	// same shards and overwrite each other's result.
+	sweepMu sync.Mutex
+
+	mu   sync.Mutex
+	last SweepResult
+}
+
+// SweepResult summarises one compactor pass.
+type SweepResult struct {
+	// When the sweep finished.
+	At time.Time `json:"at"`
+	// Stale lists the shards found stale; Rebuilt the ones successfully
+	// rebuilt this pass.
+	Stale   []int `json:"stale,omitempty"`
+	Rebuilt []int `json:"rebuilt,omitempty"`
+	// Errs holds per-shard rebuild failures as strings (JSON-friendly).
+	Errs []string `json:"errors,omitempty"`
+}
+
+// NewCompactor creates a compactor over target. interval bounds how often
+// the background loop polls; it must be positive for Start (Kick works
+// regardless).
+func NewCompactor(target Rebuildable, th Thresholds, interval time.Duration) *Compactor {
+	return &Compactor{
+		target:   target,
+		th:       th,
+		interval: interval,
+		kick:     make(chan chan SweepResult),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start launches the background polling loop.
+func (c *Compactor) Start() error {
+	if c.interval <= 0 {
+		return fmt.Errorf("lifecycle: compactor interval must be positive, got %v", c.interval)
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return nil
+}
+
+// Stop terminates the background loop and waits for it to exit. Safe to
+// call once whether or not Start was called.
+func (c *Compactor) Stop() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Kick runs one sweep immediately. When the background loop is idle the
+// sweep executes on it; otherwise it runs on the calling goroutine, where
+// Sweep's own serialisation makes it wait out any in-flight periodic
+// sweep before re-evaluating staleness.
+func (c *Compactor) Kick() SweepResult {
+	reply := make(chan SweepResult, 1)
+	select {
+	case c.kick <- reply:
+		return <-reply
+	default:
+		return c.Sweep()
+	}
+}
+
+// Last returns the most recent sweep result.
+func (c *Compactor) Last() SweepResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+func (c *Compactor) loop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case reply := <-c.kick:
+			reply <- c.Sweep()
+		case <-ticker.C:
+			c.Sweep()
+		}
+	}
+}
+
+// ForceSweep rebuilds every shard regardless of staleness, under the same
+// serialisation as Sweep — so a forced compaction never overlaps a
+// periodic sweep and never reports spurious rebuild-in-progress errors.
+// ok is false when the target cannot force-rebuild.
+func (c *Compactor) ForceSweep() (res SweepResult, ok bool) {
+	all, ok := c.target.(interface{ RebuildAll() ([]int, error) })
+	if !ok {
+		return SweepResult{}, false
+	}
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	rebuilt, err := all.RebuildAll()
+	res = SweepResult{Rebuilt: rebuilt, At: time.Now()}
+	if err != nil {
+		res.Errs = append(res.Errs, err.Error())
+	}
+	c.mu.Lock()
+	c.last = res
+	c.mu.Unlock()
+	return res, true
+}
+
+// Sweep finds the stale shards and rebuilds each, recording the result.
+// Sweeps are serialised: a second caller blocks until the first finishes,
+// then re-evaluates staleness (so it reports the healed state rather than
+// spurious rebuild-in-progress errors).
+func (c *Compactor) Sweep() SweepResult {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	res := SweepResult{Stale: c.target.StaleShards(c.th)}
+	for _, i := range res.Stale {
+		if err := c.target.RebuildShard(i); err != nil {
+			res.Errs = append(res.Errs, fmt.Sprintf("shard %d: %v", i, err))
+			continue
+		}
+		res.Rebuilt = append(res.Rebuilt, i)
+	}
+	res.At = time.Now()
+	c.mu.Lock()
+	c.last = res
+	c.mu.Unlock()
+	return res
+}

@@ -1,0 +1,69 @@
+package lifecycle
+
+import "fmt"
+
+// Op is one mutation kind recorded in a DeltaLog. Updates are logged as a
+// delete of the old row followed by an insert of the new one, so replay
+// needs only two operations.
+type Op uint8
+
+const (
+	OpInsert Op = iota
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// DeltaLog records the mutations that land on the serving epoch while a
+// replacement epoch is being rebuilt off the query path. Before the swap,
+// the log is replayed into the new epoch so it catches up with everything
+// the old one absorbed; the rows a query can match are therefore identical
+// across the swap. A DeltaLog is not synchronised — internal/shard appends
+// under the same lock that serialises the shard's mutations.
+type DeltaLog struct {
+	ops  []Op
+	rows []float64 // flattened row-major payload, dims values per op
+	dims int
+}
+
+// NewDeltaLog creates an empty log for rows of the given dimensionality.
+func NewDeltaLog(dims int) *DeltaLog { return &DeltaLog{dims: dims} }
+
+// Append records one mutation; the row is copied.
+func (l *DeltaLog) Append(op Op, row []float64) {
+	l.ops = append(l.ops, op)
+	l.rows = append(l.rows, row...)
+}
+
+// Len reports the number of recorded mutations.
+func (l *DeltaLog) Len() int { return len(l.ops) }
+
+// Replay applies every recorded mutation in order. It stops at the first
+// error, which aborts the epoch swap (the old epoch keeps serving).
+func (l *DeltaLog) Replay(insert, del func(row []float64) error) error {
+	for i, op := range l.ops {
+		row := l.rows[i*l.dims : (i+1)*l.dims]
+		var err error
+		switch op {
+		case OpInsert:
+			err = insert(row)
+		case OpDelete:
+			err = del(row)
+		default:
+			err = fmt.Errorf("lifecycle: unknown delta op %d", op)
+		}
+		if err != nil {
+			return fmt.Errorf("lifecycle: replaying delta %s %d/%d: %w", op, i+1, len(l.ops), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/coax-index/coax/internal/binio"
+)
+
+func TestValidateRow(t *testing.T) {
+	cases := []struct {
+		name string
+		dims int
+		row  []float64
+		ok   bool
+	}{
+		{"valid", 3, []float64{1, 2, 3}, true},
+		{"empty valid", 0, nil, true},
+		{"short", 3, []float64{1, 2}, false},
+		{"long", 2, []float64{1, 2, 3}, false},
+		{"nan", 2, []float64{1, math.NaN()}, false},
+		{"+inf", 2, []float64{math.Inf(1), 0}, false},
+		{"-inf", 2, []float64{0, math.Inf(-1)}, false},
+		{"nil short", 1, nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateRow(tc.dims, tc.row)
+			if (err == nil) != tc.ok {
+				t.Fatalf("ValidateRow(%d, %v) = %v, want ok=%v", tc.dims, tc.row, err, tc.ok)
+			}
+			if err != nil {
+				var re *RowError
+				if !errors.As(err, &re) {
+					t.Fatalf("error %v is not a *RowError", err)
+				}
+			}
+		})
+	}
+}
+
+func TestStaleRules(t *testing.T) {
+	th := Thresholds{
+		MaxOutlierRatio:   0.2,
+		MinOutlierGain:    0.05,
+		MaxTombstoneRatio: 0.3,
+		MaxResidualDrift:  1.0,
+		MinMutations:      10,
+	}
+	base := Stats{LiveRows: 1000, StoredRows: 1000, Inserts: 100}
+
+	t.Run("healthy", func(t *testing.T) {
+		s := base
+		s.OutlierRatio = 0.05
+		if stale, _ := s.Stale(th); stale {
+			t.Fatal("healthy index marked stale")
+		}
+	})
+	t.Run("too few mutations", func(t *testing.T) {
+		s := base
+		s.Inserts = 5
+		s.OutlierRatio = 0.9
+		if stale, _ := s.Stale(th); stale {
+			t.Fatal("stale before MinMutations")
+		}
+	})
+	t.Run("outlier ratio", func(t *testing.T) {
+		s := base
+		s.OutlierRatio = 0.35
+		stale, reasons := s.Stale(th)
+		if !stale || len(reasons) != 1 {
+			t.Fatalf("stale=%v reasons=%v", stale, reasons)
+		}
+	})
+	t.Run("no rebuild loop on high base ratio", func(t *testing.T) {
+		// Built at 0.34, now 0.35: above the threshold but barely grown —
+		// rebuilding would not help, so it must not be stale.
+		s := base
+		s.OutlierRatio = 0.35
+		s.BaseOutlierRatio = 0.34
+		if stale, _ := s.Stale(th); stale {
+			t.Fatal("marked stale with no outlier gain over build")
+		}
+	})
+	t.Run("tombstones", func(t *testing.T) {
+		s := base
+		s.TombstoneRatio = 0.5
+		if stale, _ := s.Stale(th); !stale {
+			t.Fatal("tombstone-heavy index not stale")
+		}
+	})
+	t.Run("residual drift", func(t *testing.T) {
+		s := base
+		s.Drift = []GroupDrift{{Predictor: 0, Dependent: 1, MarginWidth: 1, MeanAbsResidual: 2.5, Samples: 50}}
+		stale, reasons := s.Stale(th)
+		if !stale {
+			t.Fatalf("drifted index not stale (reasons %v)", reasons)
+		}
+	})
+	t.Run("zero thresholds never stale", func(t *testing.T) {
+		s := base
+		s.OutlierRatio = 0.99
+		s.TombstoneRatio = 0.99
+		if stale, _ := s.Stale(Thresholds{}); stale {
+			t.Fatal("zero-value thresholds marked something stale")
+		}
+	})
+}
+
+func TestTrackerSnapshotAndRoundTrip(t *testing.T) {
+	tr := NewTracker()
+	tr.Track(1, 0, 2.0)
+	tr.Track(3, 2, 4.0)
+	tr.Track(1, 0, 99) // duplicate registration is a no-op
+
+	tr.ObserveInsert(false)
+	tr.ObserveInsert(true)
+	tr.ObserveResidual(1, 1.0)
+	tr.ObserveResidual(1, 3.0)
+	tr.ObserveResidual(3, 8.0)
+	tr.ObserveResidual(7, 5.0) // untracked column is ignored
+	tr.ObserveDelete()
+	tr.ObserveUpdate()
+
+	var s Stats
+	tr.Snapshot(&s)
+	if s.Inserts != 2 || s.Deletes != 1 || s.Updates != 1 || s.InsertOutliers != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if tr.Mutations() != 4 {
+		t.Fatalf("mutations = %d, want 4", tr.Mutations())
+	}
+	want := []GroupDrift{
+		{Predictor: 0, Dependent: 1, MarginWidth: 2.0, MeanAbsResidual: 2.0, Samples: 2},
+		{Predictor: 2, Dependent: 3, MarginWidth: 4.0, MeanAbsResidual: 8.0, Samples: 1},
+	}
+	if !reflect.DeepEqual(s.Drift, want) {
+		t.Fatalf("drift = %+v, want %+v", s.Drift, want)
+	}
+	if got := s.Drift[0].Drift(); got != 1.0 {
+		t.Fatalf("drift[0].Drift() = %v, want 1", got)
+	}
+	if got := s.MaxDrift(); got != 2.0 {
+		t.Fatalf("MaxDrift = %v, want 2", got)
+	}
+
+	// Codec round trip.
+	w := binio.NewWriter()
+	tr.Encode(w)
+	back, err := DecodeTracker(binio.NewReader(w.Bytes()), 8)
+	if err != nil {
+		t.Fatalf("DecodeTracker: %v", err)
+	}
+	var s2 Stats
+	back.Snapshot(&s2)
+	s.LiveRows = 0 // Snapshot only fills counters and drift
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", s2, s)
+	}
+
+	// Corrupt payloads error rather than panic.
+	if _, err := DecodeTracker(binio.NewReader(w.Bytes()[:10]), 8); err == nil {
+		t.Fatal("truncated tracker decoded")
+	}
+	if _, err := DecodeTracker(binio.NewReader(w.Bytes()), 2); err == nil {
+		t.Fatal("column 3 accepted with dims=2")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	per := []Stats{
+		{
+			LiveRows: 100, StoredRows: 110, Tombstones: 10, OutlierRows: 10,
+			Inserts: 5, BaseOutlierRatio: 0.05, Epoch: 1,
+			Drift: []GroupDrift{{Predictor: 0, Dependent: 1, MarginWidth: 2, MeanAbsResidual: 1, Samples: 10}},
+		},
+		{
+			LiveRows: 300, StoredRows: 300, OutlierRows: 30,
+			Deletes: 7, BaseOutlierRatio: 0.09, Epoch: 2, Rebuilding: true,
+			Drift: []GroupDrift{{Predictor: 0, Dependent: 1, MarginWidth: 2, MeanAbsResidual: 3, Samples: 30}},
+		},
+	}
+	m := Merge(per)
+	if m.LiveRows != 400 || m.StoredRows != 410 || m.Tombstones != 10 {
+		t.Fatalf("row sums: %+v", m)
+	}
+	if m.Epoch != 3 || !m.Rebuilding || m.Inserts != 5 || m.Deletes != 7 {
+		t.Fatalf("counters: %+v", m)
+	}
+	if got, want := m.OutlierRatio, 40.0/400; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("outlier ratio %v, want %v", got, want)
+	}
+	if got, want := m.TombstoneRatio, 10.0/410; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tombstone ratio %v, want %v", got, want)
+	}
+	if got, want := m.BaseOutlierRatio, (0.05*100+0.09*300)/400; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("base ratio %v, want %v", got, want)
+	}
+	if len(m.Drift) != 1 {
+		t.Fatalf("drift entries: %+v", m.Drift)
+	}
+	d := m.Drift[0]
+	if d.Samples != 40 || math.Abs(d.MeanAbsResidual-(1*10+3*30)/40.0) > 1e-12 {
+		t.Fatalf("merged drift: %+v", d)
+	}
+}
+
+func TestDeltaLogReplay(t *testing.T) {
+	l := NewDeltaLog(2)
+	l.Append(OpInsert, []float64{1, 2})
+	l.Append(OpDelete, []float64{3, 4})
+	l.Append(OpInsert, []float64{5, 6})
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	var got []string
+	err := l.Replay(
+		func(row []float64) error { got = append(got, fmt.Sprintf("i%v", row)); return nil },
+		func(row []float64) error { got = append(got, fmt.Sprintf("d%v", row)); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"i[1 2]", "d[3 4]", "i[5 6]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay order %v, want %v", got, want)
+	}
+
+	// A failing op aborts with position info.
+	boom := errors.New("boom")
+	err = l.Replay(
+		func([]float64) error { return nil },
+		func([]float64) error { return boom },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("replay error %v, want wrapped boom", err)
+	}
+}
+
+// fakeRebuildable counts rebuilds under a lock so the compactor can be
+// exercised concurrently.
+type fakeRebuildable struct {
+	mu      sync.Mutex
+	stale   []int
+	rebuilt []int
+	fail    map[int]error
+}
+
+func (f *fakeRebuildable) StaleShards(Thresholds) []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.stale...)
+}
+
+func (f *fakeRebuildable) RebuildShard(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.fail[i]; err != nil {
+		return err
+	}
+	f.rebuilt = append(f.rebuilt, i)
+	// Rebuilding fixes staleness.
+	var still []int
+	for _, s := range f.stale {
+		if s != i {
+			still = append(still, s)
+		}
+	}
+	f.stale = still
+	return nil
+}
+
+func TestCompactorSweepAndKick(t *testing.T) {
+	f := &fakeRebuildable{stale: []int{0, 2, 3}, fail: map[int]error{2: errors.New("no")}}
+	c := NewCompactor(f, DefaultThresholds(), time.Hour)
+
+	res := c.Sweep()
+	if !reflect.DeepEqual(res.Stale, []int{0, 2, 3}) {
+		t.Fatalf("stale %v", res.Stale)
+	}
+	if !reflect.DeepEqual(res.Rebuilt, []int{0, 3}) || len(res.Errs) != 1 {
+		t.Fatalf("rebuilt %v errs %v", res.Rebuilt, res.Errs)
+	}
+	if last := c.Last(); last.At.IsZero() || !reflect.DeepEqual(last.Rebuilt, res.Rebuilt) {
+		t.Fatalf("Last() = %+v", last)
+	}
+
+	// Kick without a running loop sweeps synchronously.
+	res = c.Kick()
+	if !reflect.DeepEqual(res.Stale, []int{2}) || len(res.Rebuilt) != 0 {
+		t.Fatalf("second sweep: %+v", res)
+	}
+
+	// Start/Stop with a long interval: Kick routes through the loop.
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	delete(f.fail, 2)
+	res = c.Kick()
+	if !reflect.DeepEqual(res.Rebuilt, []int{2}) {
+		t.Fatalf("kicked sweep: %+v", res)
+	}
+	c.Stop()
+
+	if err := NewCompactor(f, DefaultThresholds(), 0).Start(); err == nil {
+		t.Fatal("Start accepted a zero interval")
+	}
+}

@@ -1,0 +1,158 @@
+package lifecycle
+
+import (
+	"fmt"
+
+	"github.com/coax-index/coax/internal/binio"
+)
+
+// residAccum accumulates |d − ψ̂(x)| for one dependent column.
+type residAccum struct {
+	predictor int
+	margin    float64 // (EpsLB+EpsUB)/2 at build time
+	sumAbs    float64
+	count     int64
+}
+
+// Tracker holds one index's mutation counters and per-dependency residual
+// accumulators. It is not itself synchronised: core.COAX owns one and is
+// guarded by whatever guards the index (the per-shard RWMutex in the
+// serving layer). A Tracker persists inside the snapshot's lifecycle
+// section so a loaded index resumes mid-lifecycle.
+type Tracker struct {
+	Inserts        int64
+	Deletes        int64
+	Updates        int64
+	InsertOutliers int64
+	cols           []int // dependent columns in registration order
+	resid          map[int]*residAccum
+}
+
+// NewTracker creates an empty tracker; register dependencies with Track.
+func NewTracker() *Tracker {
+	return &Tracker{resid: make(map[int]*residAccum)}
+}
+
+// Track registers one dependency so inserted rows can be scored against it.
+// Registration order fixes the reporting order; re-registering a column is
+// a no-op.
+func (t *Tracker) Track(dependent, predictor int, marginWidth float64) {
+	if _, dup := t.resid[dependent]; dup {
+		return
+	}
+	t.cols = append(t.cols, dependent)
+	t.resid[dependent] = &residAccum{predictor: predictor, margin: marginWidth}
+}
+
+// ObserveInsert records one insert and whether it landed in the outlier
+// partition.
+func (t *Tracker) ObserveInsert(outlier bool) {
+	t.Inserts++
+	if outlier {
+		t.InsertOutliers++
+	}
+}
+
+// ObserveResidual records one inserted row's absolute residual against the
+// model predicting column dependent.
+func (t *Tracker) ObserveResidual(dependent int, absResid float64) {
+	a := t.resid[dependent]
+	if a == nil {
+		return
+	}
+	a.sumAbs += absResid
+	a.count++
+}
+
+// ObserveDelete records one delete.
+func (t *Tracker) ObserveDelete() { t.Deletes++ }
+
+// ObserveUpdate records one update (counted once, not as delete+insert).
+func (t *Tracker) ObserveUpdate() { t.Updates++ }
+
+// Mutations is the total mutation count since the tracker was created.
+func (t *Tracker) Mutations() int64 { return t.Inserts + t.Deletes + t.Updates }
+
+// Snapshot fills the mutation counters and drift entries of s. Dependent
+// columns report in registration order.
+func (t *Tracker) Snapshot(s *Stats) {
+	s.Inserts = t.Inserts
+	s.Deletes = t.Deletes
+	s.Updates = t.Updates
+	s.InsertOutliers = t.InsertOutliers
+	for _, col := range t.cols {
+		a := t.resid[col]
+		g := GroupDrift{
+			Predictor:   a.predictor,
+			Dependent:   col,
+			MarginWidth: a.margin,
+			Samples:     a.count,
+		}
+		if a.count > 0 {
+			g.MeanAbsResidual = a.sumAbs / float64(a.count)
+		}
+		s.Drift = append(s.Drift, g)
+	}
+}
+
+// Encode appends the tracker state to w (part of the snapshot's lifecycle
+// section).
+func (t *Tracker) Encode(w *binio.Writer) {
+	w.Int64(t.Inserts)
+	w.Int64(t.Deletes)
+	w.Int64(t.Updates)
+	w.Int64(t.InsertOutliers)
+	w.Uint64(uint64(len(t.cols)))
+	for _, col := range t.cols {
+		a := t.resid[col]
+		w.Int(col)
+		w.Int(a.predictor)
+		w.Float64(a.margin)
+		w.Float64(a.sumAbs)
+		w.Int64(a.count)
+	}
+}
+
+// DecodeTracker reads a tracker written by Encode; dims bounds the column
+// ordinals.
+func DecodeTracker(r *binio.Reader, dims int) (*Tracker, error) {
+	t := NewTracker()
+	t.Inserts = r.Int64()
+	t.Deletes = r.Int64()
+	t.Updates = r.Int64()
+	t.InsertOutliers = r.Int64()
+	n := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > uint64(dims) {
+		return nil, fmt.Errorf("lifecycle: %d residual accumulators for %d dims", n, dims)
+	}
+	for i := uint64(0); i < n; i++ {
+		col := r.Int()
+		pred := r.Int()
+		margin := r.Float64()
+		sumAbs := r.Float64()
+		count := r.Int64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if col < 0 || col >= dims || pred < 0 || pred >= dims {
+			return nil, fmt.Errorf("lifecycle: residual accumulator columns (%d←%d) out of range [0,%d)", col, pred, dims)
+		}
+		if count < 0 || sumAbs < 0 || margin < 0 {
+			return nil, fmt.Errorf("lifecycle: negative residual accumulator for column %d", col)
+		}
+		if _, dup := t.resid[col]; dup {
+			return nil, fmt.Errorf("lifecycle: column %d has two residual accumulators", col)
+		}
+		t.Track(col, pred, margin)
+		a := t.resid[col]
+		a.sumAbs = sumAbs
+		a.count = count
+	}
+	if t.Inserts < 0 || t.Deletes < 0 || t.Updates < 0 || t.InsertOutliers < 0 {
+		return nil, fmt.Errorf("lifecycle: negative mutation counters")
+	}
+	return t, nil
+}

@@ -1,0 +1,49 @@
+package rtree
+
+import "github.com/coax-index/coax/internal/lifecycle"
+
+// Delete removes one leaf entry whose point equals row exactly (all
+// dimensions compared bit-for-bit) and reports whether one was found. The
+// entry is removed from its leaf in place; ancestor bounding boxes are left
+// unshrunk, which keeps every query correct (boxes stay conservative) at
+// the cost of slightly looser pruning until the tree is rebuilt — the
+// outlier set is small by the paper's memory rule, so COAX rebuilds it
+// rather than maintaining R-tree condensation.
+func (rt *RTree) Delete(row []float64) bool {
+	if len(row) != rt.dims || rt.n == 0 {
+		return false
+	}
+	if rt.deleteAt(rt.root, row) {
+		rt.n--
+		return true
+	}
+	return false
+}
+
+func (rt *RTree) deleteAt(nd *node, row []float64) bool {
+	if nd.leaf {
+		for i := range nd.entries {
+			if lifecycle.RowsEqual(nd.entries[i].min, row) {
+				nd.entries = append(nd.entries[:i], nd.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range nd.entries {
+		e := &nd.entries[i]
+		if boxContains(e.min, e.max, row) && rt.deleteAt(e.child, row) {
+			return true
+		}
+	}
+	return false
+}
+
+func boxContains(min, max, p []float64) bool {
+	for i := range p {
+		if p[i] < min[i] || p[i] > max[i] {
+			return false
+		}
+	}
+	return true
+}

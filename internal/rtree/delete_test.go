@@ -1,0 +1,98 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/scan"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+func TestDeleteAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cols := []string{"x", "y", "z"}
+	tab := dataset.NewTable(cols)
+	row := make([]float64, 3)
+	for i := 0; i < 800; i++ {
+		for d := range row {
+			row[d] = rng.NormFloat64() * 5
+		}
+		tab.Append(row)
+	}
+	rt, err := Bulk(tab, Config{MaxEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mirror := dataset.NewTable(cols)
+	deleted := map[int]bool{}
+	for i := 0; i < 250; i++ {
+		deleted[rng.Intn(tab.Len())] = true
+	}
+	for i := 0; i < tab.Len(); i++ {
+		if deleted[i] {
+			if !rt.Delete(tab.Row(i)) {
+				t.Fatalf("delete row %d failed", i)
+			}
+		} else {
+			mirror.Append(tab.Row(i))
+		}
+	}
+	if rt.Len() != mirror.Len() {
+		t.Fatalf("Len=%d, want %d", rt.Len(), mirror.Len())
+	}
+	// Absent rows are not deleted.
+	if rt.Delete([]float64{1e9, 1e9, 1e9}) {
+		t.Fatal("Delete invented a row")
+	}
+
+	oracle := scan.New(mirror)
+	for q := 0; q < 100; q++ {
+		r := workload.RandRect(rng, mirror)
+		if got, want := index.Count(rt, r), index.Count(oracle, r); got != want {
+			t.Fatalf("rect %d: got %d, oracle %d", q, got, want)
+		}
+	}
+
+	// Inserts after deletes keep working (overflow the freed slots).
+	for i := 0; i < 100; i++ {
+		for d := range row {
+			row[d] = rng.NormFloat64() * 5
+		}
+		if err := rt.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		mirror.Append(row)
+	}
+	oracle = scan.New(mirror)
+	for q := 0; q < 50; q++ {
+		r := workload.RandRect(rng, mirror)
+		if got, want := index.Count(rt, r), index.Count(oracle, r); got != want {
+			t.Fatalf("post-insert rect %d: got %d, oracle %d", q, got, want)
+		}
+	}
+}
+
+func TestDeleteDuplicates(t *testing.T) {
+	tab := dataset.NewTable([]string{"x", "y"})
+	for i := 0; i < 3; i++ {
+		tab.Append([]float64{7, 7})
+	}
+	rt, err := Bulk(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := 2; want >= 0; want-- {
+		if !rt.Delete([]float64{7, 7}) {
+			t.Fatalf("delete with %d copies left failed", want+1)
+		}
+		if got := index.Count(rt, index.Point([]float64{7, 7})); got != want {
+			t.Fatalf("%d copies remain, want %d", got, want)
+		}
+	}
+	if rt.Delete([]float64{7, 7}) {
+		t.Fatal("deleted from an empty tree")
+	}
+}

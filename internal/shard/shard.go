@@ -37,6 +37,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -47,6 +48,7 @@ import (
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/softfd"
 )
 
@@ -104,10 +106,20 @@ func DefaultOptions() Options {
 	return Options{Partition: ByRange, Column: -1}
 }
 
-// shardSlot pairs one COAX with the lock that serialises its mutation.
+// shardSlot pairs one COAX with the lock that serialises its mutation and
+// the epoch-swap state of an in-flight rebuild (see rebuild.go).
 type shardSlot struct {
 	mu  sync.RWMutex
 	idx *core.COAX
+
+	// delta records mutations that land while a replacement epoch is being
+	// built; it is replayed into the new epoch before the swap. Mutators
+	// read and append it under mu (write-locked); the rebuild goroutine
+	// installs it under mu read-locked, which is race-free because a held
+	// read lock excludes every writer (see RebuildShard).
+	delta *lifecycle.DeltaLog
+	// rebuilding serialises rebuilds of this shard without holding mu.
+	rebuilding atomic.Bool
 }
 
 // Sharded is a partitioned COAX index. Build one with Build (or reassemble
@@ -402,17 +414,104 @@ func (s *Sharded) WithShard(i int, fn func(*core.COAX) error) error {
 // Insert routes one row to its shard and inserts it under that shard's
 // write lock; concurrent queries keep running against every other shard.
 func (s *Sharded) Insert(row []float64) error {
-	if len(row) != s.dims {
-		return fmt.Errorf("shard: row has %d values, index has %d dims", len(row), s.dims)
+	if err := lifecycle.ValidateRow(s.dims, row); err != nil {
+		return err
 	}
 	slot := s.shards[s.routeRow(row)]
 	slot.mu.Lock()
 	err := slot.idx.Insert(row)
+	if err == nil && slot.delta != nil {
+		slot.delta.Append(lifecycle.OpInsert, row)
+	}
 	slot.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	s.n.Add(1)
+	return nil
+}
+
+// Delete routes one row to its shard — mutation routing is deterministic,
+// so the shard that received a row's insert is the one holding it — and
+// removes the first live exact match under the shard's write lock. Returns
+// core.ErrNotFound when no live row matches.
+func (s *Sharded) Delete(row []float64) error {
+	if err := lifecycle.ValidateRow(s.dims, row); err != nil {
+		return err
+	}
+	slot := s.shards[s.routeRow(row)]
+	slot.mu.Lock()
+	err := slot.idx.Delete(row)
+	if err == nil && slot.delta != nil {
+		slot.delta.Append(lifecycle.OpDelete, row)
+	}
+	slot.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.n.Add(-1)
+	return nil
+}
+
+// Update replaces one live row equal to old with new. When both rows route
+// to the same shard the swap is atomic under that shard's write lock; when
+// they route to different shards the delete and insert commit one shard at
+// a time, so a concurrent query may briefly observe neither row (never
+// both). Returns core.ErrNotFound (changing nothing) when old is absent.
+func (s *Sharded) Update(old, new []float64) error {
+	if err := lifecycle.ValidateRow(s.dims, old); err != nil {
+		return err
+	}
+	if err := lifecycle.ValidateRow(s.dims, new); err != nil {
+		return err
+	}
+	si, di := s.routeRow(old), s.routeRow(new)
+	if si == di {
+		slot := s.shards[si]
+		slot.mu.Lock()
+		err := slot.idx.Update(old, new)
+		if err == nil && slot.delta != nil {
+			slot.delta.Append(lifecycle.OpDelete, old)
+			slot.delta.Append(lifecycle.OpInsert, new)
+		}
+		slot.mu.Unlock()
+		return err
+	}
+
+	// Cross-shard: commit the delete, then the insert, locking one shard
+	// at a time (never both, so shard-ordinal lock ordering is moot).
+	src := s.shards[si]
+	src.mu.Lock()
+	err := src.idx.Delete(old)
+	if err == nil && src.delta != nil {
+		src.delta.Append(lifecycle.OpDelete, old)
+	}
+	src.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	dst := s.shards[di]
+	dst.mu.Lock()
+	err = dst.idx.Insert(new)
+	if err == nil && dst.delta != nil {
+		dst.delta.Append(lifecycle.OpInsert, new)
+	}
+	dst.mu.Unlock()
+	if err != nil {
+		// The insert can only fail on lazy index creation; restore the old
+		// row so the update is all-or-nothing.
+		src.mu.Lock()
+		rerr := src.idx.Insert(old)
+		if rerr == nil && src.delta != nil {
+			src.delta.Append(lifecycle.OpInsert, old)
+		}
+		src.mu.Unlock()
+		if rerr != nil {
+			s.n.Add(-1)
+			return fmt.Errorf("shard: update lost row: %w", errors.Join(err, rerr))
+		}
+		return err
+	}
 	return nil
 }
 

@@ -1,0 +1,204 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/scan"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/snapshot"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// mutateIndex drives a mixed workload into idx so the snapshot has
+// tombstones, overflow pages, and non-zero drift counters; it returns the
+// mirror of the live rows.
+func mutateIndex(t *testing.T, idx *core.COAX, tab *dataset.Table, seed int64) *dataset.Table {
+	t.Helper()
+	mix := workload.NewMixGenerator(tab, seed, workload.MixConfig{
+		InsertWeight: 2, DeleteWeight: 2, UpdateWeight: 1,
+		OutlierFrac: 0.3,
+	})
+	for i := 0; i < 1500; i++ {
+		op := mix.Next()
+		var err error
+		switch op.Kind {
+		case workload.OpInsert:
+			err = idx.Insert(op.Row)
+		case workload.OpDelete:
+			err = idx.Delete(op.Row)
+		case workload.OpUpdate:
+			err = idx.Update(op.Old, op.New)
+		}
+		if err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	mirror := dataset.NewTable(tab.Cols)
+	view := mix.LiveView()
+	for i := 0; i < view.Len(); i++ {
+		mirror.Append(view.Row(i))
+	}
+	return mirror
+}
+
+// TestLifecycleSectionRoundTrip saves a heavily mutated index and checks
+// the loaded one resumes mid-lifecycle: same live rows, same tombstones,
+// same drift counters, same staleness verdict.
+func TestLifecycleSectionRoundTrip(t *testing.T) {
+	for _, kind := range []core.OutlierIndexKind{core.OutlierGrid, core.OutlierRTree} {
+		kind := kind
+		name := map[core.OutlierIndexKind]string{core.OutlierGrid: "grid", core.OutlierRTree: "rtree"}[kind]
+		t.Run(name, func(t *testing.T) {
+			tab := testTable(t, "osm", 6000)
+			idx := buildIndex(t, tab, kind)
+			mirror := mutateIndex(t, idx, tab, 51)
+
+			blob := saveToBytes(t, idx)
+			back, err := snapshot.Decode(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+
+			want := idx.LifecycleStats()
+			got := back.LifecycleStats()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("lifecycle stats changed across the round trip:\nsaved  %+v\nloaded %+v", want, got)
+			}
+			if got.Mutations() == 0 || got.Tombstones == 0 {
+				t.Fatalf("test did not exercise a mid-lifecycle state: %+v", got)
+			}
+
+			oracle := scan.New(mirror)
+			rng := rand.New(rand.NewSource(52))
+			for q := 0; q < 100; q++ {
+				r := workload.RandRect(rng, mirror)
+				if gotN, wantN := index.Count(back, r), index.Count(oracle, r); gotN != wantN {
+					t.Fatalf("query %d: loaded index %d rows, oracle %d", q, gotN, wantN)
+				}
+			}
+
+			// The loaded index keeps mutating from where it left off.
+			row := append([]float64(nil), mirror.Row(0)...)
+			if err := back.Delete(row); err != nil {
+				t.Fatalf("delete after load: %v", err)
+			}
+			after := back.LifecycleStats()
+			if after.Deletes != got.Deletes+1 {
+				t.Fatalf("delete counter did not resume: %d → %d", got.Deletes, after.Deletes)
+			}
+		})
+	}
+}
+
+// TestVersion1Compat synthesises a version-1 file — the current format
+// minus the trailing "life" section, with the header patched — and checks
+// it still decodes, starting a fresh lifecycle.
+func TestVersion1Compat(t *testing.T) {
+	tab := testTable(t, "airline", 4000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob := saveToBytes(t, idx)
+
+	info, err := snapshot.Inspect(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := info.Sections[len(info.Sections)-1]
+	if last.ID != "life" {
+		t.Fatalf("last section is %q, expected life", last.ID)
+	}
+	// Strip the framed life section (id + length + payload + crc) and
+	// patch the header: version → 1, section count → count-1.
+	framed := 4 + 8 + int(last.Len) + 4
+	v1 := append([]byte(nil), blob[:len(blob)-framed]...)
+	binary.LittleEndian.PutUint32(v1[8:], 1)
+	binary.LittleEndian.PutUint32(v1[12:], uint32(len(info.Sections)-1))
+
+	back, err := snapshot.Decode(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("decoding synthesised v1 file: %v", err)
+	}
+	if back.Len() != idx.Len() {
+		t.Fatalf("v1 decode: %d rows, want %d", back.Len(), idx.Len())
+	}
+	s := back.LifecycleStats()
+	if s.Mutations() != 0 || s.Tombstones != 0 || s.Epoch != 0 {
+		t.Fatalf("v1 file did not start a fresh lifecycle: %+v", s)
+	}
+	// And it can rebuild and mutate like any current index.
+	if err := back.Insert(append([]float64(nil), tab.Row(0)...)); err != nil {
+		t.Fatalf("insert after v1 load: %v", err)
+	}
+	if _, err := back.Rebuild(); err != nil {
+		t.Fatalf("rebuild after v1 load: %v", err)
+	}
+}
+
+// TestShardedLifecycleRoundTrip saves a sharded engine mid-lifecycle (with
+// per-shard epochs from a rebuild) and checks the loaded engine reports
+// the same aggregate state and keeps serving mutations.
+func TestShardedLifecycleRoundTrip(t *testing.T) {
+	tab := testTable(t, "osm", 8000)
+	opt := core.DefaultOptions()
+	opt.SoftFD.SampleCount = 5000
+	s, err := shard.Build(tab, opt, shard.Options{NumShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.NewMixGenerator(tab, 53, workload.MixConfig{
+		InsertWeight: 2, DeleteWeight: 1, UpdateWeight: 1, OutlierFrac: 0.4,
+	})
+	for i := 0; i < 2000; i++ {
+		op := mix.Next()
+		var err error
+		switch op.Kind {
+		case workload.OpInsert:
+			err = s.Insert(op.Row)
+		case workload.OpDelete:
+			err = s.Delete(op.Row)
+		case workload.OpUpdate:
+			err = s.Update(op.Old, op.New)
+		}
+		if err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	if err := s.RebuildShard(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := snapshot.EncodeSharded(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := snapshot.DecodeSharded(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := s.LifecycleStats(), back.LifecycleStats()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("aggregate lifecycle changed:\nsaved  %+v\nloaded %+v", want, got)
+	}
+	if got.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1 (one shard rebuilt before save)", got.Epoch)
+	}
+	view := mix.LiveView()
+	if back.Len() != view.Len() {
+		t.Fatalf("loaded %d rows, want %d", back.Len(), view.Len())
+	}
+	oracle := scan.New(view)
+	rng := rand.New(rand.NewSource(54))
+	for q := 0; q < 60; q++ {
+		r := workload.RandRect(rng, view)
+		if gotN, wantN := index.Count(back, r), index.Count(oracle, r); gotN != wantN {
+			t.Fatalf("query %d: %d rows, oracle %d", q, gotN, wantN)
+		}
+	}
+}

@@ -4,13 +4,13 @@
 // construction — runs once while every subsequent process start is a
 // sequential read.
 //
-// # On-disk format (version 1)
+// # On-disk format (version 2)
 //
 // All integers are little-endian; floats are IEEE-754 bit patterns.
 //
 //	header:
 //	  magic          [8]byte  "COAXSNAP"
-//	  formatVersion  uint32   currently 1
+//	  formatVersion  uint32   currently 2
 //	  sectionCount   uint32
 //	sectionCount × section:
 //	  id             [4]byte  ASCII section tag
@@ -21,10 +21,20 @@
 // A COAX snapshot carries, in order: "meta" (scalar state, partition
 // bounds, build parameters), "sofd" (soft-FD groups, pair models, and
 // margins — loading it is what makes re-detection unnecessary), "prim"
-// (the primary grid file; omitted when every row was an outlier) and
-// "outl" (the outlier grid file or R-tree; omitted when every row was an
-// inlier). A standalone table snapshot carries a single "tabl" section
-// with the column-major payload of internal/dataset.EncodeTable.
+// (the primary grid file; omitted when every row was an outlier), "outl"
+// (the outlier grid file or R-tree; omitted when every row was an
+// inlier), and "life" (the lifecycle state added in version 2: rebuild
+// epoch, staleness baseline, mutation/drift counters, and the tombstone
+// slots of both grids, so a loaded index resumes mid-lifecycle). An
+// in-flight epoch rebuild is not persisted: the serving epoch already
+// holds every mutation its delta log records, so after a load the
+// compactor re-detects staleness and restarts the rebuild from scratch.
+// A standalone table snapshot carries a single "tabl" section with the
+// column-major payload of internal/dataset.EncodeTable.
+//
+// Version 1 files (written before the mutation layer existed) decode
+// unchanged: they simply lack the "life" section, so the loaded index
+// starts a fresh lifecycle with zero tombstones and zeroed counters.
 //
 // A sharded snapshot (internal/shard) reuses the same container: a "shmt"
 // section records the shard layout (shard count, partition scheme, range
@@ -55,8 +65,12 @@ import (
 	"github.com/coax-index/coax/internal/shard"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version; MinVersion is the oldest
+// format this build still reads (version 1 predates the "life" section).
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 var magic = [8]byte{'C', 'O', 'A', 'X', 'S', 'N', 'A', 'P'}
 
@@ -66,6 +80,7 @@ const (
 	secSoftFD    = "sofd"
 	secPrimary   = "prim"
 	secOutliers  = "outl"
+	secLifecycle = "life"
 	secTable     = "tabl"
 	secShardMeta = "shmt"
 )
@@ -104,6 +119,7 @@ func Encode(w io.Writer, idx *core.COAX) error {
 	if idx.HasOutliers() {
 		sections = append(sections, section{secOutliers, idx.EncodeOutliers})
 	}
+	sections = append(sections, section{secLifecycle, func(bw *binio.Writer) error { idx.EncodeLifecycle(bw); return nil }})
 
 	if err := writeHeader(w, len(sections)); err != nil {
 		return err
@@ -153,6 +169,13 @@ func Decode(r io.Reader) (*core.COAX, error) {
 	}
 	if payload, ok := sections[secOutliers]; ok {
 		if err := attachSection(secOutliers, payload, idx.DecodeAttachOutliers); err != nil {
+			return nil, err
+		}
+	}
+	// The lifecycle section must attach after the grids so its tombstone
+	// slots have pages to land in; version-1 files simply lack it.
+	if payload, ok := sections[secLifecycle]; ok {
+		if err := attachSection(secLifecycle, payload, idx.DecodeAttachLifecycle); err != nil {
 			return nil, err
 		}
 	}
@@ -352,8 +375,8 @@ func readHeader(r io.Reader) (version, sections uint32, err error) {
 	hr := binio.NewReader(head[8:])
 	version = hr.Uint32()
 	sections = hr.Uint32()
-	if version != Version {
-		return 0, 0, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, version, Version)
+	if version < MinVersion || version > Version {
+		return 0, 0, fmt.Errorf("%w: file has version %d, this build reads %d–%d", ErrVersion, version, MinVersion, Version)
 	}
 	return version, sections, nil
 }
