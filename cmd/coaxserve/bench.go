@@ -11,7 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"github.com/coax-index/coax/coax"
 	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
 	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/softfd"
@@ -56,6 +58,11 @@ func cmdBench(args []string) error {
 		batch   = fs.String("batch", "1,16,64", "comma-separated batch sizes to sweep")
 		workers = fs.Int("workers", 0, "fan-out workers per call (0: one per CPU)")
 		jsonOut = fs.String("json", "", "also write the report as JSON to this path")
+
+		v2json   = fs.String("v2json", "", "write the Query-API-v2 limit-k early-termination sweep as JSON to this path")
+		v2limits = fs.String("v2limits", "1,10,100,1000", "comma-separated limits for the v2 sweep")
+		v2knn    = fs.Int("v2knn", 5000, "rectangle selectivity (k-NN) of the v2 sweep workload — broad on purpose, so early termination has rows to skip")
+		v2count  = fs.Int("v2queries", 200, "v2 sweep workload size")
 	)
 	fs.Parse(args)
 
@@ -133,6 +140,104 @@ func cmdBench(args []string) error {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
+
+	if *v2json != "" {
+		limits, err := parseIntList(*v2limits)
+		if err != nil {
+			return fmt.Errorf("-v2limits: %w", err)
+		}
+		if err := runLimitSweep(tab, fd, opt, *ds, *v2count, *v2knn, *workers, limits, *v2json); err != nil {
+			return fmt.Errorf("v2 sweep: %w", err)
+		}
+	}
+	return nil
+}
+
+// limitRun measures one Limit(k) configuration against the full-scan
+// Collect baseline over the same workload.
+type limitRun struct {
+	Limit       int     `json:"limit"`
+	FullMS      float64 `json:"full_collect_ms"`
+	LimitedMS   float64 `json:"limit_ms"`
+	Speedup     float64 `json:"speedup_vs_full_collect"`
+	RowsPerFull float64 `json:"avg_rows_full"`
+}
+
+// queryV2Report is the JSON shape written to BENCH_query_v2.json: how much
+// a Limit(k) query saves over collecting every match, on a sharded index,
+// thanks to engine-level early termination.
+type queryV2Report struct {
+	Dataset string     `json:"dataset"`
+	Rows    int        `json:"rows"`
+	Queries int        `json:"queries"`
+	KNN     int        `json:"knn"`
+	Shards  int        `json:"shards"`
+	Runs    []limitRun `json:"runs"`
+}
+
+// runLimitSweep times full-scan Collect versus Limit(k) Collect through
+// the v2 builder over a deliberately broad rectangle workload.
+func runLimitSweep(tab *dataset.Table, fd softfd.Result, opt core.Options, ds string, queries, knn, workers int, limits []int, jsonOut string) error {
+	s, err := shard.BuildWithFD(tab, fd, opt, shard.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(tab, 2)
+	rects := gen.KNNRects(queries, knn)
+
+	warmup(func(r index.Rect) { index.Count(s, r) }, rects)
+	measure := func(run func(r index.Rect)) time.Duration {
+		t0 := time.Now()
+		for _, r := range rects {
+			run(r)
+		}
+		return time.Since(t0)
+	}
+
+	var fullRows int64
+	fullTimed := measure(func(r index.Rect) {
+		fullRows += int64(len(coax.Collect(s, r)))
+	})
+
+	rep := queryV2Report{
+		Dataset: ds,
+		Rows:    tab.Len(),
+		Queries: len(rects),
+		KNN:     knn,
+		Shards:  s.NumShards(),
+	}
+	avgFull := float64(fullRows) / float64(len(rects))
+	fmt.Printf("v2 sweep: %d queries (%d-NN rects) on %d shards, avg %.0f rows/query\n",
+		len(rects), knn, s.NumShards(), avgFull)
+
+	for _, k := range limits {
+		limited := measure(func(r index.Rect) {
+			if _, err := coax.CollectLimit(s, r, k); err != nil {
+				panic(err) // impossible: rect is valid by construction
+			}
+		})
+		run := limitRun{
+			Limit:       k,
+			FullMS:      ms(fullTimed),
+			LimitedMS:   ms(limited),
+			RowsPerFull: avgFull,
+		}
+		if limited > 0 {
+			run.Speedup = fullTimed.Seconds() / limited.Seconds()
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Printf("limit=%-6d %10.1f ms  vs full %10.1f ms   %6.2fx speedup\n",
+			k, run.LimitedMS, run.FullMS, run.Speedup)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonOut)
 	return nil
 }
 

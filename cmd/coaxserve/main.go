@@ -15,8 +15,14 @@
 //	GET  /stats    index shape plus lifecycle health: outlier/tombstone
 //	               ratios, model drift, per-shard rebuild epochs, staleness
 //	POST /query    {"min":[...],"max":[...],"limit":100} — null bounds are
-//	               unconstrained; responds {"count":N,"rows":[[...],...]}
-//	POST /batch    {"queries":[{...},...]} — one fan-out for the whole batch
+//	               unconstrained; responds {"count":N,"rows":[[...],...]}.
+//	               "early":true stops the scan once limit rows are found
+//	               (count then equals rows returned); ?explain=true adds an
+//	               execution report (soft-FD constraint translation,
+//	               primary/outlier scan split, shards pruned, wall time).
+//	               NaN, inverted, or wrong-dimension bounds are a 400.
+//	POST /batch    {"queries":[{...},...]} — one fan-out for the whole
+//	               batch (?explain=true or "early" run per-query instead)
 //	POST /insert   {"row":[...]} — routes the row to its shard
 //	POST /delete   {"row":[...]} — removes one exact-match row (404 if absent)
 //	POST /update   {"old":[...],"new":[...]} — replaces one row

@@ -220,3 +220,80 @@ func TestBenchSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryValidationRejectsInvertedBounds is the regression test for the
+// v2 validation rule: a rectangle whose min exceeds its max on any
+// dimension would silently match nothing, so it is rejected with a 400.
+func TestQueryValidationRejectsInvertedBounds(t *testing.T) {
+	_, srv := testServer(t)
+	bad := rectRequest{
+		Min: []*float64{nil, f(100), nil, nil},
+		Max: []*float64{nil, f(50), nil, nil},
+	}
+	if resp := postJSON(t, srv.URL+"/query", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("inverted bounds accepted with status %d", resp.StatusCode)
+	}
+	// The same rule holds inside a batch.
+	wide := batchRequest{Queries: []rectRequest{{}, bad}}
+	if resp := postJSON(t, srv.URL+"/batch", wide, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("batched inverted bounds accepted with status %d", resp.StatusCode)
+	}
+}
+
+// TestQueryExplain exercises the explain=true flag: the response gains an
+// execution report showing the fan-out and scan counters.
+func TestQueryExplain(t *testing.T) {
+	idx, srv := testServer(t)
+	lim := 0
+	var resp queryResponse
+	postJSON(t, srv.URL+"/query?explain=true", rectRequest{Limit: &lim}, &resp)
+	if resp.Explain == nil {
+		t.Fatal("explain=true returned no report")
+	}
+	exp := resp.Explain
+	if exp.ShardsProbed+exp.ShardsPruned != idx.NumShards() {
+		t.Errorf("explain shards probed %d + pruned %d, want %d total",
+			exp.ShardsProbed, exp.ShardsPruned, idx.NumShards())
+	}
+	if got := exp.Primary.RowsMatched + exp.Outlier.RowsMatched; got != int64(idx.Len()) {
+		t.Errorf("explain matched %d rows, index holds %d", got, idx.Len())
+	}
+	if !exp.Complete {
+		t.Error("full scan reported incomplete")
+	}
+
+	// Without the flag there is no report.
+	var plain queryResponse
+	postJSON(t, srv.URL+"/query", rectRequest{Limit: &lim}, &plain)
+	if plain.Explain != nil {
+		t.Error("explain report returned without explain=true")
+	}
+
+	// Batch explain: one report per query.
+	var batch batchResponse
+	postJSON(t, srv.URL+"/batch?explain=true", batchRequest{Queries: []rectRequest{{Limit: &lim}, {Limit: &lim}}}, &batch)
+	if len(batch.Results) != 2 {
+		t.Fatalf("%d batch results, want 2", len(batch.Results))
+	}
+	for i, res := range batch.Results {
+		if res.Explain == nil {
+			t.Errorf("batch[%d] has no explain report", i)
+		}
+	}
+}
+
+// TestQueryEarlyTermination exercises "early": true — the scan stops once
+// limit rows are found, and the count reflects the rows returned.
+func TestQueryEarlyTermination(t *testing.T) {
+	idx, srv := testServer(t)
+	lim := 7
+	var resp queryResponse
+	postJSON(t, srv.URL+"/query?explain=true", rectRequest{Limit: &lim, Early: true}, &resp)
+	if resp.Count != lim || len(resp.Rows) != lim {
+		t.Fatalf("early query = count %d, %d rows; want %d of an index of %d",
+			resp.Count, len(resp.Rows), lim, idx.Len())
+	}
+	if resp.Explain == nil || !resp.Explain.Limited || resp.Explain.Complete {
+		t.Errorf("early explain = %+v, want limited incomplete", resp.Explain)
+	}
+}

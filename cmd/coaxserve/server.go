@@ -126,11 +126,15 @@ func makeTable(ds string, rows int) (*coax.Table, error) {
 // rectRequest is one rectangle in wire form: per-dimension bounds where
 // null (or a missing array) leaves the side unconstrained, plus an
 // optional row cap — limit 0 returns counts only, a negative limit streams
-// every matching row, omitted defaults to defaultRowLimit.
+// every matching row, omitted defaults to defaultRowLimit. With
+// "early": true the engine stops scanning once limit rows are found
+// (count then equals the rows returned, not the total matches) — the
+// Query-API-v2 early-termination path.
 type rectRequest struct {
 	Min   []*float64 `json:"min"`
 	Max   []*float64 `json:"max"`
 	Limit *int       `json:"limit"`
+	Early bool       `json:"early"`
 }
 
 type batchRequest struct {
@@ -138,8 +142,9 @@ type batchRequest struct {
 }
 
 type queryResponse struct {
-	Count int         `json:"count"`
-	Rows  [][]float64 `json:"rows,omitempty"`
+	Count   int           `json:"count"`
+	Rows    [][]float64   `json:"rows,omitempty"`
+	Explain *coax.Explain `json:"explain,omitempty"`
 }
 
 type batchResponse struct {
@@ -208,6 +213,13 @@ func (q *rectRequest) rect(dims int) (coax.Rect, error) {
 	}
 	if err := fill(r.Max, q.Max, "max"); err != nil {
 		return r, err
+	}
+	// Inverted bounds would silently match nothing; that is never what a
+	// client meant, so reject them up front.
+	for i := range r.Min {
+		if r.Min[i] > r.Max[i] {
+			return r, fmt.Errorf("dimension %d has inverted bounds: min %g > max %g", i, r.Min[i], r.Max[i])
+		}
 	}
 	return r, nil
 }
@@ -282,7 +294,12 @@ func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lif
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp := runQuery(idx, r, q.limit())
+		resp, err := runQuery(idx, req, r, q.limit(), q.Early)
+		if err != nil {
+			// The request context is the only error source here: the
+			// client is gone, so there is nobody to answer.
+			return
+		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 
@@ -298,6 +315,7 @@ func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lif
 		}
 		rects := make([]coax.Rect, len(b.Queries))
 		limits := make([]int, len(b.Queries))
+		early := false
 		for i := range b.Queries {
 			r, err := b.Queries[i].rect(idx.Dims())
 			if err != nil {
@@ -306,6 +324,22 @@ func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lif
 			}
 			rects[i] = r
 			limits[i] = b.Queries[i].limit()
+			early = early || b.Queries[i].Early
+		}
+		// Per-query explain reports (or any early-termination request)
+		// need per-query executions; a plain batch keeps the amortised
+		// single fan-out.
+		if explainRequested(req) || early {
+			resp := batchResponse{Results: make([]queryResponse, len(rects))}
+			for i := range rects {
+				res, err := runQuery(idx, req, rects[i], limits[i], b.Queries[i].Early)
+				if err != nil {
+					return // client gone
+				}
+				resp.Results[i] = res
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
 		}
 		resp := batchResponse{Results: make([]queryResponse, len(rects))}
 		idx.BatchQuery(rects, func(qi int, row []float64) {
@@ -393,15 +427,40 @@ func writeMutationError(w http.ResponseWriter, err error) {
 	}
 }
 
-func runQuery(idx *coax.ShardedIndex, r coax.Rect, limit int) queryResponse {
+// explainRequested reports whether the request asked for an execution
+// report via the explain=true query parameter.
+func explainRequested(req *http.Request) bool {
+	return req.URL.Query().Get("explain") == "true"
+}
+
+// runQuery answers one rectangle through the v2 engine: the request
+// context cancels an in-flight fan-out when the client disconnects, and
+// early mode stops the scan once limit rows are found instead of counting
+// every match. The returned error is non-nil only on cancellation.
+func runQuery(idx *coax.ShardedIndex, req *http.Request, r coax.Rect, limit int, early bool) (queryResponse, error) {
+	// Stable() makes retained rows private copies; for the sharded engine
+	// that guarantee is free (its merge boundary copies anyway), so this
+	// does not add a second copy per row.
+	q := coax.FromRect(r).WithContext(req.Context()).Stable()
+	if explainRequested(req) {
+		q.WithExplain()
+	}
+	if early && limit > 0 {
+		q.Limit(limit)
+	}
 	var resp queryResponse
-	idx.Query(r, func(row []float64) {
+	res, err := q.Run(idx, func(row []float64) bool {
 		resp.Count++
 		if limit < 0 || len(resp.Rows) < limit {
-			resp.Rows = append(resp.Rows, row) // rows are stable copies
+			resp.Rows = append(resp.Rows, row) // stable: rows are private copies
 		}
+		return true
 	})
-	return resp
+	if err != nil {
+		return resp, err
+	}
+	resp.Explain = res.Explain
+	return resp, nil
 }
 
 func readJSON(w http.ResponseWriter, req *http.Request, v any) bool {

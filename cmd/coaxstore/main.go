@@ -10,11 +10,13 @@
 //	coaxstore info -in osm.coax
 //	coaxstore query -in osm.coax -min '_,0,40,-75' -max '_,5000,41,-74'
 //	coaxstore query -in osm.coax -min '_,60,_,_' -max '_,90,_,_' -limit 5
+//	coaxstore explain -in flights.coax -where airtime:60:90
 //	coaxstore bench -rows 200000 -json BENCH_snapshot.json
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -40,6 +42,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -60,10 +64,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `coaxstore — build once, query many times from disk
 
 subcommands:
-  build   build a COAX index and save it as a snapshot
-  info    describe a snapshot file (format frame + index stats)
-  query   answer a range/point query from a snapshot
-  bench   time build/save/load and optionally emit JSON
+  build    build a COAX index and save it as a snapshot
+  info     describe a snapshot file (format frame + index stats)
+  query    answer a range/point query from a snapshot
+  explain  run a query and report how it executed: soft-FD constraint
+           translation, primary/outlier scan split, pages and rows touched
+  bench    time build/save/load and optionally emit JSON
 
 run 'coaxstore <subcommand> -h' for flags`)
 }
@@ -224,6 +230,85 @@ func cmdQuery(args []string) error {
 	fmt.Printf("%d rows matched %v (load %v, query %v)\n",
 		count, r, loadDur.Round(time.Microsecond), queryDur.Round(time.Microsecond))
 	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "index.coax", "snapshot path (single-index or sharded)")
+		min     = fs.String("min", "", "comma-separated lower bounds; '_' leaves a dimension unconstrained")
+		max     = fs.String("max", "", "comma-separated upper bounds; '_' leaves a dimension unconstrained")
+		wheres  = fs.String("where", "", "comma-separated name-based predicates col:lo:hi ('_' for an open side), e.g. airtime:60:90")
+		limit   = fs.Int("limit", 0, "stop the scan after this many rows (0: scan everything)")
+		jsonOut = fs.Bool("json", false, "print the report as JSON instead of text")
+	)
+	fs.Parse(args)
+
+	idx, err := loadAnyIndex(*in)
+	if err != nil {
+		return err
+	}
+
+	r := coax.FullRect(idx.Dims())
+	if err := fillBounds(r.Min, *min, math.Inf(-1), idx.Dims()); err != nil {
+		return fmt.Errorf("-min: %w", err)
+	}
+	if err := fillBounds(r.Max, *max, math.Inf(1), idx.Dims()); err != nil {
+		return fmt.Errorf("-max: %w", err)
+	}
+	q := coax.FromRect(r)
+	if *wheres != "" {
+		for _, clause := range strings.Split(*wheres, ",") {
+			parts := strings.SplitN(strings.TrimSpace(clause), ":", 3)
+			if len(parts) != 3 {
+				return fmt.Errorf("-where clause %q: want col:lo:hi", clause)
+			}
+			lo, hi := math.Inf(-1), math.Inf(1)
+			if p := strings.TrimSpace(parts[1]); p != "_" && p != "" {
+				if lo, err = strconv.ParseFloat(p, 64); err != nil {
+					return fmt.Errorf("-where clause %q: %w", clause, err)
+				}
+			}
+			if p := strings.TrimSpace(parts[2]); p != "_" && p != "" {
+				if hi, err = strconv.ParseFloat(p, 64); err != nil {
+					return fmt.Errorf("-where clause %q: %w", clause, err)
+				}
+			}
+			q.Where(parts[0], coax.Between(lo, hi))
+		}
+	}
+	if *limit > 0 {
+		q.Limit(*limit)
+	}
+
+	exp, err := q.Explain(idx)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		blob, err := json.MarshalIndent(exp, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+	fmt.Println(exp)
+	return nil
+}
+
+// loadAnyIndex opens a snapshot whichever layout it holds: a single index
+// or a sharded one.
+func loadAnyIndex(path string) (coax.Querier, error) {
+	idx, err := coax.LoadFile(path)
+	if err == nil {
+		return idx, nil
+	}
+	sharded, serr := coax.LoadShardedFile(path)
+	if serr != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, errors.Join(err, serr))
+	}
+	return sharded, nil
 }
 
 // fillBounds parses a comma-separated bound list into dst; '_' (or an empty

@@ -54,3 +54,26 @@ func TestQueryBadBounds(t *testing.T) {
 		t.Fatal("non-numeric bound accepted")
 	}
 }
+
+// TestExplainSubcommand builds an airline snapshot and asserts the explain
+// subcommand runs against both name-based and rectangle constraints, on
+// single and (via coaxserve-style save) sharded-free snapshots.
+func TestExplainSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "air.coax")
+	if err := cmdBuild([]string{"-dataset", "airline", "-rows", "30000", "-out", snap}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Name-based predicate on a dependent column, with a limit.
+	if err := cmdExplain([]string{"-in", snap, "-where", "airtime:60:90", "-limit", "25"}); err != nil {
+		t.Fatalf("explain -where: %v", err)
+	}
+	// Rectangle bounds plus JSON output.
+	if err := cmdExplain([]string{"-in", snap, "-min", "_,_,60,_,_,_,_,_", "-max", "_,_,90,_,_,_,_,_", "-json"}); err != nil {
+		t.Fatalf("explain -min/-max -json: %v", err)
+	}
+	// Unknown column names fail loudly instead of matching nothing.
+	if err := cmdExplain([]string{"-in", snap, "-where", "altitude:0:1"}); err == nil {
+		t.Fatal("explain accepted an unknown column")
+	}
+}

@@ -11,12 +11,19 @@
 // constrain a dependent attribute are translated through the learned model
 // into constraints on its predictor, so results remain exact.
 //
-// Basic usage:
+// Basic usage (Query API v2 — see the Query builder in query.go):
 //
 //	table := coax.NewTable([]string{"distance", "airtime", "carrier"})
 //	// ... table.Append(row) for every row ...
 //	idx, err := coax.Build(table, coax.DefaultOptions())
 //	if err != nil { ... }
+//	rows, err := coax.NewQuery().
+//		Where("airtime", coax.Between(60, 90)).
+//		Limit(100).
+//		Collect(idx)
+//
+// The legacy rectangle surface remains supported:
+//
 //	q := coax.FullRect(3)
 //	q.Min[1], q.Max[1] = 60, 90 // airtime between 60 and 90 minutes
 //	idx.Query(q, func(row []float64) { ... })
@@ -66,11 +73,13 @@ func FullRect(dims int) Rect { return index.Full(dims) }
 // PointQuery returns the degenerate rectangle matching exactly p.
 func PointQuery(p []float64) Rect { return index.Point(p) }
 
-// Visitor receives one matching row per call. Slice ownership depends on
-// the index answering the query: *Index passes a slice aliasing its
-// internals that is only valid for the duration of the call (copy it to
-// retain it); *ShardedIndex merges rows across goroutines and therefore
-// always passes a stable copy that stays valid after the call returns.
+// Visitor receives one matching row per call — the legacy query callback.
+// Under the unified v2 ownership contract, the slice is only guaranteed
+// valid for the duration of the call, whichever index answers; copy rows
+// you retain, or build the query with Query.Stable() (or use Collect,
+// whose rows are always stable copies). *ShardedIndex happens to pass
+// stable copies on this legacy path too — a guarantee kept for
+// compatibility, not one the contract extends to new code.
 type Visitor = index.Visitor
 
 // Options configures a Build. Start from DefaultOptions.
@@ -311,30 +320,61 @@ func LoadShardedFile(path string) (*ShardedIndex, error) {
 	return LoadSharded(bufio.NewReaderSize(f, 1<<20))
 }
 
-// Querier is the query surface shared by *Index and *ShardedIndex; Count
-// and Collect accept either.
+// Querier is the query surface shared by *Index and *ShardedIndex; Count,
+// Collect, and the v2 Query builder accept either. Both implementations
+// also offer Columns() (name-based predicates) and the stop-aware v2
+// execution path; a third-party Querier still works, but without
+// engine-level early termination.
 type Querier interface {
 	Len() int
 	Dims() int
 	Query(r Rect, visit Visitor)
 }
 
-// Count runs a query and returns the number of matching rows.
+// Count runs a query and returns the number of matching rows. It is a
+// run-to-completion shim over the v2 scan; use FromRect(r).Limit(k) or
+// CountLimit to stop counting at a threshold.
 func Count(idx Querier, r Rect) int {
 	n := 0
 	idx.Query(r, func([]float64) { n++ })
 	return n
 }
 
-// Collect runs a query and returns copies of all matching rows.
+// CountLimit counts matching rows, stopping the scan — across every shard
+// — once k have been seen; it returns min(k, total). k ≤ 0 counts all.
+func CountLimit(idx Querier, r Rect, k int) (int, error) {
+	return FromRect(r).Limit(k).Count(idx)
+}
+
+// collectBlockRows rows share one backing allocation in Collect.
+const collectBlockRows = 256
+
+// Collect runs a query and returns all matching rows. The returned rows
+// are always stable private copies, regardless of the backing index — they
+// stay valid indefinitely and share nothing with the index internals. The
+// result is preallocated from a row-count hint (the index's row count,
+// bounded so selective queries stay cheap), and row payloads are carved
+// from block allocations rather than one make per row.
 func Collect(idx Querier, r Rect) [][]float64 {
-	var out [][]float64
+	out := make([][]float64, 0, collectHint(idx.Len(), 0))
+	var block []float64
 	idx.Query(r, func(row []float64) {
-		cp := make([]float64, len(row))
+		if len(block) < len(row) {
+			block = make([]float64, collectBlockRows*len(row))
+		}
+		cp := block[:len(row):len(row)]
+		block = block[len(row):]
 		copy(cp, row)
 		out = append(out, cp)
 	})
 	return out
+}
+
+// CollectLimit collects up to k matching rows, stopping the scan — across
+// every shard — as soon as it has them. Rows are stable copies. k ≤ 0
+// collects all.
+func CollectLimit(idx Querier, r Rect, k int) ([][]float64, error) {
+	return FromRect(r).Limit(k).Collect(idx)
 }
 
 // Synthetic dataset generators. The repository's benchmarks run on

@@ -1,0 +1,84 @@
+package coax_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/coax-index/coax/coax"
+)
+
+// ExampleQuery shows the v2 builder: name-based predicates compiled
+// against the indexed table's columns.
+func ExampleQuery() {
+	table := coax.NewTable([]string{"seq", "temp", "reading"})
+	for i := 0; i < 8000; i++ {
+		seq := float64(i)
+		table.Append([]float64{seq, 20 + seq*0.01, float64(i % 100)})
+	}
+	idx, err := coax.Build(table, coax.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	n, err := coax.NewQuery().
+		Where("reading", coax.Between(10, 19)).
+		Where("seq", coax.AtLeast(4000)).
+		Count(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output: 400
+}
+
+// ExampleQuery_limit stops the scan — across every shard of a sharded
+// index — as soon as enough rows are found.
+func ExampleQuery_limit() {
+	table := coax.NewTable([]string{"seq", "temp", "reading"})
+	for i := 0; i < 8000; i++ {
+		seq := float64(i)
+		table.Append([]float64{seq, 20 + seq*0.01, float64(i % 100)})
+	}
+	idx, err := coax.BuildSharded(table, coax.DefaultOptions(), coax.DefaultShardOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := coax.NewQuery().
+		Where("reading", coax.Eq(7)).
+		Limit(3).
+		Collect(idx) // rows are stable copies
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(rows))
+	// Output: 3
+}
+
+// ExampleQuery_explain reports how a query on a dependent attribute
+// executed: the constraint is translated through the learned soft-FD model
+// into a predictor interval, and the report shows the primary/outlier
+// scan split.
+func ExampleQuery_explain() {
+	table := coax.GenerateAirline(coax.DefaultAirlineConfig(40000))
+	idx, err := coax.Build(table, coax.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exp, err := coax.NewQuery().
+		Where("airtime", coax.Between(60, 90)).
+		Explain(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("translations:", len(exp.Translations))
+	fmt.Println("dependent:", exp.Translations[0].Dependent, "predictor:", exp.Translations[0].Predictor)
+	fmt.Println("primary probed:", exp.PrimaryProbed, "outlier probed:", exp.OutlierProbed)
+	fmt.Println("complete:", exp.Complete)
+	// Output:
+	// translations: 1
+	// dependent: airtime predictor: elapsed
+	// primary probed: true outlier probed: true
+	// complete: true
+}

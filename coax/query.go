@@ -1,0 +1,382 @@
+package coax
+
+// Query API v2: a composable, name-based query surface over *Index and
+// *ShardedIndex. A Query is built from predicates on named (or positional)
+// columns, optionally bounded by Limit, cancelled through a context, and
+// executed with Run, Count, Collect, or Explain. Internally it compiles to
+// the same index.Rect plan the legacy Query(Rect, Visitor) call uses, so
+// both surfaces answer identically; the v2 path additionally supports
+// early termination (a satisfied Limit or a false-returning visitor stops
+// the scan, across every shard of a sharded index), context cancellation,
+// a uniform row-ownership rule (Stable), and EXPLAIN reports.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/shard"
+)
+
+// Yield is the v2 visitor: it receives one matching row per call and
+// reports whether the scan should continue — returning false stops it,
+// including every worker of a sharded fan-out. Unless the query was built
+// with Stable(), the row slice is only valid for the duration of the call.
+type Yield = index.Yield
+
+// Predicate is one constraint on a single column, built with Between, Eq,
+// AtLeast, or AtMost.
+type Predicate struct {
+	lo, hi float64
+	err    error
+}
+
+// Between constrains a column to [lo, hi], inclusive on both bounds.
+func Between(lo, hi float64) Predicate {
+	switch {
+	case math.IsNaN(lo) || math.IsNaN(hi):
+		return Predicate{err: fmt.Errorf("Between(%g, %g): NaN bound", lo, hi)}
+	case lo > hi:
+		return Predicate{err: fmt.Errorf("Between(%g, %g): inverted bounds", lo, hi)}
+	}
+	return Predicate{lo: lo, hi: hi}
+}
+
+// Eq constrains a column to exactly v.
+func Eq(v float64) Predicate {
+	if math.IsNaN(v) {
+		return Predicate{err: fmt.Errorf("Eq(%g): NaN bound", v)}
+	}
+	return Predicate{lo: v, hi: v}
+}
+
+// AtLeast constrains a column to [v, +∞).
+func AtLeast(v float64) Predicate {
+	if math.IsNaN(v) {
+		return Predicate{err: fmt.Errorf("AtLeast(%g): NaN bound", v)}
+	}
+	return Predicate{lo: v, hi: math.Inf(1)}
+}
+
+// AtMost constrains a column to (-∞, v].
+func AtMost(v float64) Predicate {
+	if math.IsNaN(v) {
+		return Predicate{err: fmt.Errorf("AtMost(%g): NaN bound", v)}
+	}
+	return Predicate{lo: math.Inf(-1), hi: v}
+}
+
+// pred is one predicate bound to a column by name or position.
+type pred struct {
+	name string // resolved at compile time; "" when positional
+	dim  int    // -1 when named
+	p    Predicate
+}
+
+// Query is a composable description of a range scan. Build one with
+// NewQuery (or FromRect), refine it with the chainable With/Where methods,
+// and execute it with Run, Count, Collect, or Explain. A Query value is
+// not safe for concurrent mutation but may be executed any number of
+// times, concurrently, once built.
+type Query struct {
+	rect    *Rect // optional base rectangle (FromRect)
+	preds   []pred
+	limit   int
+	ctx     context.Context
+	stable  bool
+	explain bool
+}
+
+// NewQuery returns an empty query matching every row.
+func NewQuery() *Query { return &Query{} }
+
+// FromRect returns a query over an explicit rectangle — the bridge from
+// the legacy plan representation; Where predicates intersect with it.
+func FromRect(r Rect) *Query {
+	cl := r.Clone()
+	return &Query{rect: &cl}
+}
+
+// clone returns a private copy so the execution helpers can set options
+// without mutating the caller's builder.
+func (q *Query) clone() *Query {
+	cp := *q
+	cp.preds = append([]pred(nil), q.preds...)
+	return &cp
+}
+
+// Where adds a predicate on the named column. The name is resolved against
+// the index's column names at execution time; constraining the same column
+// twice intersects the predicates.
+func (q *Query) Where(col string, p Predicate) *Query {
+	q.preds = append(q.preds, pred{name: col, dim: -1, p: p})
+	return q
+}
+
+// WhereDim adds a predicate on the column at position dim — for tables
+// built without column names.
+func (q *Query) WhereDim(dim int, p Predicate) *Query {
+	q.preds = append(q.preds, pred{dim: dim, p: p})
+	return q
+}
+
+// Limit caps the number of rows delivered; the scan stops — across every
+// shard — once k rows have been yielded. k ≤ 0 removes the cap.
+func (q *Query) Limit(k int) *Query {
+	q.limit = k
+	return q
+}
+
+// WithContext attaches a cancellation context: when it is done, the scan
+// (including a sharded fan-out already in flight) stops within about one
+// page of work, and the execution call returns the context's error.
+func (q *Query) WithContext(ctx context.Context) *Query {
+	q.ctx = ctx
+	return q
+}
+
+// Stable requires every row handed to the visitor to be a private copy
+// that stays valid after the call returns. This is the one ownership rule
+// both *Index and *ShardedIndex honor identically; without it, rows are
+// only valid for the duration of the visitor call, whichever index
+// answers.
+func (q *Query) Stable() *Query {
+	q.stable = true
+	return q
+}
+
+// WithExplain makes execution fill Result.Explain with the query's
+// execution report.
+func (q *Query) WithExplain() *Query {
+	q.explain = true
+	return q
+}
+
+// columnsOf reports the column names an index carries, or nil.
+func columnsOf(idx Querier) []string {
+	if c, ok := idx.(interface{ Columns() []string }); ok {
+		return c.Columns()
+	}
+	return nil
+}
+
+// Compile resolves the query against idx into the rectangle plan the
+// engine probes. It fails on an invalid predicate, an unknown column name,
+// or a positional predicate out of range.
+func (q *Query) Compile(idx Querier) (Rect, error) {
+	dims := idx.Dims()
+	var r Rect
+	if q.rect != nil {
+		if q.rect.Dims() != dims {
+			return r, fmt.Errorf("coax: query rectangle has %d dims, index has %d", q.rect.Dims(), dims)
+		}
+		if err := q.rect.Validate(); err != nil {
+			return r, err
+		}
+		r = q.rect.Clone()
+	} else {
+		r = FullRect(dims)
+	}
+	var cols []string
+	for _, pr := range q.preds {
+		label := pr.name
+		if label == "" {
+			label = fmt.Sprintf("column %d", pr.dim)
+		}
+		if pr.p.err != nil {
+			return r, fmt.Errorf("coax: predicate on %s: %w", label, pr.p.err)
+		}
+		d := pr.dim
+		if pr.name != "" {
+			if cols == nil {
+				cols = columnsOf(idx)
+			}
+			d = -1
+			for i, c := range cols {
+				if c == pr.name {
+					d = i
+					break
+				}
+			}
+			if d < 0 {
+				if len(cols) == 0 {
+					return r, fmt.Errorf("coax: index has no column names; use WhereDim for %q", pr.name)
+				}
+				return r, fmt.Errorf("coax: unknown column %q (have %s)", pr.name, strings.Join(cols, ", "))
+			}
+		}
+		if d < 0 || d >= dims {
+			return r, fmt.Errorf("coax: %s out of range [0,%d)", label, dims)
+		}
+		// Intersect with any earlier constraint on the same column; the
+		// result may be empty, which legitimately matches nothing.
+		if pr.p.lo > r.Min[d] {
+			r.Min[d] = pr.p.lo
+		}
+		if pr.p.hi < r.Max[d] {
+			r.Max[d] = pr.p.hi
+		}
+	}
+	return r, nil
+}
+
+// Result summarises one query execution.
+type Result struct {
+	// Rows is the number of rows delivered to the visitor.
+	Rows int
+	// Complete reports whether the scan visited every matching row; false
+	// when a Limit, a false-returning visitor, or a cancelled context
+	// stopped it early.
+	Complete bool
+	// Explain is the execution report, non-nil when the query was built
+	// with WithExplain.
+	Explain *Explain
+}
+
+// Run compiles and executes the query, invoking visit for every matching
+// row until the Limit is reached, visit returns false, or the context is
+// cancelled — whichever comes first. On cancellation it returns the
+// context's error alongside the partial result. The visitor must not
+// mutate the index being scanned (a sharded scan holds shard read locks
+// while it runs, so a reentrant Insert/Delete/Update deadlocks): collect
+// first, then mutate.
+func (q *Query) Run(idx Querier, visit Yield) (Result, error) {
+	r, err := q.Compile(idx)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{}
+	var exp *Explain
+	if q.explain {
+		exp = newExplain(idx, r)
+		res.Explain = exp
+	}
+	spec := index.Spec{Ctx: q.ctx, Limit: q.limit, Stable: q.stable}
+
+	limited := false
+	yield := func(row []float64) bool {
+		res.Rows++
+		if !visit(row) {
+			return false
+		}
+		if q.limit > 0 && res.Rows >= q.limit {
+			limited = true
+			return false
+		}
+		return true
+	}
+
+	start := time.Now()
+	switch ix := idx.(type) {
+	case *ShardedIndex:
+		var rep *shard.Report
+		if exp != nil {
+			rep = &shard.Report{}
+		}
+		res.Complete = ix.Exec(r, spec, yield, rep)
+		if exp != nil {
+			exp.fromShard(rep)
+		}
+	case *Index:
+		var rep *core.ProbeReport
+		if exp != nil {
+			rep = &core.ProbeReport{}
+		}
+		res.Complete = ix.Exec(r, spec, yield, rep)
+		if exp != nil {
+			exp.fromCore(rep)
+		}
+	default:
+		res.Complete = runGeneric(idx, r, spec, yield)
+	}
+	if exp != nil {
+		exp.Elapsed = time.Since(start)
+		exp.RowsEmitted = res.Rows
+		exp.Limited = limited
+		exp.Complete = res.Complete
+	}
+	if q.ctx != nil && q.ctx.Err() != nil {
+		res.Complete = false
+		if exp != nil {
+			exp.Cancelled = true
+			exp.Complete = false
+		}
+		return res, q.ctx.Err()
+	}
+	return res, nil
+}
+
+// runGeneric executes the plan against a plain Querier that offers only
+// the legacy visitor. The limit, context, and stability options are still
+// honored at the visitor boundary, but the underlying scan cannot be
+// aborted, so early termination saves no work here.
+func runGeneric(idx Querier, r Rect, spec index.Spec, yield Yield) bool {
+	stopped := false
+	idx.Query(r, func(row []float64) {
+		if stopped || spec.Done() {
+			stopped = true
+			return
+		}
+		if spec.Stable {
+			cp := make([]float64, len(row))
+			copy(cp, row)
+			row = cp
+		}
+		if !yield(row) {
+			stopped = true
+		}
+	})
+	return !stopped
+}
+
+// Count executes the query and returns the number of matching rows —
+// capped at the Limit when one is set.
+func (q *Query) Count(idx Querier) (int, error) {
+	res, err := q.Run(idx, func([]float64) bool { return true })
+	return res.Rows, err
+}
+
+// Collect executes the query and returns the matching rows, capped at the
+// Limit when one is set. Returned rows are always stable private copies,
+// whichever index answers. The result is preallocated from the limit (or
+// a bounded row-count hint) as its sizing hint.
+func (q *Query) Collect(idx Querier) ([][]float64, error) {
+	out := make([][]float64, 0, collectHint(idx.Len(), q.limit))
+	qq := q.clone().Stable()
+	_, err := qq.Run(idx, func(row []float64) bool {
+		out = append(out, row) // stable: rows are private copies
+		return true
+	})
+	return out, err
+}
+
+// Explain executes the query, discarding rows, and returns its
+// execution report — the EXPLAIN ANALYZE of the builder. The scan honors
+// Limit and the context exactly as Run does, so the report describes the
+// work a real execution performs.
+func (q *Query) Explain(idx Querier) (*Explain, error) {
+	qq := q.clone()
+	qq.explain = true
+	res, err := qq.Run(idx, func([]float64) bool { return true })
+	return res.Explain, err
+}
+
+// collectHint sizes a result slice. A Limit is an exact upper bound on the
+// result, so it (capped by the row count) is used directly; without one
+// the result size is unknown, so start small and let append's geometric
+// growth take over — preallocating from the full row count would spend a
+// slice header per indexed row on a query that may match one.
+func collectHint(rows, limit int) int {
+	const (
+		unknownHint = 64
+		maxHint     = 4096 // a huge Limit on a selective query must not preallocate it all
+	)
+	if limit > 0 {
+		return min(limit, rows, maxHint)
+	}
+	return min(rows, unknownHint)
+}

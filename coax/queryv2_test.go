@@ -1,0 +1,472 @@
+package coax_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// queryV2Indexes builds the four engine configurations the v2 surface must
+// agree on: single and sharded, each with grid and R-tree outliers.
+func queryV2Indexes(t *testing.T, tab *coax.Table) map[string]coax.Querier {
+	t.Helper()
+	out := make(map[string]coax.Querier)
+	for _, kind := range []struct {
+		name string
+		k    coax.OutlierIndexKind
+	}{{"grid", coax.OutlierGrid}, {"rtree", coax.OutlierRTree}} {
+		opt := coax.DefaultOptions()
+		opt.SoftFD.SampleCount = 5000
+		opt.OutlierKind = kind.k
+		single, err := coax.Build(tab, opt)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", kind.name, err)
+		}
+		out["single-"+kind.name] = single
+
+		so := coax.DefaultShardOptions()
+		so.NumShards = 4
+		so.Workers = 4
+		sharded, err := coax.BuildSharded(tab, opt, so)
+		if err != nil {
+			t.Fatalf("BuildSharded(%s): %v", kind.name, err)
+		}
+		out["sharded-"+kind.name] = sharded
+	}
+	return out
+}
+
+// rowKey renders a row for multiset comparison.
+func rowKey(row []float64) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = fmt.Sprintf("%x", math.Float64bits(v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func sortedKeys(rows [][]float64) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = rowKey(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestV2EquivalentToLegacy is the property test of the acceptance
+// criteria: for random rectangles, the v2 builder — via FromRect and via
+// per-dimension predicates — returns exactly the multiset the legacy
+// Query(Rect, Visitor) path returns, on single and sharded indexes with
+// both outlier kinds, and Limit(k) returns exactly min(k, total) rows all
+// of which belong to that multiset.
+func TestV2EquivalentToLegacy(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(12000))
+	indexes := queryV2Indexes(t, tab)
+	rng := rand.New(rand.NewSource(99))
+
+	for trial := 0; trial < 60; trial++ {
+		r := workload.RandRect(rng, tab)
+		for name, idx := range indexes {
+			legacy := coax.Collect(idx, r)
+			want := sortedKeys(legacy)
+
+			// Path 1: FromRect.
+			got, err := coax.FromRect(r).Collect(idx)
+			if err != nil {
+				t.Fatalf("%s: FromRect.Collect: %v", name, err)
+			}
+			if g := sortedKeys(got); fmt.Sprint(g) != fmt.Sprint(want) {
+				t.Fatalf("%s rect %v: FromRect returned %d rows, legacy %d", name, r, len(got), len(legacy))
+			}
+
+			// Path 2: the same plan expressed as positional predicates.
+			q := coax.NewQuery()
+			for d := 0; d < r.Dims(); d++ {
+				if math.IsInf(r.Min[d], -1) && math.IsInf(r.Max[d], 1) {
+					continue
+				}
+				q.WhereDim(d, coax.Between(r.Min[d], r.Max[d]))
+			}
+			n, err := q.Count(idx)
+			if err != nil {
+				t.Fatalf("%s: builder Count: %v", name, err)
+			}
+			if n != len(legacy) {
+				t.Fatalf("%s rect %v: builder counted %d, legacy %d", name, r, n, len(legacy))
+			}
+
+			// Limit(k): exactly min(k, total) rows, all from the legacy set.
+			k := 1 + rng.Intn(20)
+			limited, err := coax.CollectLimit(idx, r, k)
+			if err != nil {
+				t.Fatalf("%s: CollectLimit: %v", name, err)
+			}
+			if wantN := min(k, len(legacy)); len(limited) != wantN {
+				t.Fatalf("%s rect %v: Limit(%d) returned %d rows, want %d", name, r, k, len(limited), wantN)
+			}
+			set := make(map[string]int, len(legacy))
+			for _, row := range legacy {
+				set[rowKey(row)]++
+			}
+			for _, row := range limited {
+				key := rowKey(row)
+				if set[key] == 0 {
+					t.Fatalf("%s rect %v: Limit(%d) returned row %v outside the legacy result", name, r, k, row)
+				}
+				set[key]--
+			}
+		}
+	}
+}
+
+// TestWhereByName resolves predicates against column names on every
+// engine, including after a snapshot round trip.
+func TestWhereByName(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(8000))
+	opt := coax.DefaultOptions()
+	opt.SoftFD.SampleCount = 4000
+	idx, err := coax.Build(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// osm columns: id, timestamp, lat, lon.
+	q := coax.NewQuery().Where("lat", coax.Between(-10, 10)).Where("lon", coax.AtLeast(0))
+	n, err := q.Count(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < tab.Len(); i++ {
+		row := tab.Row(i)
+		if row[2] >= -10 && row[2] <= 10 && row[3] >= 0 {
+			want++
+		}
+	}
+	if n != want {
+		t.Fatalf("name-based Count = %d, want %d", n, want)
+	}
+
+	// Unknown names and invalid predicates are compile errors.
+	if _, err := coax.NewQuery().Where("altitude", coax.Eq(1)).Count(idx); err == nil {
+		t.Error("unknown column did not error")
+	}
+	if _, err := coax.NewQuery().Where("lat", coax.Between(5, 4)).Count(idx); err == nil {
+		t.Error("inverted Between did not error")
+	}
+	if _, err := coax.NewQuery().Where("lat", coax.Eq(math.NaN())).Count(idx); err == nil {
+		t.Error("NaN predicate did not error")
+	}
+	if _, err := coax.NewQuery().WhereDim(9, coax.Eq(1)).Count(idx); err == nil {
+		t.Error("out-of-range WhereDim did not error")
+	}
+
+	// Names survive the snapshot round trip (the "cols" section).
+	path := t.TempDir() + "/named.coax"
+	if err := coax.SaveFile(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := coax.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := q.Count(back)
+	if err != nil {
+		t.Fatalf("name-based query on loaded snapshot: %v", err)
+	}
+	if n2 != want {
+		t.Fatalf("loaded snapshot counted %d, want %d", n2, want)
+	}
+}
+
+// TestShardedCancellation asserts the fan-out contract: a cancelled
+// context stops a sharded scan promptly — no further rows are delivered
+// after cancellation, and the call returns the context's error.
+func TestShardedCancellation(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(40000))
+	so := coax.DefaultShardOptions()
+	so.NumShards = 4
+	so.Workers = 4 // force the parallel streaming path even on 1 CPU
+	idx, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-cancelled: nothing may be delivered.
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := coax.NewQuery().WithContext(done).Run(idx, func([]float64) bool {
+		t.Error("row delivered on a cancelled context")
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled Run error = %v, want context.Canceled", err)
+	}
+	if res.Complete || res.Rows != 0 {
+		t.Fatalf("pre-cancelled Run = %+v, want 0 incomplete rows", res)
+	}
+
+	// Cancelled mid-scan by the visitor: the fan-out stops within one page
+	// (one 128-row delivery chunk — the context is polled at chunk
+	// boundaries) instead of streaming the remaining tens of thousands of
+	// rows.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	res, err = coax.NewQuery().WithContext(ctx).Run(idx, func([]float64) bool {
+		cancel2()
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("mid-scan Run error = %v, want context.Canceled", err)
+	}
+	if res.Complete {
+		t.Error("cancelled scan reported Complete")
+	}
+	const pageRows = 128 // internal/shard scanChunkRows
+	if res.Rows < 1 || res.Rows > pageRows {
+		t.Fatalf("rows delivered after mid-scan cancellation = %d, want within one %d-row page", res.Rows, pageRows)
+	}
+}
+
+// TestLimitStopsScanWork asserts early termination saves engine work, not
+// just visitor calls: on a single index (deterministic, single-threaded) a
+// Limit(5) scan examines far fewer rows than the full scan does.
+func TestLimitStopsScanWork(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(30000))
+	idx, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := coax.NewQuery().Explain(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := coax.NewQuery().Limit(5).Explain(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullWork := full.Primary.RowsScanned + full.Outlier.RowsScanned
+	limitedWork := limited.Primary.RowsScanned + limited.Outlier.RowsScanned
+	if fullWork < int64(tab.Len()) {
+		t.Fatalf("full scan examined %d rows of %d", fullWork, tab.Len())
+	}
+	if limitedWork*100 > fullWork {
+		t.Fatalf("Limit(5) examined %d rows, full scan %d — early termination saved no work", limitedWork, fullWork)
+	}
+	if !limited.Limited || limited.Complete {
+		t.Fatalf("limited explain = limited:%v complete:%v, want limited, incomplete", limited.Limited, limited.Complete)
+	}
+	if limited.RowsEmitted != 5 {
+		t.Fatalf("RowsEmitted = %d, want 5", limited.RowsEmitted)
+	}
+}
+
+// TestExplainAirline is the acceptance scenario: an airline-style query on
+// a dependent column shows the predictor-interval translation and the
+// primary/outlier row-scan split.
+func TestExplainAirline(t *testing.T) {
+	tab := coax.GenerateAirline(coax.DefaultAirlineConfig(40000))
+	idx, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.BuildStats()
+	if len(st.Groups) == 0 {
+		t.Fatal("no soft-FD groups detected on the airline table")
+	}
+
+	q := coax.NewQuery().Where("airtime", coax.Between(60, 90)).WithExplain()
+	var rows int
+	res, err := q.Run(idx, func([]float64) bool { rows++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := res.Explain
+	if exp == nil {
+		t.Fatal("WithExplain produced no report")
+	}
+	if len(exp.Translations) == 0 {
+		t.Fatal("explain shows no dependency translation for the airtime constraint")
+	}
+	tr := exp.Translations[0]
+	if tr.Dependent != "airtime" {
+		t.Errorf("translation dependent = %q, want airtime", tr.Dependent)
+	}
+	if !tr.Feasible || tr.PredictorMin == nil || tr.PredictorMax == nil {
+		t.Fatalf("translation %+v: want a feasible finite predictor interval", tr)
+	}
+	if *tr.PredictorMin >= *tr.PredictorMax {
+		t.Errorf("degenerate predictor interval [%g, %g]", *tr.PredictorMin, *tr.PredictorMax)
+	}
+	if !exp.PrimaryProbed || exp.Primary.RowsScanned == 0 {
+		t.Errorf("primary probe missing from explain: %+v", exp.Primary)
+	}
+	if !exp.OutlierProbed || exp.Outlier.RowsScanned == 0 {
+		t.Errorf("outlier probe missing from explain: %+v", exp.Outlier)
+	}
+	if got := exp.Primary.RowsMatched + exp.Outlier.RowsMatched; got != int64(rows) {
+		t.Errorf("explain matched %d rows, visitor saw %d", got, rows)
+	}
+	if legacy := coax.Count(idx, mustCompile(t, q, idx)); legacy != rows {
+		t.Errorf("v2 delivered %d rows, legacy %d", rows, legacy)
+	}
+
+	// The sharded engine reports its fan-out on top of the same numbers.
+	so := coax.DefaultShardOptions()
+	so.NumShards = 4
+	sharded, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sexp, err := coax.NewQuery().Where("airtime", coax.Between(60, 90)).Explain(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sexp.ShardsProbed == 0 {
+		t.Errorf("sharded explain probed no shards: %+v", sexp)
+	}
+	if sexp.ShardsProbed+sexp.ShardsPruned != sharded.NumShards() {
+		t.Errorf("shards probed %d + pruned %d != %d", sexp.ShardsProbed, sexp.ShardsPruned, sharded.NumShards())
+	}
+	if len(sexp.Translations) == 0 {
+		t.Error("sharded explain lost the translation steps")
+	}
+}
+
+func mustCompile(t *testing.T, q *coax.Query, idx coax.Querier) coax.Rect {
+	t.Helper()
+	r, err := q.Compile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestStableOwnership asserts the unified contract: rows from a Stable()
+// query survive later index mutation and compaction on both engines.
+func TestStableOwnership(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(5000))
+	single, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := coax.DefaultShardOptions()
+	so.NumShards = 2
+	sharded, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, idx := range map[string]coax.Querier{"single": single, "sharded": sharded} {
+		var retained [][]float64
+		var copies [][]float64
+		_, err := coax.NewQuery().Stable().Limit(50).Run(idx, func(row []float64) bool {
+			retained = append(retained, row)
+			cp := make([]float64, len(row))
+			copy(cp, row)
+			copies = append(copies, cp)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Mutate and compact: aliasing rows would be rewritten.
+		mut := idx.(interface {
+			Insert(row []float64) error
+			Delete(row []float64) error
+		})
+		for i := 0; i < 100; i++ {
+			if err := mut.Insert([]float64{float64(i), float64(i), 0, 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c, ok := idx.(interface{ Compact() }); ok {
+			c.Compact()
+		}
+		for i := range retained {
+			if rowKey(retained[i]) != rowKey(copies[i]) {
+				t.Fatalf("%s: stable row %d changed after mutation", name, i)
+			}
+		}
+	}
+}
+
+// TestMutatingVisitorDoesNotDeadlock regression-tests the streaming
+// fan-out's lock discipline: a worker never blocks on delivery while
+// holding its shard's read lock, so a visitor that mutates the index —
+// discouraged, but possible — waits for the in-flight probe instead of
+// deadlocking against it.
+func TestMutatingVisitorDoesNotDeadlock(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(3000))
+	so := coax.DefaultShardOptions()
+	so.NumShards = 4
+	so.Workers = 4
+	idx, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := 0
+	res, err := coax.NewQuery().Limit(200).Run(idx, func(row []float64) bool {
+		if err := idx.Delete(row); err == nil { // rows are stable copies
+			deleted++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted == 0 {
+		t.Error("mutating visitor deleted nothing")
+	}
+	if idx.Len() != tab.Len()-deleted {
+		t.Errorf("index holds %d rows after %d deletes of %d", idx.Len(), deleted, tab.Len())
+	}
+	_ = res
+}
+
+// TestCancelledZeroMatchScanStops regression-tests page-granularity
+// cancellation: a query whose candidate pages match nothing never calls
+// the visitor, so a yield-side check alone would let a cancelled scan run
+// to completion. The abort hook is polled per page instead — a cancelled
+// context must stop the scan before it grinds through the candidates.
+func TestCancelledZeroMatchScanStops(t *testing.T) {
+	// A bimodal column: every value is 0 or 100, so mode∈[40,60] is inside
+	// the index bounds (not prunable) yet matches no row.
+	tab := coax.NewTable([]string{"x", "mode"})
+	for i := 0; i < 100000; i++ {
+		tab.Append([]float64{float64(i), float64((i % 2) * 100)})
+	}
+	idx, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := coax.NewQuery().Where("mode", coax.Between(40, 60)).WithContext(ctx).WithExplain()
+	res, err := q.Run(idx, func([]float64) bool {
+		t.Error("visitor called on a zero-match query")
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	scanned := res.Explain.Primary.RowsScanned + res.Explain.Outlier.RowsScanned
+	if scanned != 0 {
+		t.Fatalf("pre-cancelled zero-match query still scanned %d rows", scanned)
+	}
+
+	// Sanity: uncancelled, the same query completes and matches nothing.
+	n, err := coax.NewQuery().Where("mode", coax.Between(40, 60)).Count(idx)
+	if err != nil || n != 0 {
+		t.Fatalf("uncancelled zero-match query = %d, %v", n, err)
+	}
+}

@@ -41,21 +41,42 @@ func main() {
 
 	// "Which flights flew 800-1200 miles and were airborne 2-3 hours?"
 	// Airtime is a dependent attribute — it is not indexed, yet the query
-	// is answered exactly via translation through the distance model.
-	q := coax.FullRect(8)
-	q.Min[0], q.Max[0] = 800, 1200 // distance (miles)
-	q.Min[2], q.Max[2] = 120, 180  // airtime (minutes)
+	// is answered exactly via translation through the distance model. The
+	// v2 builder names the columns instead of indexing them by position.
+	q := coax.NewQuery().
+		Where("distance", coax.Between(800, 1200)). // miles
+		Where("airtime", coax.Between(120, 180))    // minutes
 	start = time.Now()
-	n := coax.Count(idx, q)
+	n, err := q.Count(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("flights 800-1200 mi with 2-3h in the air: %d (%v)\n", n, time.Since(start))
 
-	// "Evening departures that arrived after midnight."
-	q2 := coax.FullRect(8)
-	q2.Min[3], q2.Max[3] = 20*60, 24*60 // departures 20:00-24:00
-	q2.Min[4], q2.Max[4] = 24*60, 32*60 // arrivals past midnight
+	// EXPLAIN the same query: the report shows the airtime constraint
+	// translated into a distance interval and the primary/outlier split.
+	exp, err := q.Explain(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp)
+
+	// "Evening departures that arrived after midnight" — and just the
+	// first 5 of them: Limit stops the scan as soon as it has enough.
+	q2 := coax.NewQuery().
+		Where("deptime", coax.Between(20*60, 24*60)). // departures 20:00-24:00
+		Where("arrtime", coax.Between(24*60, 32*60))  // arrivals past midnight
 	start = time.Now()
-	n = coax.Count(idx, q2)
+	n, err = q2.Count(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("overnight arrivals after evening departures: %d (%v)\n", n, time.Since(start))
+	first5, err := q2.Limit(5).Collect(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first %d such flights fetched with Limit(5) early termination\n", len(first5))
 
 	fmt.Printf("index directory: %d bytes for %d rows (%.4f bytes/row)\n",
 		idx.MemoryOverhead(), table.Len(),

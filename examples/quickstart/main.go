@@ -34,21 +34,30 @@ func main() {
 	fmt.Printf("primary index holds %.1f%% of rows; directory overhead %d bytes\n",
 		st.PrimaryRatio*100, idx.MemoryOverhead())
 
-	// Range query on the *dependent* attribute: COAX translates the
-	// captured_at constraint into a seq constraint via the learned model.
-	q := coax.FullRect(3)
-	q.Min[1], q.Max[1] = 20000, 20100 // captured_at window
-	n := 0
-	idx.Query(q, func(row []float64) { n++ })
+	// Range query on the *dependent* attribute through the v2 builder:
+	// COAX translates the captured_at constraint into a seq constraint via
+	// the learned model.
+	n, err := coax.NewQuery().
+		Where("captured_at", coax.Between(20000, 20100)).
+		Count(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("rows captured in [20000, 20100]: %d\n", n)
 
-	// Rectangle over two attributes.
-	q2 := coax.FullRect(3)
-	q2.Min[0], q2.Max[0] = 50000, 60000 // seq window
-	q2.Min[2], q2.Max[2] = -5, 5        // reading window
-	fmt.Printf("seq in [50k, 60k] with |reading| <= 5: %d rows\n", coax.Count(idx, q2))
+	// Predicates over two attributes, fetching only the first 10 matches —
+	// Limit stops the scan as soon as it has them.
+	rows, err := coax.NewQuery().
+		Where("seq", coax.Between(50000, 60000)).
+		Where("reading", coax.Between(-5, 5)).
+		Limit(10).
+		Collect(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seq in [50k, 60k] with |reading| <= 5: fetched first %d rows\n", len(rows))
 
-	// Point query for an exact row.
+	// The legacy rectangle surface still works and answers identically.
 	p := coax.PointQuery(table.Row(777))
 	fmt.Printf("point query found %d row(s)\n", coax.Count(idx, p))
 }

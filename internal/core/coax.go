@@ -73,6 +73,7 @@ func DefaultOptions() Options {
 type COAX struct {
 	dims int
 	n    int
+	cols []string // column names from the build table; may be all-empty
 
 	fd      softfd.Result
 	depends []*softfd.PairModel // by column; nil when the column is indexed
@@ -126,6 +127,7 @@ func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error)
 	c := &COAX{
 		dims:            t.Dims(),
 		n:               t.Len(),
+		cols:            append([]string(nil), t.Cols...),
 		fd:              fd,
 		primaryCells:    opt.PrimaryCellsPerDim,
 		outlierKind:     opt.OutlierKind,
@@ -322,6 +324,11 @@ func (c *COAX) Len() int { return c.n }
 // Dims implements index.Interface.
 func (c *COAX) Dims() int { return c.dims }
 
+// Columns returns a copy of the column names the index was built over; the
+// slice is empty (or all-empty strings) when the build table carried no
+// names — name-based queries then need positional predicates instead.
+func (c *COAX) Columns() []string { return append([]string(nil), c.cols...) }
+
 // MemoryOverhead implements index.Interface: primary directory + outlier
 // directory + learned model parameters.
 func (c *COAX) MemoryOverhead() int64 {
@@ -355,35 +362,20 @@ func (c *COAX) OutlierMemoryOverhead() int64 {
 }
 
 // Query implements index.Interface: translated primary probe + outlier
-// probe, results merged.
+// probe, results merged. It is the legacy run-to-completion shim over Scan.
 func (c *COAX) Query(r index.Rect, visit index.Visitor) {
-	c.QueryPrimary(r, visit)
-	c.QueryOutliers(r, visit)
+	c.Scan(r, index.AsYield(visit), nil)
 }
 
 // QueryPrimary answers r from the primary index only (the "COAX (primary)"
 // series in Figures 6–8). Results are exact over the inlier partition.
 func (c *COAX) QueryPrimary(r index.Rect, visit index.Visitor) {
-	if c.primary == nil || r.Empty() || !r.Overlaps(c.primaryBounds) {
-		return
-	}
-	routed, feasible := c.Translate(r)
-	if !feasible {
-		return
-	}
-	c.primary.Query(routed, func(row []float64) {
-		if r.Contains(row) {
-			visit(row)
-		}
-	})
+	c.scanPrimary(r, index.AsYield(visit), nil, nil)
 }
 
 // QueryOutliers answers r from the outlier index only.
 func (c *COAX) QueryOutliers(r index.Rect, visit index.Visitor) {
-	if c.outliers == nil || r.Empty() || !r.Overlaps(c.outlierBounds) {
-		return
-	}
-	c.outliers.Query(r, visit)
+	c.scanOutliers(r, index.AsYield(visit), nil, nil)
 }
 
 // Translate converts r into the rectangle probed against the primary index
@@ -395,36 +387,7 @@ func (c *COAX) QueryOutliers(r index.Rect, visit index.Visitor) {
 // constraints prove no inlier can match, letting the caller skip the
 // primary probe entirely.
 func (c *COAX) Translate(r index.Rect) (routed index.Rect, feasible bool) {
-	routed = r.Clone()
-	for d, pm := range c.depends {
-		if pm == nil {
-			continue
-		}
-		ql, qh := r.Min[d], r.Max[d]
-		if math.IsInf(ql, -1) && math.IsInf(qh, 1) {
-			continue // unconstrained dependent: nothing to translate
-		}
-		// Inliers satisfy ψ̂(x) − εLB ≤ d ≤ ψ̂(x) + εUB, so a match requires
-		// ψ̂(x) ∈ [ql − εUB, qh + εLB]. InvertBand solves that for x under
-		// either a linear or a spline model.
-		xLo, xHi, feasible := pm.InvertBand(ql-pm.EpsUB, qh+pm.EpsLB)
-		if !feasible {
-			return routed, false
-		}
-		if xLo > routed.Min[pm.X] {
-			routed.Min[pm.X] = xLo
-		}
-		if xHi < routed.Max[pm.X] {
-			routed.Max[pm.X] = xHi
-		}
-		// Dependent constraints do not route the grid probe.
-		routed.Min[d] = math.Inf(-1)
-		routed.Max[d] = math.Inf(1)
-		if routed.Min[pm.X] > routed.Max[pm.X] {
-			return routed, false
-		}
-	}
-	return routed, true
+	return c.translate(r, nil)
 }
 
 // Stats summarises the build for Table 1 and the experiment reports.

@@ -37,6 +37,46 @@ func (c *COAX) EncodeMeta(w *binio.Writer) {
 	w.Float64s(c.outlierBounds.Max)
 }
 
+// HasColumnNames reports whether the build table carried any non-empty
+// column name; the snapshot encoder omits the names section otherwise.
+func (c *COAX) HasColumnNames() bool {
+	for _, name := range c.cols {
+		if name != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// EncodeColumns appends the column names to w.
+func (c *COAX) EncodeColumns(w *binio.Writer) {
+	w.Int(len(c.cols))
+	for _, name := range c.cols {
+		w.String(name)
+	}
+}
+
+// DecodeAttachColumns reads a column-names section written by EncodeColumns
+// and installs it; the name count must match the index dimensionality.
+func (c *COAX) DecodeAttachColumns(r *binio.Reader) error {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != c.dims {
+		return fmt.Errorf("core: snapshot names %d columns, index has %d dims", n, c.dims)
+	}
+	cols := make([]string, n)
+	for i := range cols {
+		cols[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.cols = cols
+	return nil
+}
+
 // HasPrimary reports whether the index carries a primary grid (false only
 // when every row was an outlier).
 func (c *COAX) HasPrimary() bool { return c.primary != nil }

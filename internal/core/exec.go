@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+
+	"github.com/coax-index/coax/internal/index"
+)
+
+// Query execution v2: the stop-aware, instrumented entry points behind the
+// public query builder. Exec is the real engine; Scan adapts it to
+// index.Interface, and the legacy Query/QueryPrimary/QueryOutliers methods
+// in coax.go are run-to-completion shims over the same code, so every
+// caller exercises one scan path.
+
+// Translation records one application of the paper's Eq. 2 during query
+// planning: the constraint on a dependent column mapped through its learned
+// model ψ̂ and margins into an interval on the predictor column.
+type Translation struct {
+	// Dependent and Predictor are the column ordinals of the soft FD.
+	Dependent int
+	Predictor int
+	// DepMin/DepMax is the query's original constraint on the dependent.
+	DepMin, DepMax float64
+	// PredMin/PredMax is the derived predictor interval — the x-range that
+	// can map into the dependent band under ψ̂ ± ε (before intersection
+	// with any native predictor constraint).
+	PredMin, PredMax float64
+	// Feasible is false when the inversion proved no inlier can satisfy
+	// the dependent constraint.
+	Feasible bool
+}
+
+// ProbeReport is the execution report of one COAX probe — the per-index
+// half of an EXPLAIN.
+type ProbeReport struct {
+	// Translations holds one entry per dependent column the query
+	// constrains, in column order.
+	Translations []Translation
+	// PrimaryFeasible is false when translation proved no inlier can match
+	// (the primary probe was skipped entirely).
+	PrimaryFeasible bool
+	// PrimaryProbed/OutlierProbed report whether the query rectangle
+	// overlapped each partition's bounding box; a false value means that
+	// partition's probe was pruned without touching a page.
+	PrimaryProbed bool
+	OutlierProbed bool
+	// Primary and Outlier hold the page/row counters of each partition's
+	// scan.
+	Primary index.Probe
+	Outlier index.Probe
+}
+
+// Add accumulates o's counters and probe flags into p; translations are
+// kept from the receiver (they are rectangle-level and identical for every
+// index sharing the same learned models, as the shards of one table do).
+func (p *ProbeReport) Add(o *ProbeReport) {
+	if len(p.Translations) == 0 {
+		p.Translations = o.Translations
+		p.PrimaryFeasible = o.PrimaryFeasible
+	}
+	p.PrimaryProbed = p.PrimaryProbed || o.PrimaryProbed
+	p.OutlierProbed = p.OutlierProbed || o.OutlierProbed
+	p.Primary.Add(o.Primary)
+	p.Outlier.Add(o.Outlier)
+}
+
+// Scan implements index.Interface over Exec.
+func (c *COAX) Scan(r index.Rect, yield index.Yield, probe *index.Probe) bool {
+	var rep *ProbeReport
+	if probe != nil {
+		rep = &ProbeReport{}
+	}
+	complete := c.Exec(r, index.Spec{}, yield, rep)
+	if probe != nil {
+		probe.Add(rep.Primary)
+		probe.Add(rep.Outlier)
+	}
+	return complete
+}
+
+// Exec answers r under the v2 contract: yield's return value stops the
+// scan, spec.Ctx cancels it at row granularity, spec.Stable makes every
+// delivered row a private copy, and a non-nil rep is filled with the
+// execution report (translations applied, partitions probed or pruned,
+// pages/rows scanned, tombstones filtered). It reports whether the scan ran
+// to completion.
+func (c *COAX) Exec(r index.Rect, spec index.Spec, yield index.Yield, rep *ProbeReport) bool {
+	if spec.Stable {
+		inner := yield
+		yield = func(row []float64) bool {
+			cp := make([]float64, len(row))
+			copy(cp, row)
+			return inner(cp)
+		}
+	}
+	// Cancellation reaches the scan through the probes' per-page abort
+	// hook — a yield-side check alone would never fire on a scan whose
+	// pages match nothing.
+	abort := spec.Abort
+	if spec.Ctx != nil {
+		ctx, prev := spec.Ctx, abort
+		abort = func() bool {
+			return (prev != nil && prev()) || ctx.Err() != nil
+		}
+	}
+	if !c.scanPrimary(r, yield, rep, abort) {
+		return false
+	}
+	if abort != nil && abort() {
+		return false
+	}
+	return c.scanOutliers(r, yield, rep, abort)
+}
+
+// partitionProbe returns the probe to hand a partition's scan: the
+// report's counter block when a report is wanted, a throwaway otherwise —
+// a probe must exist whenever an abort hook needs carrying.
+func partitionProbe(slot *index.Probe, wantReport bool, abort func() bool) *index.Probe {
+	if wantReport {
+		slot.Abort = abort
+		return slot
+	}
+	if abort != nil {
+		return &index.Probe{Abort: abort}
+	}
+	return nil
+}
+
+// scanPrimary probes the primary grid with the translated rectangle,
+// re-checking every candidate against the original constraints.
+func (c *COAX) scanPrimary(r index.Rect, yield index.Yield, rep *ProbeReport, abort func() bool) bool {
+	pruned := c.primary == nil || r.Empty() || !r.Overlaps(c.primaryBounds)
+	if pruned && rep == nil {
+		return true // skip the translation work the probe would not use
+	}
+	// Translation is rectangle-level planning: with a report requested it
+	// runs even for a pruned probe, so an EXPLAIN always shows the derived
+	// predictor intervals.
+	routed, feasible := c.translate(r, rep)
+	if pruned || !feasible {
+		return true
+	}
+	if rep != nil {
+		rep.PrimaryProbed = true
+	}
+	probe := partitionProbe(repPrimary(rep), rep != nil, abort)
+	return c.primary.Scan(routed, func(row []float64) bool {
+		if !r.Contains(row) {
+			// Candidate matched the routed rectangle only; it is not a
+			// result, so it must not count as one.
+			if probe != nil {
+				probe.Matched--
+			}
+			return true
+		}
+		return yield(row)
+	}, probe)
+}
+
+// scanOutliers probes the outlier index with the original rectangle.
+func (c *COAX) scanOutliers(r index.Rect, yield index.Yield, rep *ProbeReport, abort func() bool) bool {
+	if c.outliers == nil || r.Empty() || !r.Overlaps(c.outlierBounds) {
+		return true
+	}
+	if rep != nil {
+		rep.OutlierProbed = true
+	}
+	probe := partitionProbe(repOutlier(rep), rep != nil, abort)
+	return c.outliers.Scan(r, yield, probe)
+}
+
+func repPrimary(rep *ProbeReport) *index.Probe {
+	if rep == nil {
+		return nil
+	}
+	return &rep.Primary
+}
+
+func repOutlier(rep *ProbeReport) *index.Probe {
+	if rep == nil {
+		return nil
+	}
+	return &rep.Outlier
+}
+
+// translate implements Translate, optionally recording one Translation per
+// constrained dependent column into rep. With rep == nil it returns on the
+// first infeasible constraint exactly as the legacy path did; with a report
+// it keeps going so the EXPLAIN shows every derived interval.
+func (c *COAX) translate(r index.Rect, rep *ProbeReport) (routed index.Rect, feasible bool) {
+	routed = r.Clone()
+	feasible = true
+	for d, pm := range c.depends {
+		if pm == nil {
+			continue
+		}
+		ql, qh := r.Min[d], r.Max[d]
+		if math.IsInf(ql, -1) && math.IsInf(qh, 1) {
+			continue // unconstrained dependent: nothing to translate
+		}
+		// Inliers satisfy ψ̂(x) − εLB ≤ d ≤ ψ̂(x) + εUB, so a match requires
+		// ψ̂(x) ∈ [ql − εUB, qh + εLB]. InvertBand solves that for x under
+		// either a linear or a spline model.
+		xLo, xHi, ok := pm.InvertBand(ql-pm.EpsUB, qh+pm.EpsLB)
+		if rep != nil {
+			rep.Translations = append(rep.Translations, Translation{
+				Dependent: d,
+				Predictor: pm.X,
+				DepMin:    ql,
+				DepMax:    qh,
+				PredMin:   xLo,
+				PredMax:   xHi,
+				Feasible:  ok,
+			})
+		}
+		if !ok {
+			feasible = false
+			if rep == nil {
+				return routed, false
+			}
+			continue
+		}
+		if xLo > routed.Min[pm.X] {
+			routed.Min[pm.X] = xLo
+		}
+		if xHi < routed.Max[pm.X] {
+			routed.Max[pm.X] = xHi
+		}
+		// Dependent constraints do not route the grid probe.
+		routed.Min[d] = math.Inf(-1)
+		routed.Max[d] = math.Inf(1)
+		if routed.Min[pm.X] > routed.Max[pm.X] {
+			feasible = false
+			if rep == nil {
+				return routed, false
+			}
+		}
+	}
+	if rep != nil {
+		rep.PrimaryFeasible = feasible
+	}
+	return routed, feasible
+}

@@ -196,9 +196,14 @@ func (c *COAX) Compact() {
 func (c *COAX) Epoch() uint64 { return c.epoch }
 
 // LiveRows collects every live row into a fresh table — the input a Rebuild
-// re-indexes. Row order is storage order, not insertion order.
+// re-indexes. Row order is storage order, not insertion order. Column names
+// carry over, so a rebuilt epoch keeps answering name-based queries.
 func (c *COAX) LiveRows() *dataset.Table {
-	t := dataset.NewTable(make([]string, c.dims))
+	cols := c.cols
+	if len(cols) != c.dims {
+		cols = make([]string, c.dims)
+	}
+	t := dataset.NewTable(cols)
 	full := index.Full(c.dims)
 	collect := func(row []float64) { t.Append(row) }
 	if c.primary != nil {

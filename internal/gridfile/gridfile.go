@@ -311,13 +311,20 @@ func (g *GridFile) MemoryOverhead() int64 {
 	return b
 }
 
-// Query implements index.Interface. It intersects the rectangle with the
+// Query implements index.Interface: the legacy run-to-completion shim over
+// Scan.
+func (g *GridFile) Query(r index.Rect, visit index.Visitor) {
+	g.Scan(r, index.AsYield(visit), nil)
+}
+
+// Scan implements index.Interface. It intersects the rectangle with the
 // cell lattice, visits only overlapping cells, uses binary search on the
 // in-cell sort dimension when that dimension is constrained, and checks
-// every candidate row against the full rectangle.
-func (g *GridFile) Query(r index.Rect, visit index.Visitor) {
+// every candidate row against the full rectangle. The scan stops — skipping
+// every remaining page — as soon as yield returns false.
+func (g *GridFile) Scan(r index.Rect, yield index.Yield, probe *index.Probe) bool {
 	if r.Empty() {
-		return
+		return true
 	}
 	nd := len(g.cfg.GridDims)
 	lo := make([]int, nd)
@@ -331,13 +338,20 @@ func (g *GridFile) Query(r index.Rect, visit index.Visitor) {
 	idx := make([]int, nd)
 	copy(idx, lo)
 	for {
+		if probe.Aborted() {
+			return false // cancelled: stop even if no cell ever matches
+		}
 		c := 0
 		for i := range idx {
 			c += idx[i] * g.strides[i]
 		}
-		g.scanCell(c, r, visit)
+		if !g.scanCell(c, r, yield, probe) {
+			return false
+		}
 		if g.inserted > 0 {
-			g.scanOverflow(c, r, visit)
+			if !g.scanOverflow(c, r, yield, probe) {
+				return false
+			}
 		}
 
 		i := nd - 1
@@ -349,7 +363,7 @@ func (g *GridFile) Query(r index.Rect, visit index.Visitor) {
 			idx[i] = lo[i]
 		}
 		if i < 0 {
-			return
+			return true
 		}
 	}
 }
@@ -386,21 +400,34 @@ func (g *GridFile) rowSpan(page []float64, row []float64) (lo, hi int) {
 	return g.sortSpan(page, 0, 0)
 }
 
-func (g *GridFile) scanCell(c int, r index.Rect, visit index.Visitor) {
+func (g *GridFile) scanCell(c int, r index.Rect, yield index.Yield, probe *index.Probe) bool {
 	page := g.cellPage(c)
 	if len(page) == 0 {
-		return
+		return true
 	}
 	dims := g.dims
 	lo, hi := g.querySpan(page, r)
+	if probe != nil {
+		probe.Pages++
+		probe.Scanned += int64(hi - lo)
+	}
 	base := int(g.offsets[c]) // global slot of the page's first row
 	for i := lo; i < hi; i++ {
 		if g.deadCount > 0 && g.isDead(base+i) {
+			if probe != nil {
+				probe.Tombstones++
+			}
 			continue // tombstoned: filtered at the visitor boundary
 		}
 		row := page[i*dims : (i+1)*dims]
 		if r.Contains(row) {
-			visit(row)
+			if probe != nil {
+				probe.Matched++
+			}
+			if !yield(row) {
+				return false
+			}
 		}
 	}
+	return true
 }

@@ -189,9 +189,19 @@ func (f fakeIndex) Len() int              { return len(f.rows) }
 func (f fakeIndex) Dims() int             { return 1 }
 func (f fakeIndex) MemoryOverhead() int64 { return 0 }
 func (f fakeIndex) Query(r Rect, visit Visitor) {
+	f.Scan(r, AsYield(visit), nil)
+}
+
+func (f fakeIndex) Scan(r Rect, yield Yield, probe *Probe) bool {
 	for _, row := range f.rows {
 		if r.Contains(row) {
-			visit(row)
+			if probe != nil {
+				probe.Matched++
+			}
+			if !yield(row) {
+				return false
+			}
 		}
 	}
+	return true
 }

@@ -144,29 +144,54 @@ func (rt *RTree) MemoryOverhead() int64 {
 	return walk(rt.root)
 }
 
-// Query implements index.Interface with the standard recursive search.
+// Query implements index.Interface: the legacy run-to-completion shim over
+// Scan.
 func (rt *RTree) Query(r index.Rect, visit index.Visitor) {
-	if r.Empty() || rt.n == 0 {
-		return
-	}
-	rt.search(rt.root, r, visit)
+	rt.Scan(r, index.AsYield(visit), nil)
 }
 
-func (rt *RTree) search(nd *node, r index.Rect, visit index.Visitor) {
+// Scan implements index.Interface with the standard recursive search; the
+// recursion unwinds — pruning every unvisited subtree — as soon as yield
+// returns false.
+func (rt *RTree) Scan(r index.Rect, yield index.Yield, probe *index.Probe) bool {
+	if r.Empty() || rt.n == 0 {
+		return true
+	}
+	return rt.search(rt.root, r, yield, probe)
+}
+
+func (rt *RTree) search(nd *node, r index.Rect, yield index.Yield, probe *index.Probe) bool {
+	if probe.Aborted() {
+		return false // cancelled: stop even if no node ever matches
+	}
+	if probe != nil {
+		probe.Pages++
+	}
 	if nd.leaf {
+		if probe != nil {
+			probe.Scanned += int64(len(nd.entries))
+		}
 		for i := range nd.entries {
 			if r.Contains(nd.entries[i].min) {
-				visit(nd.entries[i].min)
+				if probe != nil {
+					probe.Matched++
+				}
+				if !yield(nd.entries[i].min) {
+					return false
+				}
 			}
 		}
-		return
+		return true
 	}
 	for i := range nd.entries {
 		e := &nd.entries[i]
 		if overlaps(r, e.min, e.max) {
-			rt.search(e.child, r, visit)
+			if !rt.search(e.child, r, yield, probe) {
+				return false
+			}
 		}
 	}
+	return true
 }
 
 func overlaps(r index.Rect, min, max []float64) bool {

@@ -32,17 +32,44 @@ func (s *Scan) Dims() int { return s.t.Dims() }
 // MemoryOverhead implements index.Interface; a scan keeps no directory.
 func (s *Scan) MemoryOverhead() int64 { return 0 }
 
-// Query implements index.Interface by testing every row.
+// Query implements index.Interface: the legacy run-to-completion shim over
+// Scan.
 func (s *Scan) Query(r index.Rect, visit index.Visitor) {
+	s.Scan(r, index.AsYield(visit), nil)
+}
+
+// Scan implements index.Interface by testing every row until yield stops
+// the scan.
+func (s *Scan) Scan(r index.Rect, yield index.Yield, probe *index.Probe) bool {
 	if r.Empty() {
-		return
+		return true
 	}
 	dims := s.t.Dims()
 	data := s.t.Data
+	if probe != nil {
+		probe.Pages++
+		probe.Scanned += int64(s.t.Len())
+	}
+	// A full scan has no pages; poll the abort hook every pageRows rows so
+	// cancellation still lands at page-ish granularity.
+	const pageRows = 4096
+	sinceAbort := 0
 	for off := 0; off < len(data); off += dims {
+		if sinceAbort++; sinceAbort >= pageRows {
+			sinceAbort = 0
+			if probe.Aborted() {
+				return false
+			}
+		}
 		row := data[off : off+dims : off+dims]
 		if r.Contains(row) {
-			visit(row)
+			if probe != nil {
+				probe.Matched++
+			}
+			if !yield(row) {
+				return false
+			}
 		}
 	}
+	return true
 }

@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/index"
+)
+
+// Query execution v2 for the sharded engine. Unlike the legacy
+// Query/BatchQuery path — which buffers each probe's complete result set
+// and merges deterministically afterwards — Exec streams rows to the caller
+// while the fan-out is still running, so a satisfied limit, a false-
+// returning yield, or a cancelled context stops every worker promptly:
+// workers observe a shared atomic stop flag before producing each row, and
+// a context watcher raises the same flag the moment the context is done.
+// The price of streaming is delivery order: rows arrive in whatever order
+// the shards produce them.
+
+// scanChunkRows is how many rows a worker accumulates before handing a
+// chunk to the merge loop; limited scans shrink it to the limit so the
+// first satisfying rows are delivered (and the fan-out stopped) as early as
+// possible.
+const scanChunkRows = 128
+
+// Report describes one v2 fan-out: how many shards the rectangle pruned
+// versus probed, plus the aggregated per-shard execution report
+// (translations are recorded once — every shard shares the same learned
+// models, so they translate identically).
+type Report struct {
+	ShardsProbed int
+	ShardsPruned int
+	Core         core.ProbeReport
+}
+
+// Columns returns the column names of the underlying table (empty when the
+// build table carried none).
+func (s *Sharded) Columns() []string {
+	slot := s.shards[0]
+	slot.mu.RLock()
+	defer slot.mu.RUnlock()
+	return slot.idx.Columns()
+}
+
+// Scan implements index.Interface over Exec.
+func (s *Sharded) Scan(r index.Rect, yield index.Yield, probe *index.Probe) bool {
+	var rep *Report
+	if probe != nil {
+		rep = &Report{}
+	}
+	complete := s.Exec(r, index.Spec{}, yield, rep)
+	if probe != nil {
+		probe.Add(rep.Core.Primary)
+		probe.Add(rep.Core.Outlier)
+	}
+	return complete
+}
+
+// Exec fans r across the shards it can match under the v2 contract: rows
+// are delivered to yield on the calling goroutine as workers produce them,
+// yield's return value stops the whole fan-out, spec.Ctx cancels it within
+// about one page (chunk) of work, and spec.Limit lets each worker stop its
+// shard after that many local matches (any Limit matching rows satisfy the
+// caller, so a shard that alone found enough need not keep scanning). Rows
+// handed to yield are always stable copies — the merge-boundary copy makes
+// spec.Stable free here. The visitor must not mutate this index (Insert /
+// Delete / Update / rebuilds) from inside the call: probes hold shard read
+// locks while the visitor runs, so a reentrant write deadlocks; the legacy
+// Query/BatchQuery path, which buffers every row before visiting, remains
+// the surface for that pattern. A non-nil rep is filled with the fan-out
+// report. Exec reports whether the scan ran to completion (false: stopped
+// early by yield or cancellation).
+func (s *Sharded) Exec(r index.Rect, spec index.Spec, yield index.Yield, rep *Report) bool {
+	if r.Empty() {
+		if rep != nil {
+			rep.ShardsPruned = len(s.shards)
+		}
+		return true
+	}
+	lo, hi := s.shardRange(r)
+	probes := hi - lo + 1
+	if rep != nil {
+		rep.ShardsProbed = probes
+		rep.ShardsPruned = len(s.shards) - probes
+	}
+
+	var stop atomic.Bool
+	if spec.Ctx != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-spec.Ctx.Done():
+				stop.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
+
+	var reps []*core.ProbeReport
+	if rep != nil {
+		reps = make([]*core.ProbeReport, probes)
+		for i := range reps {
+			reps[i] = &core.ProbeReport{}
+		}
+	}
+
+	complete := s.execStream(r, spec, yield, reps, &stop, lo, hi)
+	if spec.Done() {
+		complete = false
+	}
+
+	if rep != nil {
+		for _, crep := range reps {
+			rep.Core.Add(crep)
+		}
+	}
+	return complete
+}
+
+// execStream is the fan-out behind Exec: workers copy matching rows into
+// chunks at the merge boundary and hand them to the calling goroutine over
+// a channel; the caller yields rows as chunks arrive and raises the stop
+// flag — observed by every worker before each row — as soon as the yield
+// declines, the limit hint is met, or the context is done. Two rules keep
+// it deadlock-free: the caller always drains the channel to completion, so
+// workers never block on a departed consumer; and a worker never does a
+// blocking send while holding its shard's read lock — chunks that cannot
+// be sent immediately accumulate locally and are flushed after the probe
+// releases the lock, so a stalled consumer delays delivery, not the lock.
+func (s *Sharded) execStream(r index.Rect, spec index.Spec, yield index.Yield, reps []*core.ProbeReport, stop *atomic.Bool, lo, hi int) bool {
+	chunkRows := scanChunkRows
+	if spec.Limit > 0 && spec.Limit < chunkRows {
+		chunkRows = spec.Limit
+	}
+	chunkLen := chunkRows * s.dims
+	workers := min(s.workers, hi-lo+1)
+
+	out := make(chan []float64, workers)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range work {
+				var crep *core.ProbeReport
+				if reps != nil {
+					crep = reps[si-lo]
+				}
+				var pending [][]float64
+				flush := func(buf []float64) {
+					select {
+					case out <- buf:
+					default:
+						pending = append(pending, buf)
+					}
+				}
+				slot := s.shards[si]
+				slot.mu.RLock()
+				buf := make([]float64, 0, chunkLen)
+				produced := 0
+				// The shared stop flag rides in as the per-page abort hook,
+				// so a probe whose pages match nothing still notices a met
+				// limit or a cancelled context within one page.
+				slot.idx.Exec(r, index.Spec{Abort: stop.Load}, func(row []float64) bool {
+					if stop.Load() {
+						return false
+					}
+					buf = append(buf, row...) // the merge-boundary copy
+					produced++
+					if len(buf) >= chunkLen {
+						flush(buf)
+						buf = make([]float64, 0, chunkLen)
+					}
+					// Any spec.Limit matching rows satisfy the caller, so
+					// this shard alone has produced enough: stop it.
+					return spec.Limit <= 0 || produced < spec.Limit
+				}, crep)
+				if len(buf) > 0 {
+					flush(buf)
+				}
+				slot.mu.RUnlock()
+				// Deliver what the non-blocking sends could not; no lock is
+				// held now, and the caller drains until close, so these
+				// sends always terminate. A raised stop flag means the
+				// caller discards everything anyway — skip the handoff.
+				for _, p := range pending {
+					if stop.Load() {
+						break
+					}
+					out <- p
+				}
+			}
+		}()
+	}
+	go func() {
+		for si := lo; si <= hi; si++ {
+			work <- si
+		}
+		close(work)
+		wg.Wait()
+		close(out)
+	}()
+
+	complete := true
+	for buf := range out {
+		// The context is checked once per chunk — the "about one page"
+		// cancellation granularity — while the stop flag (set by the
+		// watcher, a declined yield, or a met limit) is checked per row.
+		// Exec's final Done() check turns any cancellation into an
+		// incomplete result.
+		if spec.Done() {
+			stop.Store(true)
+		}
+		for off := 0; off+s.dims <= len(buf); off += s.dims {
+			if stop.Load() {
+				break // stopping: discard the rest of the chunk
+			}
+			// Full-capacity sub-slices keep a retaining caller from
+			// reaching neighbouring rows through append.
+			if !yield(buf[off : off+s.dims : off+s.dims]) {
+				stop.Store(true)
+				complete = false
+				break
+			}
+		}
+	}
+	return complete
+}

@@ -109,16 +109,25 @@ func TestVersion1Compat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	last := info.Sections[len(info.Sections)-1]
-	if last.ID != "life" {
-		t.Fatalf("last section is %q, expected life", last.ID)
+	// Strip the trailing framed sections (id + length + payload + crc)
+	// that postdate version 1 — "life" and the additive "cols" — and patch
+	// the header: version → 1, section count reduced to match.
+	sections := info.Sections
+	v1 := append([]byte(nil), blob...)
+	for len(sections) > 0 {
+		last := sections[len(sections)-1]
+		if last.ID != "life" && last.ID != "cols" {
+			break
+		}
+		framed := 4 + 8 + int(last.Len) + 4
+		v1 = v1[:len(v1)-framed]
+		sections = sections[:len(sections)-1]
 	}
-	// Strip the framed life section (id + length + payload + crc) and
-	// patch the header: version → 1, section count → count-1.
-	framed := 4 + 8 + int(last.Len) + 4
-	v1 := append([]byte(nil), blob[:len(blob)-framed]...)
+	if len(sections) == len(info.Sections) {
+		t.Fatalf("no post-v1 sections found in %v", info.Sections)
+	}
 	binary.LittleEndian.PutUint32(v1[8:], 1)
-	binary.LittleEndian.PutUint32(v1[12:], uint32(len(info.Sections)-1))
+	binary.LittleEndian.PutUint32(v1[12:], uint32(len(sections)))
 
 	back, err := snapshot.Decode(bytes.NewReader(v1))
 	if err != nil {

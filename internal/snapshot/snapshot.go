@@ -29,6 +29,9 @@
 // in-flight epoch rebuild is not persisted: the serving epoch already
 // holds every mutation its delta log records, so after a load the
 // compactor re-detects staleness and restarts the rebuild from scratch.
+// When the build table carried column names, an additive "cols" section
+// preserves them so a loaded index answers name-based Query API v2
+// queries; files without it load with positional columns only.
 // A standalone table snapshot carries a single "tabl" section with the
 // column-major payload of internal/dataset.EncodeTable.
 //
@@ -83,6 +86,11 @@ const (
 	secLifecycle = "life"
 	secTable     = "tabl"
 	secShardMeta = "shmt"
+	// secColumns is an additive section carrying the build table's column
+	// names so loaded snapshots answer name-based (Query API v2) queries.
+	// It is omitted when the table had no names; readers predating it skip
+	// it as an unknown trailing section.
+	secColumns = "cols"
 )
 
 // shardSection names the section holding shard i: "s" plus the ordinal in
@@ -120,6 +128,9 @@ func Encode(w io.Writer, idx *core.COAX) error {
 		sections = append(sections, section{secOutliers, idx.EncodeOutliers})
 	}
 	sections = append(sections, section{secLifecycle, func(bw *binio.Writer) error { idx.EncodeLifecycle(bw); return nil }})
+	if idx.HasColumnNames() {
+		sections = append(sections, section{secColumns, func(bw *binio.Writer) error { idx.EncodeColumns(bw); return nil }})
+	}
 
 	if err := writeHeader(w, len(sections)); err != nil {
 		return err
@@ -176,6 +187,13 @@ func Decode(r io.Reader) (*core.COAX, error) {
 	// slots have pages to land in; version-1 files simply lack it.
 	if payload, ok := sections[secLifecycle]; ok {
 		if err := attachSection(secLifecycle, payload, idx.DecodeAttachLifecycle); err != nil {
+			return nil, err
+		}
+	}
+	// Column names are optional: snapshots of unnamed tables (and files
+	// written before the section existed) load with positional columns only.
+	if payload, ok := sections[secColumns]; ok {
+		if err := attachSection(secColumns, payload, idx.DecodeAttachColumns); err != nil {
 			return nil, err
 		}
 	}

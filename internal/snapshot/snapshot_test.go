@@ -311,7 +311,7 @@ func TestInspect(t *testing.T) {
 		ids[i] = s.ID
 		total += s.Len
 	}
-	want := []string{"meta", "sofd", "prim", "outl", "life"}
+	want := []string{"meta", "sofd", "prim", "outl", "life", "cols"}
 	if fmt.Sprint(ids) != fmt.Sprint(want) {
 		t.Fatalf("sections %v, want %v", ids, want)
 	}
