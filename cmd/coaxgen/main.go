@@ -5,6 +5,10 @@
 //
 //	coaxgen -dataset airline -n 100000 -o airline.csv
 //	coaxgen -dataset osm -n 100000           # writes to stdout
+//	coaxgen -dataset osm -n 10000000 -stream | coaxstore build -csv - -sample 50000
+//
+// With -stream the generator emits CSV chunk by chunk in constant memory,
+// so arbitrarily large datasets pipe straight into a streaming build.
 package main
 
 import (
@@ -19,27 +23,40 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("dataset", "airline", "dataset to generate: airline|osm")
-		n    = flag.Int("n", 100000, "number of rows")
-		out  = flag.String("o", "", "output file (default stdout)")
-		seed = flag.Int64("seed", 0, "override generator seed (0 keeps the default)")
+		kind   = flag.String("dataset", "airline", "dataset to generate: airline|osm")
+		n      = flag.Int("n", 100000, "number of rows")
+		out    = flag.String("o", "", "output file (default stdout)")
+		seed   = flag.Int64("seed", 0, "override generator seed (0 keeps the default)")
+		stream = flag.Bool("stream", false, "emit chunk by chunk in constant memory instead of materializing the table")
+		chunk  = flag.Int("chunk", 0, "rows per chunk in -stream mode (0: default)")
 	)
 	flag.Parse()
 
-	var tab *dataset.Table
+	var (
+		src dataset.RowSource
+		tab *dataset.Table
+	)
 	switch *kind {
 	case "airline":
 		cfg := dataset.DefaultAirlineConfig(*n)
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
-		tab = dataset.GenerateAirline(cfg)
+		if *stream {
+			src = dataset.NewAirlineSource(cfg, *chunk)
+		} else {
+			tab = dataset.GenerateAirline(cfg)
+		}
 	case "osm":
 		cfg := dataset.DefaultOSMConfig(*n)
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
-		tab = dataset.GenerateOSM(cfg)
+		if *stream {
+			src = dataset.NewOSMSource(cfg, *chunk)
+		} else {
+			tab = dataset.GenerateOSM(cfg)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "coaxgen: unknown dataset %q (want airline or osm)\n", *kind)
 		os.Exit(2)
@@ -60,11 +77,20 @@ func main() {
 		defer bw.Flush()
 		w = bw
 	}
-	if err := dataset.WriteCSV(w, tab); err != nil {
-		fatal(err)
+	rows := 0
+	if *stream {
+		var err error
+		if rows, err = dataset.StreamCSV(w, src); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := dataset.WriteCSV(w, tab); err != nil {
+			fatal(err)
+		}
+		rows = tab.Len()
 	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d rows x %d cols to %s\n", tab.Len(), tab.Dims(), *out)
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", rows, *out)
 	}
 }
 

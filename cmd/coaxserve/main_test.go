@@ -182,7 +182,7 @@ func TestOpenIndexWrapsSingleSnapshot(t *testing.T) {
 	if err := coax.SaveFile(path, single); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := openIndex(path, "", 0, 0, 2)
+	idx, err := openIndex(path, "", "", 0, 0, 2, 0)
 	if err != nil {
 		t.Fatalf("openIndex(single snapshot): %v", err)
 	}

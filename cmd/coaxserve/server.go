@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -36,6 +37,8 @@ func cmdServe(args []string) error {
 		in      = fs.String("in", "", "serve from this snapshot (sharded or single-index)")
 		ds      = fs.String("dataset", "osm", "synthetic dataset when -in is empty: osm|airline")
 		rows    = fs.Int("rows", 500000, "synthetic dataset size")
+		csvPath = fs.String("csv", "", "build the startup index from a CSV file ('-': stdin) instead of a synthetic dataset")
+		sample  = fs.Int("sample", 0, "streaming startup build: detect soft FDs on this many sampled rows and stream chunks straight to the shard builders (0: materialize first)")
 		shards  = fs.Int("shards", 0, "shard count (0: one per CPU)")
 		workers = fs.Int("workers", 0, "query fan-out workers (0: one per CPU)")
 		save    = fs.String("save", "", "persist the index as a sharded snapshot before serving")
@@ -48,7 +51,7 @@ func cmdServe(args []string) error {
 	fs.Int64Var(&th.MinMutations, "min-mutations", th.MinMutations, "mutations required before staleness is evaluated")
 	fs.Parse(args)
 
-	idx, err := openIndex(*in, *ds, *rows, *shards, *workers)
+	idx, err := openIndex(*in, *ds, *csvPath, *rows, *shards, *workers, *sample)
 	if err != nil {
 		return err
 	}
@@ -80,8 +83,10 @@ func cmdServe(args []string) error {
 }
 
 // openIndex loads a sharded snapshot, wraps a single-index snapshot into a
-// one-shard serving layer, or builds a synthetic sharded index.
-func openIndex(in, ds string, rows, shards, workers int) (*coax.ShardedIndex, error) {
+// one-shard serving layer, or builds a sharded index at startup — from a
+// CSV file/stdin or a synthetic generator, streamed straight into the
+// per-shard builders when -sample is set.
+func openIndex(in, ds, csvPath string, rows, shards, workers, sample int) (*coax.ShardedIndex, error) {
 	if in != "" {
 		idx, err := coax.LoadShardedFile(in)
 		if err == nil {
@@ -93,20 +98,63 @@ func openIndex(in, ds string, rows, shards, workers int) (*coax.ShardedIndex, er
 		}
 		return shard.Reassemble([]*core.COAX{single}, shard.ByHash, -1, nil, workers)
 	}
-	tab, err := makeTable(ds, rows)
-	if err != nil {
-		return nil, err
+
+	var (
+		src      coax.RowSource
+		closeSrc = func() error { return nil }
+	)
+	switch {
+	case csvPath == "-" && sample > 0:
+		// A sampled build over raw stdin would train detection, grid
+		// boundaries, AND the range-shard cut points on a stream prefix —
+		// on ordered input (ids, timestamps) the cuts collapse and one
+		// shard swallows the tail. Spill stdin to a temp file so the
+		// two-pass reservoir samples uniformly, exactly as coaxstore does.
+		fileSrc, n, err := coax.SpillCSV(bufio.NewReaderSize(os.Stdin, 1<<20), 0)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "spilled %.1f MiB of stdin to a temp file for two-pass sampling\n", float64(n)/(1<<20))
+		src, closeSrc = fileSrc, fileSrc.Close
+	case csvPath == "-":
+		csvSrc, err := coax.NewCSVSource(bufio.NewReaderSize(os.Stdin, 1<<20), 0)
+		if err != nil {
+			return nil, err
+		}
+		src = csvSrc
+	case csvPath != "":
+		fileSrc, err := coax.OpenCSVFile(csvPath, 0)
+		if err != nil {
+			return nil, err
+		}
+		src, closeSrc = fileSrc, fileSrc.Close
+	case ds == "osm":
+		src = coax.NewOSMSource(coax.DefaultOSMConfig(rows), 0)
+	case ds == "airline":
+		src = coax.NewAirlineSource(coax.DefaultAirlineConfig(rows), 0)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want osm or airline)", ds)
 	}
+	defer closeSrc()
+
 	so := coax.DefaultShardOptions()
 	so.NumShards = shards
 	so.Workers = workers
+	b := coax.NewBuilder(coax.ColumnsSchema(src.Columns()), coax.DefaultOptions())
+	if sample > 0 {
+		b.SampleSize(sample)
+	}
 	t0 := time.Now()
-	idx, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	idx, err := b.BuildSharded(src, so)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "built %d rows on %d shards in %v\n",
-		tab.Len(), idx.NumShards(), time.Since(t0).Round(time.Millisecond))
+	mode := "materialized"
+	if sample > 0 {
+		mode = fmt.Sprintf("streaming, sample %d", sample)
+	}
+	fmt.Fprintf(os.Stderr, "built %d rows on %d shards in %v (%s)\n",
+		idx.Len(), idx.NumShards(), time.Since(t0).Round(time.Millisecond), mode)
 	return idx, nil
 }
 

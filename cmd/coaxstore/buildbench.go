@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/coax-index/coax/coax"
+)
+
+// buildBenchReport is the BENCH_build.json shape consumed by CI: the
+// in-memory baseline against a sweep of streaming sample rates, with peak
+// heap, outlier-ratio drift, and query agreement per entry.
+type buildBenchReport struct {
+	Dataset   string  `json:"dataset"`
+	Rows      int     `json:"rows"`
+	Dims      int     `json:"dims"`
+	ChunkRows int     `json:"chunk_rows"`
+	DataBytes int64   `json:"data_bytes"`
+	Queries   int     `json:"queries"`
+	GuardOK   bool    `json:"guard_ok"`
+	VmHWMMiB  float64 `json:"vm_hwm_mib"`
+
+	Legacy    buildBenchEntry   `json:"legacy"`
+	Streaming []buildBenchEntry `json:"streaming"`
+}
+
+type buildBenchEntry struct {
+	Mode            string  `json:"mode"` // "legacy" or "stream"
+	SampleRate      float64 `json:"sample_rate,omitempty"`
+	SampleRows      int     `json:"sample_rows,omitempty"`
+	IngestBuildMS   float64 `json:"ingest_build_ms"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+	PeakOverDataX   float64 `json:"peak_over_data_x"` // peak heap growth / raw data bytes
+	IndexBytes      int64   `json:"index_bytes"`      // row payload + directory overhead
+	OverheadBytes   int64   `json:"overhead_bytes"`   // peak growth beyond the index
+	OverheadChunksX float64 `json:"overhead_chunks_x"`
+	Groups          int     `json:"groups"`
+	OutlierRatio    float64 `json:"outlier_ratio"`
+	OutlierDelta    float64 `json:"outlier_ratio_delta,omitempty"`
+	QueryP50US      float64 `json:"query_p50_us"`
+	CountMismatches int     `json:"count_mismatches"`
+	PeakVsLegacyX   float64 `json:"peak_vs_legacy_x,omitempty"`
+}
+
+func cmdBuildBench(args []string) error {
+	fs := flag.NewFlagSet("buildbench", flag.ExitOnError)
+	var (
+		ds      = fs.String("dataset", "osm", "dataset: osm|airline")
+		rows    = fs.Int("rows", 200000, "dataset size")
+		rates   = fs.String("rates", "0.01,0.1", "comma-separated streaming sample rates")
+		chunk   = fs.Int("chunk", 0, "rows per ingest chunk (0: library default)")
+		queries = fs.Int("queries", 200, "random range queries for the agreement check")
+		jsonOut = fs.String("json", "", "also write the report as JSON to this path")
+		guard   = fs.Bool("guard", false, "exit non-zero if any streaming build peaks above the in-memory build")
+	)
+	fs.Parse(args)
+
+	chunkRows := *chunk
+	if chunkRows <= 0 {
+		chunkRows = coax.DefaultChunkRows
+	}
+	var rateList []float64
+	for _, f := range strings.Split(*rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r <= 0 || r > 1 {
+			return fmt.Errorf("bad sample rate %q", f)
+		}
+		rateList = append(rateList, r)
+	}
+
+	newSource := func() (coax.RowSource, error) {
+		src, closer, err := openSource("", *ds, *rows, 0, chunkRows)
+		_ = closer // generator sources hold no resources
+		return src, err
+	}
+	opt := coax.DefaultOptions()
+
+	// In-memory baseline: materialize (the v1 ingest) + Build, under the
+	// heap watcher.
+	src, err := newSource()
+	if err != nil {
+		return err
+	}
+	mw := watchMem()
+	t0 := time.Now()
+	legacyIdx, err := coax.NewBuilder(coax.ColumnsSchema(src.Columns()), opt).Build(src)
+	if err != nil {
+		return err
+	}
+	legacyMS := float64(time.Since(t0).Microseconds()) / 1000
+	base, peak := mw.Stop()
+
+	dims := legacyIdx.Dims()
+	dataBytes := int64(*rows) * int64(dims) * 8
+	chunkBytes := int64(chunkRows) * int64(dims) * 8
+
+	// Query workload: random rectangles with legacy answers as the oracle.
+	rng := rand.New(rand.NewSource(77))
+	pivot := samplePivotRows(rng, legacyIdx, dims)
+	rects := make([]coax.Rect, *queries)
+	want := make([]int, *queries)
+	for i := range rects {
+		rects[i] = benchRect(rng, pivot, dims)
+		want[i] = coax.Count(legacyIdx, rects[i])
+	}
+
+	rep := buildBenchReport{
+		Dataset:   *ds,
+		Rows:      *rows,
+		Dims:      dims,
+		ChunkRows: chunkRows,
+		DataBytes: dataBytes,
+		Queries:   *queries,
+		GuardOK:   true,
+	}
+	rep.Legacy = summarize("legacy", legacyIdx, legacyMS, base, peak, dataBytes, chunkBytes, rects, want)
+	rep.Legacy.OutlierDelta = 0
+	legacyRatio := rep.Legacy.OutlierRatio
+	fmt.Printf("dataset %s, %d rows × %d dims (%.1f MiB raw), chunk %d rows\n",
+		*ds, *rows, dims, float64(dataBytes)/(1<<20), chunkRows)
+	printEntry(rep.Legacy)
+
+	for _, rate := range rateList {
+		sampleRows := int(float64(*rows) * rate)
+		src, err := newSource()
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		mw := watchMem()
+		t0 := time.Now()
+		idx, err := coax.NewBuilder(coax.ColumnsSchema(src.Columns()), opt).
+			SampleSize(sampleRows).
+			Build(src)
+		if err != nil {
+			return err
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		base, peak := mw.Stop()
+
+		e := summarize("stream", idx, ms, base, peak, dataBytes, chunkBytes, rects, want)
+		e.SampleRate = rate
+		e.SampleRows = sampleRows
+		e.OutlierDelta = e.OutlierRatio - legacyRatio
+		if rep.Legacy.PeakHeapBytes > 0 {
+			e.PeakVsLegacyX = float64(e.PeakHeapBytes) / float64(rep.Legacy.PeakHeapBytes)
+		}
+		if e.PeakHeapBytes > rep.Legacy.PeakHeapBytes {
+			rep.GuardOK = false
+		}
+		if e.CountMismatches > 0 {
+			rep.GuardOK = false
+		}
+		rep.Streaming = append(rep.Streaming, e)
+		printEntry(e)
+	}
+	if hwm := vmHWM(); hwm > 0 {
+		rep.VmHWMMiB = mib(uint64(hwm))
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *guard && !rep.GuardOK {
+		return fmt.Errorf("memory regression guard failed: a streaming build peaked above the in-memory build (or disagreed on query counts)")
+	}
+	return nil
+}
+
+// summarize measures one built index against the shared query workload.
+func summarize(mode string, idx *coax.Index, ms float64, base, peak uint64, dataBytes, chunkBytes int64, rects []coax.Rect, want []int) buildBenchEntry {
+	s := idx.BuildStats()
+	e := buildBenchEntry{
+		Mode:          mode,
+		IngestBuildMS: ms,
+		PeakHeapBytes: peak - base,
+		Groups:        len(s.Groups),
+		IndexBytes:    dataBytes + idx.MemoryOverhead(),
+	}
+	if s.Rows > 0 {
+		e.OutlierRatio = float64(s.OutlierRows) / float64(s.Rows)
+	}
+	if dataBytes > 0 {
+		e.PeakOverDataX = float64(e.PeakHeapBytes) / float64(dataBytes)
+	}
+	e.OverheadBytes = int64(e.PeakHeapBytes) - e.IndexBytes
+	if chunkBytes > 0 {
+		e.OverheadChunksX = float64(e.OverheadBytes) / float64(chunkBytes)
+	}
+
+	lat := make([]float64, len(rects))
+	for i, r := range rects {
+		t0 := time.Now()
+		got := coax.Count(idx, r)
+		lat[i] = float64(time.Since(t0).Nanoseconds()) / 1000
+		if got != want[i] {
+			e.CountMismatches++
+		}
+	}
+	sort.Float64s(lat)
+	if len(lat) > 0 {
+		e.QueryP50US = lat[len(lat)/2]
+	}
+	return e
+}
+
+func printEntry(e buildBenchEntry) {
+	tag := e.Mode
+	if e.Mode == "stream" {
+		tag = fmt.Sprintf("stream %4.1f%%", 100*e.SampleRate)
+	}
+	fmt.Printf("%-12s  build %8.1f ms  peak heap +%7.1f MiB (%.2fx data, overhead %.1f chunks)  outliers %.2f%%  p50 %6.1f µs  mismatches %d\n",
+		tag, e.IngestBuildMS, mib(e.PeakHeapBytes), e.PeakOverDataX, e.OverheadChunksX,
+		100*e.OutlierRatio, e.QueryP50US, e.CountMismatches)
+}
+
+// samplePivotRows draws ~512 rows from the index in one scan; benchRect
+// uses their values as realistic query bounds.
+func samplePivotRows(rng *rand.Rand, idx *coax.Index, dims int) [][]float64 {
+	var rows [][]float64
+	keep := 512.0 / float64(idx.Len()+1)
+	idx.Query(coax.FullRect(dims), func(row []float64) {
+		if len(rows) < 512 && rng.Float64() < keep {
+			rows = append(rows, append([]float64(nil), row...))
+		}
+	})
+	if len(rows) == 0 {
+		rows = append(rows, make([]float64, dims))
+	}
+	return rows
+}
+
+// benchRect draws a random rectangle constraining 1–2 dimensions between
+// values of two sampled rows.
+func benchRect(rng *rand.Rand, pivot [][]float64, dims int) coax.Rect {
+	r := coax.FullRect(dims)
+	constrained := 1 + rng.Intn(2)
+	for c := 0; c < constrained; c++ {
+		d := rng.Intn(dims)
+		a := pivot[rng.Intn(len(pivot))][d]
+		b := pivot[rng.Intn(len(pivot))][d]
+		if a > b {
+			a, b = b, a
+		}
+		r.Min[d], r.Max[d] = a, b
+	}
+	return r
+}

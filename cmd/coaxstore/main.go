@@ -7,6 +7,9 @@
 //
 //	coaxstore build -dataset osm -rows 1000000 -out osm.coax
 //	coaxstore build -csv flights.csv -outlier rtree -out flights.coax
+//	coaxstore build -csv flights.csv -sample 50000 -out flights.coax   # streaming, bounded memory
+//	coaxgen -dataset osm -n 10000000 -stream | coaxstore build -csv - -sample 50000
+//	coaxstore buildbench -rows 200000 -json BENCH_build.json -guard
 //	coaxstore info -in osm.coax
 //	coaxstore query -in osm.coax -min '_,0,40,-75' -max '_,5000,41,-74'
 //	coaxstore query -in osm.coax -min '_,60,_,_' -max '_,90,_,_' -limit 5
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -46,6 +50,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "buildbench":
+		err = cmdBuildBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -70,6 +76,10 @@ subcommands:
   explain  run a query and report how it executed: soft-FD constraint
            translation, primary/outlier scan split, pages and rows touched
   bench    time build/save/load and optionally emit JSON
+  buildbench
+           sweep streaming-build sample rates against the in-memory build:
+           build time, peak heap, outlier-ratio drift, query agreement
+           (emits BENCH_build.json; -guard fails on memory regression)
 
 run 'coaxstore <subcommand> -h' for flags`)
 }
@@ -80,17 +90,17 @@ func cmdBuild(args []string) error {
 		ds      = fs.String("dataset", "osm", "synthetic dataset to generate: osm|airline (ignored with -csv)")
 		rows    = fs.Int("rows", 100000, "synthetic dataset size")
 		seed    = fs.Int64("seed", 0, "override generator seed (0 keeps the default)")
-		csvPath = fs.String("csv", "", "build from a CSV file instead of a synthetic dataset")
+		csvPath = fs.String("csv", "", "build from a CSV file instead of a synthetic dataset; '-' streams stdin")
 		out     = fs.String("out", "index.coax", "snapshot output path")
 		outlier = fs.String("outlier", "grid", "outlier index kind: grid|rtree")
 		cells   = fs.Int("cells", 0, "primary grid cells per dimension (0 keeps the default)")
+		sample  = fs.Int("sample", 0, "streaming build: detect soft FDs on this many sampled rows and stream placement in bounded memory (0: materialize and build exactly)")
+		chunk   = fs.Int("chunk", 0, "rows per ingest chunk (0: default)")
+		noSpill = fs.Bool("no-spill", false, "sampled stdin builds: keep the one-pass prefix sample instead of spilling stdin to a temp file for an unbiased two-pass reservoir")
+		quiet   = fs.Bool("q", false, "suppress progress reporting on stderr")
 	)
 	fs.Parse(args)
 
-	tab, err := loadTable(*csvPath, *ds, *rows, *seed)
-	if err != nil {
-		return err
-	}
 	opt := coax.DefaultOptions()
 	switch *outlier {
 	case "grid":
@@ -104,12 +114,41 @@ func cmdBuild(args []string) error {
 		opt.PrimaryCellsPerDim = *cells
 	}
 
+	var (
+		src      coax.RowSource
+		closeSrc func() error
+		err      error
+	)
+	// A sampled build over stdin would have to train on a stream prefix —
+	// badly biased when the input is ordered (ids, timestamps). Spilling
+	// stdin to a temporary file first keeps memory bounded, costs one file
+	// of disk, and buys a true uniform reservoir over the whole input.
+	if *csvPath == "-" && *sample > 0 && !*noSpill {
+		src, closeSrc, err = spillStdin(*chunk, *quiet)
+	} else {
+		src, closeSrc, err = openSource(*csvPath, *ds, *rows, *seed, *chunk)
+	}
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+
+	b := coax.NewBuilder(coax.ColumnsSchema(src.Columns()), opt)
+	if *sample > 0 {
+		b.SampleSize(*sample)
+	}
+	if !*quiet {
+		b.Progress(progressPrinter())
+	}
+
+	mw := watchMem()
 	t0 := time.Now()
-	idx, err := coax.Build(tab, opt)
+	idx, err := b.Build(src)
 	if err != nil {
 		return err
 	}
 	buildDur := time.Since(t0)
+	base, peak := mw.Stop()
 
 	t0 = time.Now()
 	if err := coax.SaveFile(*out, idx); err != nil {
@@ -122,11 +161,89 @@ func cmdBuild(args []string) error {
 	}
 
 	s := idx.BuildStats()
-	fmt.Printf("built  %d rows × %d dims in %v\n", s.Rows, s.Dims, buildDur.Round(time.Millisecond))
+	mode := "materialized"
+	if *sample > 0 {
+		mode = fmt.Sprintf("streaming (sample %d)", *sample)
+	}
+	fmt.Printf("built  %d rows × %d dims in %v (%s)\n", s.Rows, s.Dims, buildDur.Round(time.Millisecond), mode)
 	fmt.Printf("groups %d (dependent dims %d), primary ratio %.1f%%, sort dim %d\n",
 		len(s.Groups), s.DependentDims, 100*s.PrimaryRatio, s.SortDim)
+	fmt.Printf("memory peak heap +%.1f MiB during build", mib(peak-base))
+	if hwm := vmHWM(); hwm > 0 {
+		fmt.Printf(" (process VmHWM %.1f MiB)", mib(uint64(hwm)))
+	}
+	fmt.Println()
 	fmt.Printf("saved  %s (%d bytes) in %v\n", *out, fi.Size(), saveDur.Round(time.Millisecond))
 	return nil
+}
+
+// spillStdin routes stdin through coax.SpillCSV so a sampled build can run
+// its two-pass reservoir over the whole input instead of training on a
+// biased prefix.
+func spillStdin(chunk int, quiet bool) (coax.RowSource, func() error, error) {
+	src, n, err := coax.SpillCSV(bufio.NewReaderSize(os.Stdin, 1<<20), chunk)
+	if err != nil {
+		return nil, func() error { return nil }, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "coaxstore: spilled %.1f MiB of stdin to a temp file for two-pass sampling (-no-spill to stream one-pass)\n",
+			float64(n)/(1<<20))
+	}
+	return src, src.Close, nil
+}
+
+// openSource resolves the build input to a streaming RowSource: stdin
+// ('-'), a CSV file (replayable, so sampled builds get a true two-pass
+// reservoir), or a synthetic generator.
+func openSource(csvPath, ds string, rows int, seed int64, chunk int) (coax.RowSource, func() error, error) {
+	noop := func() error { return nil }
+	switch {
+	case csvPath == "-":
+		src, err := coax.NewCSVSource(bufio.NewReaderSize(os.Stdin, 1<<20), chunk)
+		return src, noop, err
+	case csvPath != "":
+		src, err := coax.OpenCSVFile(csvPath, chunk)
+		if err != nil {
+			return nil, noop, err
+		}
+		return src, src.Close, nil
+	}
+	switch ds {
+	case "osm":
+		cfg := coax.DefaultOSMConfig(rows)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return coax.NewOSMSource(cfg, chunk), noop, nil
+	case "airline":
+		cfg := coax.DefaultAirlineConfig(rows)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return coax.NewAirlineSource(cfg, chunk), noop, nil
+	default:
+		return nil, noop, fmt.Errorf("unknown dataset %q (want osm or airline)", ds)
+	}
+}
+
+// progressPrinter reports build phases to stderr, throttled to one line
+// per phase change or half second.
+func progressPrinter() func(coax.BuildProgress) {
+	var (
+		lastPhase string
+		lastPrint time.Time
+	)
+	return func(p coax.BuildProgress) {
+		if p.Phase == lastPhase && time.Since(lastPrint) < 500*time.Millisecond {
+			return
+		}
+		lastPhase, lastPrint = p.Phase, time.Now()
+		if p.Total > 0 {
+			fmt.Fprintf(os.Stderr, "coaxstore: %-7s %d/%d rows\n", p.Phase, p.Rows, p.Total)
+		} else {
+			fmt.Fprintf(os.Stderr, "coaxstore: %-7s %d rows\n", p.Phase, p.Rows)
+		}
+	}
 }
 
 func loadTable(csvPath, ds string, rows int, seed int64) (*coax.Table, error) {

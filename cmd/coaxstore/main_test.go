@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/coax-index/coax/coax"
 )
 
 // TestBuildInfoQueryBench drives the full CLI flow against a temp
@@ -75,5 +78,70 @@ func TestExplainSubcommand(t *testing.T) {
 	// Unknown column names fail loudly instead of matching nothing.
 	if err := cmdExplain([]string{"-in", snap, "-where", "altitude:0:1"}); err == nil {
 		t.Fatal("explain accepted an unknown column")
+	}
+}
+
+// TestStreamingBuildSubcommand exercises the v2 ingestion surface of the
+// CLI: a sampled streaming build from a CSV file must produce an index
+// that counts identically to the materialized build of the same data.
+func TestStreamingBuildSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "osm.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(20000))
+	if err := coax.WriteCSV(f, tab); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	exact := filepath.Join(dir, "exact.coax")
+	streamed := filepath.Join(dir, "streamed.coax")
+	if err := cmdBuild([]string{"-csv", csvPath, "-out", exact, "-q"}); err != nil {
+		t.Fatalf("materialized build: %v", err)
+	}
+	if err := cmdBuild([]string{"-csv", csvPath, "-sample", "2000", "-out", streamed, "-q"}); err != nil {
+		t.Fatalf("streaming build: %v", err)
+	}
+
+	a, err := coax.LoadFile(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := coax.LoadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := coax.FullRect(4)
+	r.Min[1], r.Max[1] = 5000, 30000
+	if ca, cb := coax.Count(a, r), coax.Count(b, r); ca != cb {
+		t.Fatalf("streamed snapshot counts %d, exact counts %d", cb, ca)
+	}
+}
+
+// TestBuildBenchSubcommand smoke-runs the sweep at tiny scale and checks
+// the JSON report parses with a passing guard.
+func TestBuildBenchSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_build.json")
+	err := cmdBuildBench([]string{
+		"-dataset", "osm", "-rows", "30000", "-rates", "0.05",
+		"-queries", "20", "-json", jsonPath, "-guard",
+	})
+	if err != nil {
+		t.Fatalf("buildbench: %v", err)
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep buildBenchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !rep.GuardOK || len(rep.Streaming) != 1 || rep.Streaming[0].CountMismatches != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
 	}
 }

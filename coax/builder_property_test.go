@@ -1,0 +1,197 @@
+package coax_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/coax-index/coax/coax"
+)
+
+// snapshotBytes serialises idx with Save.
+func snapshotBytes(t *testing.T, idx *coax.Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := coax.Save(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func shardedSnapshotBytes(t *testing.T, idx *coax.ShardedIndex) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := coax.SaveSharded(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// randRect builds a random query rectangle from data values of tab.
+func randRect(rng *rand.Rand, tab *coax.Table) coax.Rect {
+	r := coax.FullRect(tab.Dims())
+	for d := 0; d < tab.Dims(); d++ {
+		if rng.Float64() < 0.4 {
+			continue
+		}
+		a := tab.Row(rng.Intn(tab.Len()))[d]
+		b := tab.Row(rng.Intn(tab.Len()))[d]
+		if a > b {
+			a, b = b, a
+		}
+		r.Min[d], r.Max[d] = a, b
+	}
+	return r
+}
+
+func sortedCollect(idx coax.Querier, r coax.Rect) [][]float64 {
+	rows := coax.Collect(idx, r)
+	sort.Slice(rows, func(i, j int) bool {
+		for d := range rows[i] {
+			if rows[i][d] != rows[j][d] {
+				return rows[i][d] < rows[j][d]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+func equalRows(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPropertyStreamingEquivalentToLegacy is the satellite property test:
+// across datasets × outlier kinds, (1) every full-sample Builder path —
+// table source, whole-input reservoir, whole-input CSV prefix — produces
+// byte-identical snapshots to the legacy in-memory build, and (2) sampled
+// streaming builds (models learned on a strict sample) answer every query
+// identically to legacy on single and sharded indexes.
+func TestPropertyStreamingEquivalentToLegacy(t *testing.T) {
+	type dataset struct {
+		name string
+		tab  *coax.Table
+	}
+	datasets := []dataset{
+		{"osm", coax.GenerateOSM(coax.DefaultOSMConfig(8000))},
+		{"airline", coax.GenerateAirline(coax.DefaultAirlineConfig(8000))},
+	}
+
+	for _, ds := range datasets {
+		for _, kind := range []coax.OutlierIndexKind{coax.OutlierGrid, coax.OutlierRTree} {
+			opt := coax.DefaultOptions()
+			opt.OutlierKind = kind
+
+			legacy, err := coax.Build(ds.tab, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotBytes(t, legacy)
+			schema := coax.TableSchema(ds.tab)
+
+			// Full-scan builder (the shim path).
+			full, err := coax.NewBuilder(schema, opt).Build(coax.NewTableSource(ds.tab, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, snapshotBytes(t, full)) {
+				t.Fatalf("%s/%d: full-scan builder snapshot differs from legacy", ds.name, kind)
+			}
+
+			// Sampled mode whose budget covers the whole input: the
+			// reservoir keeps every row in order, so this must also be
+			// bit-for-bit.
+			whole, err := coax.NewBuilder(schema, opt).
+				SampleSize(ds.tab.Len() + 1).
+				Build(coax.NewTableSource(ds.tab, 1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, snapshotBytes(t, whole)) {
+				t.Fatalf("%s/%d: whole-sample builder snapshot differs from legacy", ds.name, kind)
+			}
+
+			// Same, through a one-shot CSV stream (prefix path; CSV float
+			// formatting round-trips exactly).
+			var csvBuf bytes.Buffer
+			if err := coax.WriteCSV(&csvBuf, ds.tab); err != nil {
+				t.Fatal(err)
+			}
+			csvSrc, err := coax.NewCSVSource(bytes.NewReader(csvBuf.Bytes()), 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			csvWhole, err := coax.NewBuilder(schema, opt).
+				SampleSize(ds.tab.Len() + 1).
+				Build(csvSrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, snapshotBytes(t, csvWhole)) {
+				t.Fatalf("%s/%d: CSV whole-prefix builder snapshot differs from legacy", ds.name, kind)
+			}
+
+			// Strictly sampled streaming: different models are allowed,
+			// different answers are not.
+			sampled, err := coax.NewBuilder(schema, opt).
+				SampleSize(ds.tab.Len() / 8).
+				Build(coax.NewTableSource(ds.tab, 1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(kind)*100 + 7))
+			for q := 0; q < 30; q++ {
+				r := randRect(rng, ds.tab)
+				if !equalRows(sortedCollect(legacy, r), sortedCollect(sampled, r)) {
+					t.Fatalf("%s/%d: sampled single query %d differs", ds.name, kind, q)
+				}
+			}
+		}
+
+		// Sharded: legacy vs full-scan builder (bit-for-bit) and sampled
+		// streaming (query-equivalent).
+		opt := coax.DefaultOptions()
+		so := coax.DefaultShardOptions()
+		so.NumShards = 3
+		legacySharded, err := coax.BuildSharded(ds.tab, opt, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSharded := shardedSnapshotBytes(t, legacySharded)
+		schema := coax.TableSchema(ds.tab)
+
+		fullSharded, err := coax.NewBuilder(schema, opt).
+			BuildSharded(coax.NewTableSource(ds.tab, 0), so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantSharded, shardedSnapshotBytes(t, fullSharded)) {
+			t.Fatalf("%s: full-scan sharded snapshot differs from legacy", ds.name)
+		}
+
+		sampledSharded, err := coax.NewBuilder(schema, opt).
+			SampleSize(ds.tab.Len()/8).
+			BuildSharded(coax.NewTableSource(ds.tab, 1024), so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for q := 0; q < 30; q++ {
+			r := randRect(rng, ds.tab)
+			if !equalRows(sortedCollect(legacySharded, r), sortedCollect(sampledSharded, r)) {
+				t.Fatalf("%s: sampled sharded query %d differs", ds.name, q)
+			}
+		}
+	}
+}

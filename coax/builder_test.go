@@ -1,0 +1,178 @@
+package coax_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/coax-index/coax/coax"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := coax.NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := coax.NewSchema(coax.Float("")); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := coax.NewSchema(coax.Float("a"), coax.Int("a")); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	s, err := coax.NewSchema(coax.Float("a"), coax.Int("b"), coax.Categorical("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Names(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestBuilderSchemaMismatch(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(100))
+	schema, err := coax.NewSchema(coax.Float("id"), coax.Float("timestamp"), coax.Float("lat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coax.NewBuilder(schema, coax.DefaultOptions()).Build(coax.NewTableSource(tab, 0))
+	if err == nil || !strings.Contains(err.Error(), "4 columns") {
+		t.Fatalf("column-count mismatch not reported: %v", err)
+	}
+
+	schema, err = coax.NewSchema(coax.Float("id"), coax.Float("ts"), coax.Float("lat"), coax.Float("lon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coax.NewBuilder(schema, coax.DefaultOptions()).Build(coax.NewTableSource(tab, 0))
+	if err == nil || !strings.Contains(err.Error(), `"ts"`) {
+		t.Fatalf("column-name mismatch not reported: %v", err)
+	}
+}
+
+// TestCategoricalColumnsExcludedFromFDs declares a perfectly correlated
+// column categorical; the detector must then skip it even though a linear
+// model would fit it exactly.
+func TestCategoricalColumnsExcludedFromFDs(t *testing.T) {
+	tab := coax.NewTable([]string{"x", "y", "z"})
+	for i := 0; i < 5000; i++ {
+		v := float64(i)
+		tab.Append([]float64{v, 2 * v, float64(i % 7)})
+	}
+
+	schemaAll, _ := coax.NewSchema(coax.Float("x"), coax.Float("y"), coax.Float("z"))
+	idx, err := coax.NewBuilder(schemaAll, coax.DefaultOptions()).Build(coax.NewTableSource(tab, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.BuildStats().Groups) == 0 {
+		t.Fatal("x→y dependency not detected with an all-float schema")
+	}
+
+	schemaCat, _ := coax.NewSchema(coax.Float("x"), coax.Categorical("y"), coax.Categorical("z"))
+	idx, err = coax.NewBuilder(schemaCat, coax.DefaultOptions()).Build(coax.NewTableSource(tab, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range idx.BuildStats().Groups {
+		for _, m := range g.Members {
+			if m == 1 || m == 2 {
+				t.Fatalf("categorical column %d appears in group %v", m, g.Members)
+			}
+		}
+	}
+}
+
+// TestBuilderPrefixMode streams from a non-replayable reader: the build
+// must fall back to prefix sampling and still answer queries exactly.
+func TestBuilderPrefixMode(t *testing.T) {
+	cfg := coax.DefaultOSMConfig(12000)
+	tab := coax.GenerateOSM(cfg)
+	var buf bytes.Buffer
+	if err := coax.WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	src, err := coax.NewCSVSource(bytes.NewReader(buf.Bytes()), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := coax.NewBuilder(coax.TableSchema(tab), coax.DefaultOptions()).
+		SampleSize(2000).
+		Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != tab.Len() {
+		t.Fatalf("index holds %d rows, want %d", idx.Len(), tab.Len())
+	}
+
+	legacy, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := coax.FullRect(4)
+	r.Min[1], r.Max[1] = 2000, 9000
+	if got, want := coax.Count(idx, r), coax.Count(legacy, r); got != want {
+		t.Fatalf("prefix-mode count %d, legacy %d", got, want)
+	}
+}
+
+// TestBuilderProgressPhases checks the callback walks the documented
+// phases in order for a sampled streaming build.
+func TestBuilderProgressPhases(t *testing.T) {
+	cfg := coax.DefaultOSMConfig(9000)
+	schema, err := coax.NewSchema(
+		coax.Int("id"), coax.Float("timestamp"), coax.Float("lat"), coax.Float("lon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	_, err = coax.NewBuilder(schema, coax.DefaultOptions()).
+		SampleSize(1500).
+		Progress(func(p coax.BuildProgress) {
+			if len(phases) == 0 || phases[len(phases)-1] != p.Phase {
+				phases = append(phases, p.Phase)
+			}
+		}).
+		Build(coax.NewOSMSource(cfg, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sample", "detect", "place", "finish"}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+}
+
+// TestBuilderShardedStreaming drives the direct-to-sharded path through
+// the public API and cross-checks counts against the single-index build.
+func TestBuilderShardedStreaming(t *testing.T) {
+	cfg := coax.DefaultAirlineConfig(15000)
+	tab := coax.GenerateAirline(cfg)
+
+	so := coax.DefaultShardOptions()
+	so.NumShards = 4
+	sharded, err := coax.NewBuilder(coax.TableSchema(tab), coax.DefaultOptions()).
+		SampleSize(3000).
+		BuildSharded(coax.NewAirlineSource(cfg, 2048), so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Len() != tab.Len() {
+		t.Fatalf("sharded holds %d rows, want %d", sharded.Len(), tab.Len())
+	}
+
+	legacy, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := coax.FullRect(8)
+	r.Min[2], r.Max[2] = 60, 120 // airtime between 60 and 120 minutes
+	if got, want := coax.Count(sharded, r), coax.Count(legacy, r); got != want {
+		t.Fatalf("sharded streaming count %d, legacy %d", got, want)
+	}
+}

@@ -126,8 +126,14 @@ type Stats = core.Stats
 // fully concurrent mutation and online self-healing use ShardedIndex.
 type Index = core.COAX
 
-// Build learns the soft FDs of t and constructs the index.
-func Build(t *Table, opt Options) (*Index, error) { return core.Build(t, opt) }
+// Build learns the soft FDs of t and constructs the index. It is a thin
+// shim over the v2 Builder in full-scan mode (see builder.go), kept
+// bit-for-bit identical to the v1 behaviour: a fresh table source
+// materializes back to t itself and the exact in-memory build runs over
+// it.
+func Build(t *Table, opt Options) (*Index, error) {
+	return NewBuilder(TableSchema(t), opt).Build(NewTableSource(t, 0))
+}
 
 // ErrNotFound is returned by Delete and Update when no live row equals the
 // given one.
@@ -287,9 +293,10 @@ type BatchVisitor = shard.BatchVisitor
 func DefaultShardOptions() ShardOptions { return shard.DefaultOptions() }
 
 // BuildSharded learns the soft FDs of t once, partitions the table, and
-// constructs one COAX per shard in parallel.
+// constructs one COAX per shard in parallel. Like Build, it is a thin
+// bit-for-bit shim over the v2 Builder in full-scan mode.
 func BuildSharded(t *Table, opt Options, so ShardOptions) (*ShardedIndex, error) {
-	return shard.Build(t, opt, so)
+	return NewBuilder(TableSchema(t), opt).BuildSharded(NewTableSource(t, 0), so)
 }
 
 // SaveSharded writes a sharded index to w in the versioned COAX snapshot

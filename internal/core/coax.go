@@ -121,13 +121,13 @@ func Build(t *dataset.Table, opt Options) (*COAX, error) {
 	return BuildWithFD(t, fd, opt)
 }
 
-// BuildWithFD constructs COAX from pre-detected dependencies; used by tests
-// and by tools that detect once and build several variants.
-func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error) {
+// newSkeleton assembles the model-dependent state shared by the in-memory
+// and streaming builds: dependency routing, the mutation tracker, and the
+// sort dimension. The caller still owes row counts and index structures.
+func newSkeleton(cols []string, dims int, fd softfd.Result, opt Options) (*COAX, error) {
 	c := &COAX{
-		dims:            t.Dims(),
-		n:               t.Len(),
-		cols:            append([]string(nil), t.Cols...),
+		dims:            dims,
+		cols:            append([]string(nil), cols...),
 		fd:              fd,
 		primaryCells:    opt.PrimaryCellsPerDim,
 		outlierKind:     opt.OutlierKind,
@@ -140,7 +140,7 @@ func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error)
 	if c.outlierRTreeCap < 2 {
 		c.outlierRTreeCap = 10
 	}
-	c.depends = make([]*softfd.PairModel, t.Dims())
+	c.depends = make([]*softfd.PairModel, dims)
 	for gi := range fd.Groups {
 		g := &fd.Groups[gi]
 		for mi := range g.Models {
@@ -153,6 +153,17 @@ func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error)
 	if err := c.pickSortDim(opt); err != nil {
 		return nil, err
 	}
+	return c, nil
+}
+
+// BuildWithFD constructs COAX from pre-detected dependencies; used by tests
+// and by tools that detect once and build several variants.
+func BuildWithFD(t *dataset.Table, fd softfd.Result, opt Options) (*COAX, error) {
+	c, err := newSkeleton(t.Cols, t.Dims(), fd, opt)
+	if err != nil {
+		return nil, err
+	}
+	c.n = t.Len()
 
 	primaryTab, outlierTab := c.split(t)
 	c.primaryN, c.outlierN = primaryTab.Len(), outlierTab.Len()

@@ -1,0 +1,226 @@
+// Two-phase streaming build (ingestion API v2). Phase one — sampling and
+// soft-FD detection — happens before a StreamBuilder exists: the caller
+// draws a row sample (reservoir or prefix), detects dependencies on it, and
+// hands both here. Phase two streams every row exactly once: inliers go
+// straight into the primary grid file's own storage through a
+// gridfile.Streamer whose cell boundaries are quantile estimates from the
+// sample, and outliers either stream the same way (grid outlier index) or
+// accumulate in a staging table (R-tree, whose bulk load needs all rows —
+// bounded by construction: an accepted dependency keeps at least
+// MinInlierFrac of the data primary). Nothing ever holds the full table.
+package core
+
+import (
+	"fmt"
+
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/gridfile"
+	"github.com/coax-index/coax/internal/softfd"
+)
+
+// StreamBuilder constructs a COAX index from a stream of rows against
+// pre-detected dependencies. It is single-goroutine; the sharded streaming
+// build runs one per shard.
+type StreamBuilder struct {
+	c          *COAX
+	primary    *gridfile.Streamer
+	outStream  *gridfile.Streamer // grid outliers: streamed like the primary
+	outStaging *dataset.Table     // r-tree outliers: buffered for bulk load
+	n          int
+}
+
+// NewStreamBuilder prepares a streaming build. sample must be a non-empty
+// row sample of the incoming stream (it seeds the primary and outlier grid
+// boundaries); fd holds the dependencies detected on that sample.
+// totalHint ≥ 0 preallocates for the expected stream length and sizes the
+// outlier grid directory; pass -1 when unknown (grid outliers then fall
+// back to staging, since the directory rule needs a size estimate).
+func NewStreamBuilder(cols []string, fd softfd.Result, sample *dataset.Table, opt Options, totalHint int) (*StreamBuilder, error) {
+	if opt.PrimaryCellsPerDim < 1 {
+		return nil, fmt.Errorf("core: PrimaryCellsPerDim must be ≥ 1, got %d", opt.PrimaryCellsPerDim)
+	}
+	if sample.Len() == 0 {
+		return nil, fmt.Errorf("core: streaming build needs a non-empty sample")
+	}
+	if len(cols) != sample.Dims() {
+		return nil, fmt.Errorf("core: %d column names for a %d-column sample", len(cols), sample.Dims())
+	}
+	c, err := newSkeleton(cols, sample.Dims(), fd, opt)
+	if err != nil {
+		return nil, err
+	}
+	c.primaryBounds = emptyBounds(c.dims)
+	c.outlierBounds = emptyBounds(c.dims)
+
+	b := &StreamBuilder{c: c}
+
+	// Classify the sample once: its inlier rows seed the primary grid
+	// boundaries (the same population the in-memory build computes exact
+	// quantiles over) and its outlier rate sizes the outlier structures.
+	inlier := make([]bool, sample.Len())
+	inliers := 0
+	for i := range inlier {
+		if c.rowIsInlier(sample.Row(i)) {
+			inlier[i] = true
+			inliers++
+		}
+	}
+	inlierFrac := float64(inliers) / float64(sample.Len())
+
+	primaryCfg := gridfile.Config{
+		GridDims:    c.primaryGridDims(),
+		SortDim:     c.sortDim,
+		CellsPerDim: opt.PrimaryCellsPerDim,
+		Mode:        gridfile.Quantile,
+		Label:       "COAX-primary",
+	}
+	// Capacity hints carry slack: the sampled inlier fraction is an
+	// estimate, and a hint that undershoots by even one row would trigger
+	// an append-growth whose copy transiently doubles the largest buffer —
+	// the exact spike streaming exists to avoid. Both are clamped to the
+	// stream length.
+	primaryHint := -1
+	outlierHint := -1
+	if totalHint >= 0 {
+		primaryHint = int(float64(totalHint)*inlierFrac*1.05) + 4096
+		outlierHint = int(float64(totalHint)*(1-inlierFrac)*1.25) + 4096
+		if primaryHint > totalHint+1 {
+			primaryHint = totalHint + 1
+		}
+		if outlierHint > totalHint+1 {
+			outlierHint = totalHint + 1
+		}
+	}
+	b.primary, err = newSampleStreamer(sample, inlier, true, primaryCfg, primaryHint)
+	if err != nil {
+		return nil, fmt.Errorf("core: preparing primary streamer: %w", err)
+	}
+
+	// Outliers: a grid outlier index streams against sample-estimated
+	// boundaries whenever its resolution is known up front — explicitly
+	// configured, or derivable from the directory-size rule and a stream
+	// length estimate. Otherwise (R-tree bulk load, unknown length) rows
+	// stage in a table whose size the accepted dependencies bound.
+	if opt.OutlierKind == OutlierGrid && (opt.OutlierCellsPerDim >= 1 || totalHint >= 0) {
+		cells := opt.OutlierCellsPerDim
+		if cells < 1 {
+			estBytes := int64(outlierHint) * int64(c.dims) * 8
+			cells = gridfile.DirectoryBoundedCells(c.dims, estBytes)
+		}
+		allDims := make([]int, c.dims)
+		for i := range allDims {
+			allDims[i] = i
+		}
+		outCfg := gridfile.Config{
+			GridDims:    allDims,
+			SortDim:     -1,
+			CellsPerDim: cells,
+			Mode:        gridfile.Quantile,
+			Label:       "COAX-outliers",
+		}
+		b.outStream, err = newSampleStreamer(sample, inlier, false, outCfg, outlierHint)
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing outlier streamer: %w", err)
+		}
+	} else {
+		b.outStaging = dataset.NewTable(sample.Cols)
+		if outlierHint > 0 {
+			b.outStaging.Grow(outlierHint)
+		}
+	}
+	return b, nil
+}
+
+// newSampleStreamer builds a gridfile.Streamer whose boundaries are
+// quantiles of the sample rows in the wanted class (inliers for the
+// primary, outliers for the outlier grid), falling back to the whole
+// sample when that class sampled empty — boundary clamping keeps any later
+// value routable.
+func newSampleStreamer(sample *dataset.Table, inlier []bool, wantInlier bool, cfg gridfile.Config, capacityRows int) (*gridfile.Streamer, error) {
+	matching := 0
+	for _, in := range inlier {
+		if in == wantInlier {
+			matching++
+		}
+	}
+	bounds := make([][]float64, len(cfg.GridDims))
+	vals := make([]float64, 0, sample.Len())
+	for bi, d := range cfg.GridDims {
+		vals = vals[:0]
+		for i := 0; i < sample.Len(); i++ {
+			if matching == 0 || inlier[i] == wantInlier {
+				vals = append(vals, sample.Row(i)[d])
+			}
+		}
+		bd, err := gridfile.SampleBounds(vals, cfg)
+		if err != nil {
+			return nil, err
+		}
+		bounds[bi] = bd
+	}
+	return gridfile.NewStreamer(sample.Dims(), cfg, bounds, capacityRows)
+}
+
+// Add streams one row (copied) into the build, classifying it against the
+// learned dependencies exactly as the in-memory build's split pass does.
+func (b *StreamBuilder) Add(row []float64) {
+	if len(row) != b.c.dims {
+		panic(fmt.Sprintf("core: row has %d values, builder has %d dims", len(row), b.c.dims))
+	}
+	b.n++
+	if b.c.rowIsInlier(row) {
+		b.primary.Add(row)
+		extendBounds(&b.c.primaryBounds, row)
+		return
+	}
+	if b.outStream != nil {
+		b.outStream.Add(row)
+	} else {
+		b.outStaging.Append(row)
+	}
+	extendBounds(&b.c.outlierBounds, row)
+}
+
+// Rows reports how many rows have been streamed in.
+func (b *StreamBuilder) Rows() int { return b.n }
+
+// Finish assembles the index. A builder that received no rows yields an
+// empty skeleton (mirroring BuildWithFD over an empty shard table) so
+// sharded builds can keep empty shards insertable; the public API rejects
+// zero-row single builds before calling Finish.
+func (b *StreamBuilder) Finish() (*COAX, error) {
+	c := b.c
+	c.n = b.n
+	c.primaryN = b.primary.Rows()
+	c.outlierN = c.n - c.primaryN
+	if c.n > 0 {
+		c.baseOutlierRatio = float64(c.outlierN) / float64(c.n)
+	}
+
+	if c.primaryN > 0 {
+		p, err := b.primary.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("core: building primary index: %w", err)
+		}
+		c.primary = p
+	}
+	b.primary = nil
+
+	if c.outlierN > 0 {
+		if b.outStream != nil {
+			out, err := b.outStream.Finish()
+			if err != nil {
+				return nil, fmt.Errorf("core: building outlier index: %w", err)
+			}
+			c.outliers = out
+		} else {
+			out, err := buildOutlierIndex(b.outStaging, c.opt)
+			if err != nil {
+				return nil, fmt.Errorf("core: building outlier index: %w", err)
+			}
+			c.outliers = out
+		}
+	}
+	b.outStream, b.outStaging = nil, nil
+	return c, nil
+}

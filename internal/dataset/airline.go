@@ -46,103 +46,137 @@ var AirlineCols = []string{
 	"dayofweek", "carrier",
 }
 
-// GenerateAirline builds the synthetic airline table.
-func GenerateAirline(cfg AirlineConfig) *Table {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	t := NewTable(AirlineCols)
-	t.Data = make([]float64, 0, cfg.N*8)
+// airRouteClass is one component of the route-length mixture: regional
+// hops, transcon, and a long-haul tail.
+type airRouteClass struct {
+	meanDist, stdDist, weight float64
+}
 
-	// Route-length mixture: regional hops, transcon, and a long-haul tail.
-	type routeClass struct {
-		meanDist, stdDist, weight float64
-	}
-	classes := []routeClass{
+// airlineGen holds the sequential generator state so the materializing and
+// streaming paths emit bit-identical rows.
+type airlineGen struct {
+	cfg     AirlineConfig
+	rng     *rand.Rand
+	classes []airRouteClass
+	wsum    float64
+	banks   []struct{ mean, std, weight float64 }
+	bsum    float64
+	i       int
+}
+
+func newAirlineGen(cfg AirlineConfig) *airlineGen {
+	g := &airlineGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.classes = []airRouteClass{
 		{350, 120, 0.45},
 		{900, 250, 0.35},
 		{2100, 350, 0.17},
 		{4200, 500, 0.03},
 	}
-	wsum := 0.0
-	for _, c := range classes {
-		wsum += c.weight
+	for _, c := range g.classes {
+		g.wsum += c.weight
 	}
-
 	// Departure banks: morning, midday, evening pushes.
-	banks := []struct{ mean, std, weight float64 }{
+	g.banks = []struct{ mean, std, weight float64 }{
 		{7 * 60, 70, 0.35},
 		{12 * 60, 100, 0.30},
 		{18 * 60, 80, 0.35},
 	}
-	bsum := 0.0
-	for _, b := range banks {
-		bsum += b.weight
+	for _, b := range g.banks {
+		g.bsum += b.weight
+	}
+	return g
+}
+
+// emit fills row with the next record, reporting false when exhausted.
+func (g *airlineGen) emit(row []float64) bool {
+	if g.i >= g.cfg.N {
+		return false
+	}
+	rng := g.rng
+
+	// Distance from the route mixture.
+	u := rng.Float64() * g.wsum
+	var dist float64
+	for _, c := range g.classes {
+		if u <= c.weight {
+			dist = c.meanDist + rng.NormFloat64()*c.stdDist
+			break
+		}
+		u -= c.weight
+	}
+	if dist < 80 {
+		dist = 80 + rng.Float64()*60
 	}
 
+	// Cruise speed ~ 7.4 miles/min with per-flight wind variation.
+	speed := 7.4 + rng.NormFloat64()*0.5
+	if speed < 5.5 {
+		speed = 5.5
+	}
+	airtime := dist/speed + 22 + rng.NormFloat64()*6 // climb/descent overhead
+	if airtime < 20 {
+		airtime = 20
+	}
+	taxi := 18 + rng.ExpFloat64()*8
+	elapsed := airtime + taxi
+
+	// Departure bank.
+	ub := rng.Float64() * g.bsum
+	var dep float64
+	for _, b := range g.banks {
+		if ub <= b.weight {
+			dep = b.mean + rng.NormFloat64()*b.std
+			break
+		}
+		ub -= b.weight
+	}
+	if dep < 300 {
+		dep = 300 + rng.Float64()*60
+	}
+
+	schedArr := dep + elapsed + rng.NormFloat64()*5 // published padding
+	delay := rng.NormFloat64() * g.cfg.DelayStd
+	if rng.Float64() < 0.08 { // irregular-ops tail
+		delay += rng.ExpFloat64() * 30
+	}
+	arr := schedArr + delay
+
+	if rng.Float64() < g.cfg.DiversionPct {
+		// Diversions / data errors: break both FD groups hard.
+		airtime += 60 + rng.Float64()*240
+		elapsed = airtime + taxi + rng.Float64()*120
+		arr = schedArr + 120 + rng.Float64()*600
+	}
+
+	row[AirDistance] = dist
+	row[AirElapsed] = elapsed
+	row[AirAirTime] = airtime
+	row[AirDepTime] = dep
+	row[AirArrTime] = arr
+	row[AirSchedArr] = schedArr
+	row[AirDayOfWeek] = float64(1 + rng.Intn(7))
+	row[AirCarrier] = float64(rng.Intn(18))
+	g.i++
+	return true
+}
+
+// GenerateAirline builds the synthetic airline table.
+func GenerateAirline(cfg AirlineConfig) *Table {
+	g := newAirlineGen(cfg)
+	t := NewTable(AirlineCols)
+	t.Grow(cfg.N)
 	row := make([]float64, 8)
-	for i := 0; i < cfg.N; i++ {
-		// Distance from the route mixture.
-		u := rng.Float64() * wsum
-		var dist float64
-		for _, c := range classes {
-			if u <= c.weight {
-				dist = c.meanDist + rng.NormFloat64()*c.stdDist
-				break
-			}
-			u -= c.weight
-		}
-		if dist < 80 {
-			dist = 80 + rng.Float64()*60
-		}
-
-		// Cruise speed ~ 7.4 miles/min with per-flight wind variation.
-		speed := 7.4 + rng.NormFloat64()*0.5
-		if speed < 5.5 {
-			speed = 5.5
-		}
-		airtime := dist/speed + 22 + rng.NormFloat64()*6 // climb/descent overhead
-		if airtime < 20 {
-			airtime = 20
-		}
-		taxi := 18 + rng.ExpFloat64()*8
-		elapsed := airtime + taxi
-
-		// Departure bank.
-		ub := rng.Float64() * bsum
-		var dep float64
-		for _, b := range banks {
-			if ub <= b.weight {
-				dep = b.mean + rng.NormFloat64()*b.std
-				break
-			}
-			ub -= b.weight
-		}
-		if dep < 300 {
-			dep = 300 + rng.Float64()*60
-		}
-
-		schedArr := dep + elapsed + rng.NormFloat64()*5 // published padding
-		delay := rng.NormFloat64() * cfg.DelayStd
-		if rng.Float64() < 0.08 { // irregular-ops tail
-			delay += rng.ExpFloat64() * 30
-		}
-		arr := schedArr + delay
-
-		if rng.Float64() < cfg.DiversionPct {
-			// Diversions / data errors: break both FD groups hard.
-			airtime += 60 + rng.Float64()*240
-			elapsed = airtime + taxi + rng.Float64()*120
-			arr = schedArr + 120 + rng.Float64()*600
-		}
-
-		row[AirDistance] = dist
-		row[AirElapsed] = elapsed
-		row[AirAirTime] = airtime
-		row[AirDepTime] = dep
-		row[AirArrTime] = arr
-		row[AirSchedArr] = schedArr
-		row[AirDayOfWeek] = float64(1 + rng.Intn(7))
-		row[AirCarrier] = float64(rng.Intn(18))
+	for g.emit(row) {
 		t.Append(row)
 	}
 	return t
+}
+
+// NewAirlineSource streams the same rows GenerateAirline would produce,
+// chunk by chunk, without materializing the table; it is replayable (Reset
+// regenerates from the seed) and knows its size.
+func NewAirlineSource(cfg AirlineConfig, chunkRows int) RowSource {
+	return NewFuncSource(AirlineCols, cfg.N, chunkRows, func() func(row []float64) bool {
+		return newAirlineGen(cfg).emit
+	})
 }

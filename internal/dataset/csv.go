@@ -10,46 +10,14 @@ import (
 // ReadCSV loads a table from CSV data. The first record is treated as the
 // header; every subsequent field must parse as a float64. Rows with a wrong
 // field count or unparsable values produce an error identifying the line.
+// It is a materializing shim over the chunked CSVSource (see source.go);
+// callers that do not need the whole table in memory should stream instead.
 func ReadCSV(r io.Reader) (*Table, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
-	header, err := cr.Read()
+	src, err := NewCSVSource(r, 0)
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, err
 	}
-	// A single empty header field (`""`) is rejected: encoding/csv writes
-	// that record as a blank line, which readers skip, so a table built
-	// from it could never round-trip through WriteCSV (found by fuzzing).
-	if len(header) == 1 && header[0] == "" {
-		return nil, fmt.Errorf("dataset: CSV header is a single empty field")
-	}
-	cols := make([]string, len(header))
-	copy(cols, header)
-	t := NewTable(cols)
-	row := make([]float64, len(cols))
-	line := 1
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		line++
-		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
-		}
-		if len(rec) != len(cols) {
-			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), len(cols))
-		}
-		for i, f := range rec {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: CSV line %d field %q: %w", line, cols[i], err)
-			}
-			row[i] = v
-		}
-		t.Append(row)
-	}
-	return t, nil
+	return Materialize(src)
 }
 
 // WriteCSV emits the table as CSV with a header row.

@@ -41,6 +41,74 @@ const (
 	osmLonMin, osmLonMax = -80.5, -66.9
 )
 
+// OSMCols names the generated columns in order.
+var OSMCols = []string{"id", "timestamp", "lat", "lon"}
+
+// osmGen holds the sequential generator state so the materializing and
+// streaming paths emit bit-identical rows.
+type osmGen struct {
+	cfg      OSMConfig
+	rng      *rand.Rand
+	span     float64
+	noiseStd float64
+	centers  [][2]float64
+	weights  []float64
+	wsum     float64
+	i        int
+}
+
+func newOSMGen(cfg OSMConfig) *osmGen {
+	g := &osmGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.span = cfg.EditRate * float64(cfg.N)
+	g.noiseStd = cfg.NoiseFrac * g.span
+	g.centers = make([][2]float64, cfg.Clusters)
+	g.weights = make([]float64, cfg.Clusters)
+	for i := range g.centers {
+		g.centers[i] = [2]float64{
+			osmLatMin + g.rng.Float64()*(osmLatMax-osmLatMin),
+			osmLonMin + g.rng.Float64()*(osmLonMax-osmLonMin),
+		}
+		// Zipf-ish cluster popularity: a few dominant metros.
+		g.weights[i] = 1.0 / float64(i+1)
+		g.wsum += g.weights[i]
+	}
+	return g
+}
+
+// emit fills row with the next record, reporting false when exhausted.
+func (g *osmGen) emit(row []float64) bool {
+	if g.i >= g.cfg.N {
+		return false
+	}
+	id := float64(g.i)
+	var ts float64
+	if g.rng.Float64() < g.cfg.OutlierFrac {
+		ts = g.rng.Float64() * g.span
+	} else {
+		ts = id*g.cfg.EditRate + g.rng.NormFloat64()*g.noiseStd
+	}
+	if ts < 0 {
+		ts = 0
+	}
+	if ts > g.span {
+		ts = g.span
+	}
+
+	var lat, lon float64
+	if g.rng.Float64() < g.cfg.UniformFrac {
+		lat = osmLatMin + g.rng.Float64()*(osmLatMax-osmLatMin)
+		lon = osmLonMin + g.rng.Float64()*(osmLonMax-osmLonMin)
+	} else {
+		c := pickWeighted(g.rng, g.weights, g.wsum)
+		lat = clamp(g.centers[c][0]+g.rng.NormFloat64()*g.cfg.ClusterStd, osmLatMin, osmLatMax)
+		lon = clamp(g.centers[c][1]+g.rng.NormFloat64()*g.cfg.ClusterStd, osmLonMin, osmLonMax)
+	}
+
+	row[0], row[1], row[2], row[3] = id, ts, lat, lon
+	g.i++
+	return true
+}
+
 // GenerateOSM builds the synthetic OSM table with columns
 // (id, timestamp, lat, lon).
 //
@@ -52,55 +120,23 @@ const (
 // from a mixture of dense urban clusters plus a uniform rural component,
 // giving the skew that drives Figure 4a.
 func GenerateOSM(cfg OSMConfig) *Table {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	t := NewTable([]string{"id", "timestamp", "lat", "lon"})
-	t.Data = make([]float64, 0, cfg.N*4)
-
-	span := cfg.EditRate * float64(cfg.N)
-	noiseStd := cfg.NoiseFrac * span
-	centers := make([][2]float64, cfg.Clusters)
-	weights := make([]float64, cfg.Clusters)
-	wsum := 0.0
-	for i := range centers {
-		centers[i] = [2]float64{
-			osmLatMin + rng.Float64()*(osmLatMax-osmLatMin),
-			osmLonMin + rng.Float64()*(osmLonMax-osmLonMin),
-		}
-		// Zipf-ish cluster popularity: a few dominant metros.
-		weights[i] = 1.0 / float64(i+1)
-		wsum += weights[i]
-	}
-
+	g := newOSMGen(cfg)
+	t := NewTable(OSMCols)
+	t.Grow(cfg.N)
 	row := make([]float64, 4)
-	for i := 0; i < cfg.N; i++ {
-		id := float64(i)
-		var ts float64
-		if rng.Float64() < cfg.OutlierFrac {
-			ts = rng.Float64() * span
-		} else {
-			ts = id*cfg.EditRate + rng.NormFloat64()*noiseStd
-		}
-		if ts < 0 {
-			ts = 0
-		}
-		if ts > span {
-			ts = span
-		}
-
-		var lat, lon float64
-		if rng.Float64() < cfg.UniformFrac {
-			lat = osmLatMin + rng.Float64()*(osmLatMax-osmLatMin)
-			lon = osmLonMin + rng.Float64()*(osmLonMax-osmLonMin)
-		} else {
-			c := pickWeighted(rng, weights, wsum)
-			lat = clamp(centers[c][0]+rng.NormFloat64()*cfg.ClusterStd, osmLatMin, osmLatMax)
-			lon = clamp(centers[c][1]+rng.NormFloat64()*cfg.ClusterStd, osmLonMin, osmLonMax)
-		}
-
-		row[0], row[1], row[2], row[3] = id, ts, lat, lon
+	for g.emit(row) {
 		t.Append(row)
 	}
 	return t
+}
+
+// NewOSMSource streams the same rows GenerateOSM would produce, chunk by
+// chunk, without materializing the table; it is replayable (Reset
+// regenerates from the seed) and knows its size.
+func NewOSMSource(cfg OSMConfig, chunkRows int) RowSource {
+	return NewFuncSource(OSMCols, cfg.N, chunkRows, func() func(row []float64) bool {
+		return newOSMGen(cfg).emit
+	})
 }
 
 func pickWeighted(rng *rand.Rand, weights []float64, wsum float64) int {

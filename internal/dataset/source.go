@@ -1,0 +1,456 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// DefaultChunkRows is the chunk granularity sources use when the caller
+// passes 0: large enough to amortise per-chunk overhead, small enough that
+// one chunk of a wide table stays comfortably inside cache.
+const DefaultChunkRows = 8192
+
+// Chunk is one block of rows handed out by a RowSource. Data is row-major
+// (Rows()*Cols values) and is only valid until the next call to Next — a
+// source may reuse the backing buffer. Consumers that retain rows must copy
+// them.
+type Chunk struct {
+	Cols int
+	Data []float64
+}
+
+// Rows reports the number of rows in the chunk.
+func (c Chunk) Rows() int {
+	if c.Cols == 0 {
+		return 0
+	}
+	return len(c.Data) / c.Cols
+}
+
+// Row returns row i of the chunk, aliasing the chunk buffer.
+func (c Chunk) Row(i int) []float64 {
+	return c.Data[i*c.Cols : (i+1)*c.Cols : (i+1)*c.Cols]
+}
+
+// RowSource is the streaming ingestion contract: a named column set plus a
+// sequence of row chunks terminated by io.EOF. Implementations may also
+// provide SizeHint (expected total rows) and Reset (replayable sources);
+// consumers discover both through interface assertion.
+type RowSource interface {
+	// Columns returns the column names, fixed for the life of the source.
+	Columns() []string
+	// Next returns the next chunk of rows, or io.EOF when the source is
+	// exhausted. The chunk's buffer may be reused by the following call.
+	Next() (Chunk, error)
+}
+
+// SizeHinter is implemented by sources that can estimate how many rows
+// remain to be read in total (including rows already delivered). A hint of
+// -1 means unknown; hints may sharpen as the source is consumed.
+type SizeHinter interface {
+	SizeHint() int
+}
+
+// Resetter is implemented by replayable sources: Reset rewinds the source
+// to its beginning so it can be streamed again (the two-pass sampled build
+// uses this to detect dependencies on pass one and place rows on pass two).
+type Resetter interface {
+	Reset() error
+}
+
+// ConditionalResetter is implemented by source types whose replayability
+// depends on their backing — a CSV source can rewind a file but not a
+// plain reader. Replayable reports whether Reset would succeed.
+type ConditionalResetter interface {
+	Replayable() bool
+}
+
+// CanReset reports whether src supports Reset right now: it must implement
+// Resetter, and a ConditionalResetter must also answer Replayable.
+func CanReset(src RowSource) bool {
+	if _, ok := src.(Resetter); !ok {
+		return false
+	}
+	if cr, ok := src.(ConditionalResetter); ok && !cr.Replayable() {
+		return false
+	}
+	return true
+}
+
+// SizeHint reports src's row-count estimate, or -1 when the source does not
+// know its size.
+func SizeHint(src RowSource) int {
+	if h, ok := src.(SizeHinter); ok {
+		return h.SizeHint()
+	}
+	return -1
+}
+
+// TableSource streams an in-memory table in chunks without copying: every
+// chunk aliases the table buffer. It is replayable and knows its size.
+type TableSource struct {
+	t     *Table
+	chunk int
+	pos   int // rows already delivered
+}
+
+// NewTableSource wraps t as a RowSource. chunkRows ≤ 0 selects
+// DefaultChunkRows.
+func NewTableSource(t *Table, chunkRows int) *TableSource {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	return &TableSource{t: t, chunk: chunkRows}
+}
+
+// Columns implements RowSource.
+func (s *TableSource) Columns() []string { return s.t.Cols }
+
+// Next implements RowSource; chunks alias the table buffer.
+func (s *TableSource) Next() (Chunk, error) {
+	n := s.t.Len()
+	if s.pos >= n {
+		return Chunk{}, io.EOF
+	}
+	hi := s.pos + s.chunk
+	if hi > n {
+		hi = n
+	}
+	dims := s.t.Dims()
+	c := Chunk{Cols: dims, Data: s.t.Data[s.pos*dims : hi*dims]}
+	s.pos = hi
+	return c, nil
+}
+
+// SizeHint implements SizeHinter exactly.
+func (s *TableSource) SizeHint() int { return s.t.Len() }
+
+// Reset implements Resetter.
+func (s *TableSource) Reset() error { s.pos = 0; return nil }
+
+// Unread returns the underlying table when nothing has been consumed yet,
+// letting Materialize hand it back without a copy; otherwise nil.
+func (s *TableSource) Unread() *Table {
+	if s.pos == 0 {
+		return s.t
+	}
+	return nil
+}
+
+// CSVSource streams CSV data with a header row, parsing chunkRows rows at a
+// time into a reused buffer; every field must parse as a float64. A source
+// over an *os.File (see OpenCSVFile) estimates its total row count from the
+// file size and the bytes consumed per row so far, and is replayable.
+type CSVSource struct {
+	cr    *csv.Reader
+	cols  []string
+	chunk int
+	buf   []float64
+	line  int // last line delivered; header is line 1
+
+	f         *os.File // non-nil for OpenCSVFile sources (Reset/Close/SizeHint)
+	sizeBytes int64    // total file size, or -1
+	rows      int      // rows delivered so far
+	spilled   bool     // temp-file source (SpillCSV): Close also removes it
+}
+
+// NewCSVSource starts streaming CSV from r. The header row is read (and
+// validated) immediately. chunkRows ≤ 0 selects DefaultChunkRows.
+func NewCSVSource(r io.Reader, chunkRows int) (*CSVSource, error) {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	s := &CSVSource{chunk: chunkRows, sizeBytes: -1}
+	if err := s.start(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenCSVFile opens path as a replayable CSV source whose SizeHint sharpens
+// as rows are consumed. The caller owns Close.
+func OpenCSVFile(path string, chunkRows int) (*CSVSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := NewCSVSource(f, chunkRows)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	s.sizeBytes = fi.Size()
+	return s, nil
+}
+
+// start (re)initialises the reader state over r and consumes the header.
+func (s *CSVSource) start(r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	// A single empty header field (`""`) is rejected: encoding/csv writes
+	// that record as a blank line, which readers skip, so a table built
+	// from it could never round-trip through WriteCSV (found by fuzzing).
+	if len(header) == 1 && header[0] == "" {
+		return fmt.Errorf("dataset: CSV header is a single empty field")
+	}
+	if s.cols == nil {
+		s.cols = make([]string, len(header))
+		copy(s.cols, header)
+	}
+	s.cr = cr
+	s.line = 1
+	s.rows = 0
+	return nil
+}
+
+// Columns implements RowSource.
+func (s *CSVSource) Columns() []string { return s.cols }
+
+// Next implements RowSource: it parses up to chunkRows records into the
+// reused chunk buffer.
+func (s *CSVSource) Next() (Chunk, error) {
+	dims := len(s.cols)
+	if s.buf == nil {
+		s.buf = make([]float64, 0, s.chunk*dims)
+	}
+	s.buf = s.buf[:0]
+	for n := 0; n < s.chunk; n++ {
+		rec, err := s.cr.Read()
+		if err == io.EOF {
+			break
+		}
+		s.line++
+		if err != nil {
+			return Chunk{}, fmt.Errorf("dataset: reading CSV line %d: %w", s.line, err)
+		}
+		if len(rec) != dims {
+			return Chunk{}, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", s.line, len(rec), dims)
+		}
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return Chunk{}, fmt.Errorf("dataset: CSV line %d field %q: %w", s.line, s.cols[i], err)
+			}
+			s.buf = append(s.buf, v)
+		}
+	}
+	if len(s.buf) == 0 {
+		return Chunk{}, io.EOF
+	}
+	s.rows += len(s.buf) / dims
+	return Chunk{Cols: dims, Data: s.buf}, nil
+}
+
+// SizeHint implements SizeHinter: total rows estimated from the file size
+// and the average bytes per row consumed so far; -1 for non-file sources or
+// before the first chunk.
+func (s *CSVSource) SizeHint() int {
+	if s.sizeBytes < 0 || s.rows == 0 {
+		return -1
+	}
+	consumed := s.cr.InputOffset()
+	if consumed <= 0 {
+		return -1
+	}
+	perRow := float64(consumed) / float64(s.rows) // header amortised away at scale
+	est := int(float64(s.sizeBytes)/perRow) + 1
+	if est < s.rows {
+		est = s.rows
+	}
+	return est
+}
+
+// Replayable implements ConditionalResetter: only file-backed sources can
+// rewind.
+func (s *CSVSource) Replayable() bool { return s.f != nil }
+
+// Reset implements Resetter for file-backed sources; over a plain
+// io.Reader it fails (see Replayable).
+func (s *CSVSource) Reset() error {
+	if s.f == nil {
+		return fmt.Errorf("dataset: CSV source is not replayable (not file-backed)")
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return s.start(s.f)
+}
+
+// Close releases the file of an OpenCSVFile source (removing it first if
+// the source spilled it itself — see SpillCSV); it is a no-op for
+// reader-backed sources.
+func (s *CSVSource) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	if s.spilled {
+		if rerr := os.Remove(s.f.Name()); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// SpillCSV copies r (typically stdin) to a temporary CSV file and opens it
+// as a replayable source whose Close also removes the file — how a CLI
+// turns a one-shot pipe into an input the sampled build can
+// reservoir-sample uniformly instead of training on a biased prefix. It
+// returns the byte count spilled for logging.
+func SpillCSV(r io.Reader, chunkRows int) (*CSVSource, int64, error) {
+	tmp, err := os.CreateTemp("", "coax-spill-*.csv")
+	if err != nil {
+		return nil, 0, err
+	}
+	path := tmp.Name()
+	fail := func(err error) (*CSVSource, int64, error) {
+		tmp.Close()
+		os.Remove(path)
+		return nil, 0, err
+	}
+	n, err := io.Copy(tmp, r)
+	if err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	src, err := OpenCSVFile(path, chunkRows)
+	if err != nil {
+		os.Remove(path)
+		return nil, 0, err
+	}
+	src.spilled = true
+	return src, n, nil
+}
+
+// funcSource adapts a deterministic row generator to RowSource. newGen must
+// return a fresh emitter positioned at row 0 — Reset replays by
+// regenerating, which is exact for seeded generators.
+type funcSource struct {
+	cols   []string
+	n      int
+	chunk  int
+	buf    []float64
+	newGen func() func(row []float64) bool
+	emit   func(row []float64) bool
+	done   bool
+}
+
+// NewFuncSource wraps a generator as a replayable RowSource of n expected
+// rows. newGen returns an emitter that fills one row per call and reports
+// false when exhausted.
+func NewFuncSource(cols []string, n, chunkRows int, newGen func() func(row []float64) bool) RowSource {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	return &funcSource{cols: cols, n: n, chunk: chunkRows, newGen: newGen}
+}
+
+func (s *funcSource) Columns() []string { return s.cols }
+
+func (s *funcSource) SizeHint() int { return s.n }
+
+func (s *funcSource) Reset() error { s.emit = nil; s.done = false; return nil }
+
+func (s *funcSource) Next() (Chunk, error) {
+	if s.done {
+		return Chunk{}, io.EOF
+	}
+	if s.emit == nil {
+		s.emit = s.newGen()
+	}
+	dims := len(s.cols)
+	if s.buf == nil {
+		s.buf = make([]float64, s.chunk*dims)
+	}
+	filled := 0
+	for filled < s.chunk {
+		if !s.emit(s.buf[filled*dims : (filled+1)*dims]) {
+			s.done = true
+			break
+		}
+		filled++
+	}
+	if filled == 0 {
+		return Chunk{}, io.EOF
+	}
+	return Chunk{Cols: dims, Data: s.buf[:filled*dims]}, nil
+}
+
+// Materialize drains src into an in-memory table, preallocating from the
+// source's size hint. A fresh TableSource is returned as its underlying
+// table without copying.
+func Materialize(src RowSource) (*Table, error) {
+	if ts, ok := src.(*TableSource); ok {
+		if t := ts.Unread(); t != nil {
+			return t, nil
+		}
+	}
+	t := NewTable(src.Columns())
+	grown := 0
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hint := SizeHint(src); hint > grown {
+			t.Grow(hint - t.Len())
+			grown = hint
+		}
+		t.Data = append(t.Data, c.Data...)
+	}
+	return t, nil
+}
+
+// StreamCSV writes src as CSV (header plus every row) to w chunk by chunk,
+// without materializing the stream; it returns the row count written.
+func StreamCSV(w io.Writer, src RowSource) (int, error) {
+	cw := csv.NewWriter(w)
+	cols := src.Columns()
+	if err := cw.Write(cols); err != nil {
+		return 0, fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(cols))
+	rows := 0
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rows, err
+		}
+		for i := 0; i < c.Rows(); i++ {
+			for j, v := range c.Row(i) {
+				rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if err := cw.Write(rec); err != nil {
+				return rows, fmt.Errorf("dataset: writing CSV row %d: %w", rows, err)
+			}
+			rows++
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return rows, err
+		}
+	}
+	cw.Flush()
+	return rows, cw.Error()
+}

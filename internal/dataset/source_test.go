@@ -1,0 +1,225 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// drain collects every row of src into a table via the chunk interface.
+func drain(t *testing.T, src RowSource) *Table {
+	t.Helper()
+	out := NewTable(src.Columns())
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if c.Rows() == 0 {
+			t.Fatalf("empty non-EOF chunk")
+		}
+		out.Data = append(out.Data, c.Data...)
+	}
+}
+
+func tablesEqual(a, b *Table) bool {
+	if a.Dims() != b.Dims() || a.Len() != b.Len() {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTableSourceRoundTrip(t *testing.T) {
+	tab := GenerateOSM(DefaultOSMConfig(1000))
+	for _, chunk := range []int{1, 7, 100, 5000} {
+		src := NewTableSource(tab, chunk)
+		if got := src.SizeHint(); got != 1000 {
+			t.Fatalf("SizeHint = %d, want 1000", got)
+		}
+		got := drain(t, src)
+		if !tablesEqual(got, tab) {
+			t.Fatalf("chunk=%d: drained table differs from source", chunk)
+		}
+		// Replay after Reset.
+		if err := src.Reset(); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		if got = drain(t, src); !tablesEqual(got, tab) {
+			t.Fatalf("chunk=%d: replay differs", chunk)
+		}
+	}
+}
+
+func TestTableSourceUnread(t *testing.T) {
+	tab := GenerateOSM(DefaultOSMConfig(10))
+	src := NewTableSource(tab, 4)
+	if src.Unread() != tab {
+		t.Fatal("fresh source should expose its table")
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if src.Unread() != nil {
+		t.Fatal("consumed source must not expose its table")
+	}
+	// Materialize on a fresh source returns the identical table, no copy.
+	got, err := Materialize(NewTableSource(tab, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tab {
+		t.Fatal("Materialize should short-circuit to the underlying table")
+	}
+}
+
+func TestCSVSourceMatchesReadCSV(t *testing.T) {
+	tab := GenerateAirline(DefaultAirlineConfig(500))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	legacy, err := ReadCSV(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewCSVSource(bytes.NewReader(data), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := drain(t, src)
+	if !tablesEqual(legacy, streamed) {
+		t.Fatal("streamed CSV differs from ReadCSV")
+	}
+	if !tablesEqual(legacy, tab) {
+		t.Fatal("CSV round-trip lost data")
+	}
+}
+
+func TestCSVSourceErrors(t *testing.T) {
+	cases := []struct {
+		name, data, want string
+	}{
+		{"short row", "a,b\n1,2\n3\n", "wrong number of fields"},
+		{"bad float", "a,b\n1,x\n", `field "b"`},
+		{"empty header", `""` + "\n", "single empty field"},
+	}
+	for _, tc := range cases {
+		src, err := NewCSVSource(strings.NewReader(tc.data), 8)
+		if err == nil {
+			_, err = src.Next()
+			for err == nil {
+				_, err = src.Next()
+			}
+		}
+		if err == nil || err == io.EOF || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestOpenCSVFileSizeHintAndReset(t *testing.T) {
+	tab := GenerateOSM(DefaultOSMConfig(2000))
+	path := filepath.Join(t.TempDir(), "osm.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(f, tab); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src, err := OpenCSVFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := src.SizeHint(); got != -1 {
+		t.Fatalf("SizeHint before reading = %d, want -1", got)
+	}
+	first := drain(t, src)
+	if !tablesEqual(first, tab) {
+		t.Fatal("file source differs from table")
+	}
+	hint := src.SizeHint()
+	if hint < 1800 || hint > 2200 {
+		t.Fatalf("SizeHint after full read = %d, want ≈2000", hint)
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if again := drain(t, src); !tablesEqual(again, tab) {
+		t.Fatal("replay differs")
+	}
+}
+
+func TestGeneratorSourcesMatchMaterialized(t *testing.T) {
+	osmCfg := DefaultOSMConfig(1234)
+	osmTab := GenerateOSM(osmCfg)
+	src := NewOSMSource(osmCfg, 100)
+	if got := drain(t, src); !tablesEqual(got, osmTab) {
+		t.Fatal("OSM source differs from GenerateOSM")
+	}
+	if err := src.(Resetter).Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, src); !tablesEqual(got, osmTab) {
+		t.Fatal("OSM source replay differs")
+	}
+
+	airCfg := DefaultAirlineConfig(777)
+	airTab := GenerateAirline(airCfg)
+	if got := drain(t, NewAirlineSource(airCfg, 64)); !tablesEqual(got, airTab) {
+		t.Fatal("airline source differs from GenerateAirline")
+	}
+}
+
+func TestStreamCSVMatchesWriteCSV(t *testing.T) {
+	tab := GenerateAirline(DefaultAirlineConfig(300))
+	var want bytes.Buffer
+	if err := WriteCSV(&want, tab); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	n, err := StreamCSV(&got, NewTableSource(tab, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tab.Len() {
+		t.Fatalf("StreamCSV wrote %d rows, want %d", n, tab.Len())
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("StreamCSV output differs from WriteCSV")
+	}
+}
+
+func TestTableGrow(t *testing.T) {
+	tab := NewTable([]string{"a", "b"})
+	tab.Grow(100)
+	if cap(tab.Data) < 200 {
+		t.Fatalf("cap = %d after Grow(100), want ≥ 200", cap(tab.Data))
+	}
+	ptr := cap(tab.Data)
+	for i := 0; i < 100; i++ {
+		tab.Append([]float64{float64(i), float64(-i)})
+	}
+	if cap(tab.Data) != ptr {
+		t.Fatal("Append reallocated despite Grow")
+	}
+	if tab.Len() != 100 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}

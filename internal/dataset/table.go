@@ -59,6 +59,23 @@ func (t *Table) Append(row []float64) {
 	t.Data = append(t.Data, row...)
 }
 
+// Grow ensures the table has capacity for at least rows additional rows
+// without reallocating — the capacity hint plumbed from sources that know
+// their size (generators, sized CSV files), so chunked ingest does not pay
+// append-doubling copies and transient 2× growth spikes.
+func (t *Table) Grow(rows int) {
+	if rows <= 0 || t.dims == 0 {
+		return
+	}
+	need := len(t.Data) + rows*t.dims
+	if cap(t.Data) >= need {
+		return
+	}
+	grown := make([]float64, len(t.Data), need)
+	copy(grown, t.Data)
+	t.Data = grown
+}
+
 // Column extracts column j into a fresh slice.
 func (t *Table) Column(j int) []float64 {
 	n := t.Len()

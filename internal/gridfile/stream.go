@@ -1,0 +1,168 @@
+package gridfile
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coax-index/coax/internal/stats"
+)
+
+// Streamer builds a grid file one row at a time against pre-computed cell
+// boundaries (typically quantile estimates from a sample), so ingestion
+// never holds a second full copy of the data: rows accumulate in arrival
+// order in what becomes the grid file's own page storage, and Finish
+// groups them by cell with an in-place American-flag permutation, looking
+// cell ordinals up on the fly instead of materializing a tag array. Peak
+// memory beyond the finished index is the per-cell cursor bookkeeping plus
+// append slack when no capacity hint was given — O(cells + chunk), never
+// O(rows).
+type Streamer struct {
+	g   *GridFile
+	n   int
+	tmp []float64
+}
+
+// NewStreamer prepares a streaming build of a dims-column grid file.
+// bounds supplies the grid lines: one ascending slice of CellsPerDim+1
+// boundaries per entry of cfg.GridDims. capacityRows ≥ 0 preallocates
+// storage for that many rows.
+func NewStreamer(dims int, cfg Config, bounds [][]float64, capacityRows int) (*Streamer, error) {
+	if cfg.CellsPerDim < 1 {
+		return nil, fmt.Errorf("gridfile: CellsPerDim must be ≥ 1, got %d", cfg.CellsPerDim)
+	}
+	if dims < 1 {
+		return nil, fmt.Errorf("gridfile: dims must be ≥ 1, got %d", dims)
+	}
+	seen := make(map[int]bool, len(cfg.GridDims))
+	for _, d := range cfg.GridDims {
+		if d < 0 || d >= dims {
+			return nil, fmt.Errorf("gridfile: grid dimension %d out of range [0,%d)", d, dims)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("gridfile: grid dimension %d listed twice", d)
+		}
+		seen[d] = true
+	}
+	if cfg.SortDim >= dims {
+		return nil, fmt.Errorf("gridfile: sort dimension %d out of range [0,%d)", cfg.SortDim, dims)
+	}
+	if cfg.SortDim >= 0 && seen[cfg.SortDim] {
+		return nil, fmt.Errorf("gridfile: sort dimension %d must not also be a grid dimension", cfg.SortDim)
+	}
+	if len(bounds) != len(cfg.GridDims) {
+		return nil, fmt.Errorf("gridfile: %d boundary slices for %d grid dimensions", len(bounds), len(cfg.GridDims))
+	}
+
+	g := &GridFile{cfg: cfg, dims: dims}
+	g.bounds = make([][]float64, len(bounds))
+	for i, b := range bounds {
+		if len(b) != cfg.CellsPerDim+1 {
+			return nil, fmt.Errorf("gridfile: boundary slice %d has %d values, want %d", i, len(b), cfg.CellsPerDim+1)
+		}
+		if !sort.Float64sAreSorted(b) {
+			return nil, fmt.Errorf("gridfile: boundary slice %d is not ascending", i)
+		}
+		g.bounds[i] = append([]float64(nil), b...)
+	}
+
+	nCells := 1
+	g.strides = make([]int, len(cfg.GridDims))
+	for i := len(cfg.GridDims) - 1; i >= 0; i-- {
+		g.strides[i] = nCells
+		nCells *= cfg.CellsPerDim
+	}
+
+	s := &Streamer{g: g, tmp: make([]float64, dims)}
+	if capacityRows > 0 {
+		g.data = make([]float64, 0, capacityRows*dims)
+	}
+	return s, nil
+}
+
+// Add appends one row (copied) to the build.
+func (s *Streamer) Add(row []float64) {
+	if len(row) != s.g.dims {
+		panic(fmt.Sprintf("gridfile: row has %d values, streamer has %d dims", len(row), s.g.dims))
+	}
+	s.g.data = append(s.g.data, row...)
+	s.n++
+}
+
+// Rows reports how many rows have been added.
+func (s *Streamer) Rows() int { return s.n }
+
+// Finish groups the buffered rows by cell in place, sorts each cell page on
+// the sort dimension, and returns the completed grid file. The Streamer
+// must not be used afterwards.
+func (s *Streamer) Finish() (*GridFile, error) {
+	g := s.g
+	if s.n == 0 {
+		return nil, fmt.Errorf("gridfile: cannot build over an empty table")
+	}
+	g.n = s.n
+
+	nCells := 1
+	for range g.cfg.GridDims {
+		nCells *= g.cfg.CellsPerDim
+	}
+	dims := int64(g.dims)
+	rowAt := func(i int64) []float64 { return g.data[i*dims : (i+1)*dims] }
+
+	counts := make([]int64, nCells)
+	for i := int64(0); i < int64(s.n); i++ {
+		counts[g.cellOf(rowAt(i))]++
+	}
+	g.offsets = make([]int64, nCells+1)
+	for c := 0; c < nCells; c++ {
+		g.offsets[c+1] = g.offsets[c] + counts[c]
+	}
+
+	// In-place American-flag permutation: walk each cell's region and swap
+	// misplaced rows directly into their home cell's cursor. Regions before
+	// the current one are already complete, so every examined row belongs
+	// at or after it; each swap settles one row, making the pass O(n) row
+	// moves with no tag array — cell ordinals are recomputed from the row
+	// itself.
+	cursor := make([]int64, nCells)
+	copy(cursor, g.offsets[:nCells])
+	for c := 0; c < nCells; c++ {
+		for i := cursor[c]; i < g.offsets[c+1]; {
+			ri := rowAt(i)
+			t := g.cellOf(ri)
+			if t == c {
+				i++
+				cursor[c] = i
+				continue
+			}
+			rj := rowAt(cursor[t])
+			copy(s.tmp, ri)
+			copy(ri, rj)
+			copy(rj, s.tmp)
+			cursor[t]++
+		}
+	}
+
+	if g.cfg.SortDim >= 0 {
+		for c := 0; c < nCells; c++ {
+			g.sortCell(c)
+		}
+	}
+	return g, nil
+}
+
+// SampleBounds derives streaming grid boundaries from sampled column
+// values: quantile or uniform placement over the sample, matching the
+// boundary rule Build applies to the full data.
+func SampleBounds(sampleCol []float64, cfg Config) ([]float64, error) {
+	if len(sampleCol) == 0 {
+		return nil, fmt.Errorf("gridfile: no sample values to place boundaries on")
+	}
+	switch cfg.Mode {
+	case Quantile:
+		return stats.Quantiles(sampleCol, cfg.CellsPerDim), nil
+	case Uniform:
+		return uniformBounds(sampleCol, cfg.CellsPerDim), nil
+	default:
+		return nil, fmt.Errorf("gridfile: unknown bounds mode %d", cfg.Mode)
+	}
+}

@@ -198,6 +198,7 @@ func BuildWithFD(t *dataset.Table, fd softfd.Result, opt core.Options, so Option
 	tabs := make([]*dataset.Table, k)
 	for i := range tabs {
 		tabs[i] = dataset.NewTable(t.Cols)
+		tabs[i].Grow(t.Len()/k + 1)
 	}
 	for i := 0; i < t.Len(); i++ {
 		row := t.Row(i)

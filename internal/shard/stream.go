@@ -1,0 +1,199 @@
+// Direct-to-sharded streaming build: chunks are routed to one
+// core.StreamBuilder per shard, each running on its own worker goroutine,
+// so shard construction overlaps ingestion and the whole table is never
+// materialized anywhere — not even partitioned staging tables. Range cut
+// points come from the same row sample that seeded soft-FD detection, so
+// routing is fixed before the first streamed row arrives.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/softfd"
+)
+
+// streamBatchRows is how many rows accumulate per shard before the batch is
+// handed to that shard's build worker; bounded in-flight memory is
+// (shards × channel depth × batch) rows.
+const streamBatchRows = 1024
+
+// router maps rows to shard ordinals using the same rules as a serving
+// Sharded, before one exists.
+type router struct {
+	partition Partition
+	col       int
+	cuts      []float64
+	k         int
+}
+
+func (r *router) route(row []float64) int {
+	if r.partition == ByHash {
+		return int(hashRow(row) % uint64(r.k))
+	}
+	v := row[r.col]
+	return sort.Search(len(r.cuts), func(j int) bool { return r.cuts[j] > v })
+}
+
+// StreamBuilder constructs a Sharded index from a stream of rows. Add may
+// only be called from one goroutine; placement itself runs on per-shard
+// workers concurrently with ingestion.
+type StreamBuilder struct {
+	rt      router
+	workers int
+
+	builders []*core.StreamBuilder
+	chans    []chan []float64 // flattened row batches; ownership transfers
+	wg       sync.WaitGroup
+
+	dims    int
+	staging [][]float64 // per shard: partially filled batch
+	n       int
+}
+
+// NewStreamBuilder prepares a direct-to-sharded streaming build. sample and
+// fd play the same roles as in core.NewStreamBuilder; for range
+// partitioning the cut points are quantiles of the sample's partition
+// column. totalHint ≥ 0 sizes per-shard preallocation; -1 when unknown.
+func NewStreamBuilder(cols []string, fd softfd.Result, sample *dataset.Table, opt core.Options, so Options, totalHint int) (*StreamBuilder, error) {
+	k := so.NumShards
+	if k == 0 {
+		k = poolSize(0)
+	}
+	if k < 1 || k > MaxShards {
+		return nil, fmt.Errorf("shard: NumShards %d out of range [1,%d]", k, MaxShards)
+	}
+	if sample.Len() == 0 {
+		return nil, fmt.Errorf("shard: streaming build needs a non-empty sample")
+	}
+
+	b := &StreamBuilder{
+		rt:      router{partition: so.Partition, col: -1, k: k},
+		workers: poolSize(so.Workers),
+		dims:    sample.Dims(),
+	}
+	switch so.Partition {
+	case ByRange:
+		col := so.Column
+		if col < 0 {
+			col = autoRangeColumn(fd)
+		}
+		if col >= sample.Dims() {
+			return nil, fmt.Errorf("shard: range column %d out of range [0,%d)", col, sample.Dims())
+		}
+		b.rt.col = col
+		b.rt.cuts = rangeCuts(sample.Column(col), k)
+	case ByHash:
+		// No routing state beyond the shard count.
+	default:
+		return nil, fmt.Errorf("shard: unknown partition kind %d", so.Partition)
+	}
+
+	perShard := -1
+	if totalHint >= 0 {
+		perShard = totalHint/k + 1
+	}
+	// Each shard estimates its grid boundaries from its own slab of the
+	// sample — under range partitioning a shard sees only a slice of the
+	// partition column, and global quantiles would leave most of its grid
+	// cells empty. Shards whose slab sampled too thin fall back to the full
+	// sample.
+	slabs := make([]*dataset.Table, k)
+	for i := range slabs {
+		slabs[i] = dataset.NewTable(sample.Cols)
+	}
+	for i := 0; i < sample.Len(); i++ {
+		row := sample.Row(i)
+		slabs[b.rt.route(row)].Append(row)
+	}
+	minSlab := 2 * opt.PrimaryCellsPerDim
+	if minSlab < 32 {
+		minSlab = 32
+	}
+	b.builders = make([]*core.StreamBuilder, k)
+	b.chans = make([]chan []float64, k)
+	b.staging = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		slab := slabs[i]
+		if slab.Len() < minSlab {
+			slab = sample
+		}
+		sb, err := core.NewStreamBuilder(cols, fd, slab, opt, perShard)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		b.builders[i] = sb
+		b.chans[i] = make(chan []float64, 2)
+	}
+	for i := 0; i < k; i++ {
+		b.wg.Add(1)
+		go func(i int) {
+			defer b.wg.Done()
+			sb := b.builders[i]
+			dims := b.dims
+			for batch := range b.chans[i] {
+				for o := 0; o+dims <= len(batch); o += dims {
+					sb.Add(batch[o : o+dims])
+				}
+			}
+		}(i)
+	}
+	return b, nil
+}
+
+// Add routes one chunk of rows to the shard workers. The chunk buffer may
+// be reused by the caller immediately: rows are copied into batch buffers
+// before they cross a goroutine boundary.
+func (b *StreamBuilder) Add(c dataset.Chunk) error {
+	if c.Cols != b.dims {
+		return fmt.Errorf("shard: chunk has %d columns, builder has %d", c.Cols, b.dims)
+	}
+	for i := 0; i < c.Rows(); i++ {
+		row := c.Row(i)
+		si := b.rt.route(row)
+		stage := b.staging[si]
+		if stage == nil {
+			stage = make([]float64, 0, streamBatchRows*b.dims)
+		}
+		stage = append(stage, row...)
+		if len(stage) >= streamBatchRows*b.dims {
+			b.chans[si] <- stage
+			stage = nil
+		}
+		b.staging[si] = stage
+	}
+	b.n += c.Rows()
+	return nil
+}
+
+// Rows reports how many rows have been routed so far.
+func (b *StreamBuilder) Rows() int { return b.n }
+
+// Finish flushes the remaining batches, waits for every shard worker, and
+// assembles the serving Sharded index.
+func (b *StreamBuilder) Finish() (*Sharded, error) {
+	for si, stage := range b.staging {
+		if len(stage) > 0 {
+			b.chans[si] <- stage
+			b.staging[si] = nil
+		}
+		close(b.chans[si])
+	}
+	b.wg.Wait()
+
+	if b.n == 0 {
+		return nil, fmt.Errorf("shard: cannot build over an empty stream")
+	}
+	idxs := make([]*core.COAX, len(b.builders))
+	for i, sb := range b.builders {
+		idx, err := sb.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		idxs[i] = idx
+	}
+	return Reassemble(idxs, b.rt.partition, b.rt.col, b.rt.cuts, b.workers)
+}

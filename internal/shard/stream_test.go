@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/softfd"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+func gatherSorted(idx index.Interface, r index.Rect) [][]float64 {
+	var out [][]float64
+	idx.Query(r, func(row []float64) {
+		out = append(out, append([]float64(nil), row...))
+	})
+	sort.Slice(out, func(i, j int) bool {
+		for d := range out[i] {
+			if out[i][d] != out[j][d] {
+				return out[i][d] < out[j][d]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func identical(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestShardStreamBuilderMatchesBuild streams the table chunk-wise through
+// the direct-to-sharded builder and checks the result answers queries
+// identically to the materialized sharded build, for both partitioners.
+func TestShardStreamBuilderMatchesBuild(t *testing.T) {
+	tab := dataset.GenerateOSM(dataset.DefaultOSMConfig(24000))
+	opt := core.DefaultOptions()
+	fd, err := softfd.Detect(tab, opt.SoftFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, part := range []Partition{ByRange, ByHash} {
+		so := Options{NumShards: 4, Workers: 2, Partition: part, Column: -1}
+		legacy, err := BuildWithFD(tab, fd, opt, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sb, err := NewStreamBuilder(tab.Cols, fd, tab, opt, so, tab.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := dataset.NewTableSource(tab, 1024)
+		for {
+			c, err := src.Next()
+			if err != nil {
+				break
+			}
+			if err := sb.Add(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		streamed, err := sb.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if streamed.Len() != legacy.Len() || streamed.NumShards() != legacy.NumShards() {
+			t.Fatalf("%v: shape mismatch: %d rows/%d shards vs %d/%d",
+				part, streamed.Len(), streamed.NumShards(), legacy.Len(), legacy.NumShards())
+		}
+		if part == ByRange {
+			// Cuts come from the same full-table sample, so routing must
+			// agree and per-shard populations match exactly.
+			ls, ss := legacy.BuildStats(), streamed.BuildStats()
+			for i := range ls.RowsPerShard {
+				if ls.RowsPerShard[i] != ss.RowsPerShard[i] {
+					t.Fatalf("shard %d: %d streamed vs %d legacy rows",
+						i, ss.RowsPerShard[i], ls.RowsPerShard[i])
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(21))
+		for q := 0; q < 50; q++ {
+			r := workload.RandRect(rng, tab)
+			if !identical(gatherSorted(legacy, r), gatherSorted(streamed, r)) {
+				t.Fatalf("%v: query %d differs", part, q)
+			}
+		}
+	}
+}
+
+// TestShardStreamBuilderSampled uses a small reservoir-style sample for
+// cuts, boundaries, and detection; results must remain exact.
+func TestShardStreamBuilderSampled(t *testing.T) {
+	tab := dataset.GenerateAirline(dataset.DefaultAirlineConfig(20000))
+	opt := core.DefaultOptions()
+
+	rng := rand.New(rand.NewSource(33))
+	sample := dataset.NewTable(tab.Cols)
+	for i := 0; i < tab.Len(); i++ {
+		if rng.Float64() < 0.08 {
+			sample.Append(tab.Row(i))
+		}
+	}
+	fd, err := softfd.DetectSample(sample, opt.SoftFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	so := Options{NumShards: 3, Partition: ByRange, Column: -1}
+	sb, err := NewStreamBuilder(tab.Cols, fd, sample, opt, so, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dataset.NewTableSource(tab, 700)
+	for {
+		c, err := src.Next()
+		if err != nil {
+			break
+		}
+		if err := sb.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed, err := sb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Len() != tab.Len() {
+		t.Fatalf("streamed %d rows, want %d", streamed.Len(), tab.Len())
+	}
+
+	// Oracle: brute-force scan of the table.
+	qrng := rand.New(rand.NewSource(55))
+	for q := 0; q < 40; q++ {
+		r := workload.RandRect(qrng, tab)
+		want := 0
+		for i := 0; i < tab.Len(); i++ {
+			if r.Contains(tab.Row(i)) {
+				want++
+			}
+		}
+		got := 0
+		streamed.Query(r, func([]float64) { got++ })
+		if got != want {
+			t.Fatalf("query %d: %d rows, oracle says %d", q, got, want)
+		}
+	}
+}
+
+func TestShardStreamBuilderEmptyStream(t *testing.T) {
+	tab := dataset.GenerateOSM(dataset.DefaultOSMConfig(500))
+	opt := core.DefaultOptions()
+	fd, err := softfd.Detect(tab, opt.SoftFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewStreamBuilder(tab.Cols, fd, tab, opt, Options{NumShards: 2, Partition: ByHash}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Finish(); err == nil {
+		t.Fatal("empty stream must not build")
+	}
+}

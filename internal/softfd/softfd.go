@@ -222,6 +222,21 @@ func (r Result) ModelBytes() int64 {
 	return n
 }
 
+// DetectSample runs detection over a table that is itself a pre-drawn
+// sample (e.g. a row reservoir built while streaming a larger input): every
+// row of t participates, regardless of cfg.SampleCount, so the caller's
+// reservoir size — not the detector's internal re-sampling — governs the
+// accuracy/memory trade-off.
+func DetectSample(t *dataset.Table, cfg Config) (Result, error) {
+	if cfg.SampleCount < t.Len() {
+		cfg.SampleCount = t.Len()
+	}
+	if cfg.SampleCount < 4 {
+		cfg.SampleCount = 4
+	}
+	return Detect(t, cfg)
+}
+
 // Detect finds soft-FD groups in t. It never fails on degenerate data: a
 // table with no detectable correlations yields an empty Result.
 func Detect(t *dataset.Table, cfg Config) (Result, error) {

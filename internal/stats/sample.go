@@ -58,3 +58,53 @@ func (r *Reservoir) Sample() []float64 { return r.buf }
 
 // Seen reports how many values have been offered in total.
 func (r *Reservoir) Seen() int { return r.seen }
+
+// RowReservoir maintains a uniform k-row sample of a row stream — the
+// bounded-memory half of sampled soft-FD detection. Until k rows have been
+// offered the reservoir holds every row in arrival order, so small inputs
+// can be recovered exactly (and in order) for a full-scan build.
+type RowReservoir struct {
+	k    int
+	dims int
+	seen int
+	data []float64 // len = min(seen, k) * dims
+	rng  *rand.Rand
+}
+
+// NewRowReservoir creates a reservoir holding at most k rows of dims
+// columns.
+func NewRowReservoir(k, dims int, rng *rand.Rand) *RowReservoir {
+	return &RowReservoir{k: k, dims: dims, data: make([]float64, 0, k*dims), rng: rng}
+}
+
+// Push offers one row (copied) to the reservoir.
+func (r *RowReservoir) Push(row []float64) {
+	r.seen++
+	if len(r.data) < r.k*r.dims {
+		r.data = append(r.data, row...)
+		return
+	}
+	j := r.rng.Intn(r.seen)
+	if j < r.k {
+		copy(r.data[j*r.dims:(j+1)*r.dims], row)
+	}
+}
+
+// Len reports the number of rows currently held.
+func (r *RowReservoir) Len() int {
+	if r.dims == 0 {
+		return 0
+	}
+	return len(r.data) / r.dims
+}
+
+// Seen reports how many rows have been offered in total.
+func (r *RowReservoir) Seen() int { return r.seen }
+
+// Saturated reports whether rows have been displaced: false means the
+// reservoir still holds every offered row in arrival order.
+func (r *RowReservoir) Saturated() bool { return r.seen > r.Len() }
+
+// Rows returns the sampled rows as a row-major buffer aliasing internal
+// storage; callers must not retain it across Push.
+func (r *RowReservoir) Rows() []float64 { return r.data }
