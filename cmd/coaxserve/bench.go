@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -15,6 +20,7 @@ import (
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/softfd"
 	"github.com/coax-index/coax/internal/workload"
@@ -37,14 +43,24 @@ type runReport struct {
 // by CI to track the serving-layer perf trajectory. Serial is the
 // single-shard one-query-at-a-time baseline every run is compared against.
 type serveReport struct {
-	Dataset    string      `json:"dataset"`
-	Rows       int         `json:"rows"`
-	Queries    int         `json:"queries"`
-	KNN        int         `json:"knn"`
-	CPUs       int         `json:"cpus"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Serial     runReport   `json:"serial"`
-	Runs       []runReport `json:"runs"`
+	Dataset    string          `json:"dataset"`
+	Rows       int             `json:"rows"`
+	Queries    int             `json:"queries"`
+	KNN        int             `json:"knn"`
+	CPUs       int             `json:"cpus"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Serial     runReport       `json:"serial"`
+	Runs       []runReport     `json:"runs"`
+	Obs        *obsBenchReport `json:"obs,omitempty"`
+}
+
+// obsBenchReport measures what the observability layer costs: the same
+// one-query-at-a-time workload on the same sharded index with metrics off
+// versus on. The acceptance bar is overhead within a few percent of p50.
+type obsBenchReport struct {
+	DisabledP50us float64 `json:"disabled_p50_us"`
+	EnabledP50us  float64 `json:"enabled_p50_us"`
+	OverheadPct   float64 `json:"overhead_pct"`
 }
 
 func cmdBench(args []string) error {
@@ -63,6 +79,9 @@ func cmdBench(args []string) error {
 		v2limits = fs.String("v2limits", "1,10,100,1000", "comma-separated limits for the v2 sweep")
 		v2knn    = fs.Int("v2knn", 5000, "rectangle selectivity (k-NN) of the v2 sweep workload — broad on purpose, so early termination has rows to skip")
 		v2count  = fs.Int("v2queries", 200, "v2 sweep workload size")
+
+		metricsCheck = fs.Bool("metrics-check", false, "drive /query through an in-process HTTP server and fail unless coax_queries_total advanced by exactly the request count")
+		metricsDump  = fs.String("metrics-dump", "", "write the final /metrics scrape (Prometheus text) to this path")
 	)
 	fs.Parse(args)
 
@@ -110,11 +129,17 @@ func cmdBench(args []string) error {
 		rep.Dataset, rep.Rows, rep.Queries, rep.KNN, rep.CPUs)
 	printRun("serial", rep.Serial)
 
+	// obsIdx is the first sharded index of the sweep, reused for the
+	// observability overhead measurement and the metrics consistency check.
+	var obsIdx *shard.Sharded
 	for _, k := range shardCounts {
 		t0 = time.Now()
 		s, err := shard.BuildWithFD(tab, fd, opt, shard.Options{NumShards: k, Workers: *workers})
 		if err != nil {
 			return fmt.Errorf("building %d shards: %w", k, err)
+		}
+		if obsIdx == nil {
+			obsIdx = s
 		}
 		build := time.Since(t0)
 		for _, b := range batchSizes {
@@ -127,6 +152,16 @@ func cmdBench(args []string) error {
 			}
 			rep.Runs = append(rep.Runs, run)
 			printRun(fmt.Sprintf("shards=%-3d batch=%-3d", k, b), run)
+		}
+	}
+
+	rep.Obs = measureObsOverhead(obsIdx, rects)
+	fmt.Printf("obs overhead: p50 %.1fµs instrumented vs %.1fµs off (%+.2f%%)\n",
+		rep.Obs.EnabledP50us, rep.Obs.DisabledP50us, rep.Obs.OverheadPct)
+
+	if *metricsCheck || *metricsDump != "" {
+		if err := runMetricsCheck(obsIdx, *metricsCheck, *metricsDump, rects); err != nil {
+			return err
 		}
 	}
 
@@ -239,6 +274,122 @@ func runLimitSweep(tab *dataset.Table, fd softfd.Result, opt core.Options, ds st
 	}
 	fmt.Printf("wrote %s\n", jsonOut)
 	return nil
+}
+
+// measureObsOverhead runs the serial workload on the sharded index twice —
+// once with the metrics kill-switch off, once on — and reports the p50
+// delta. The enabled pass runs second so the process is left in the default
+// (instrumented) state.
+func measureObsOverhead(s *shard.Sharded, rects []index.Rect) *obsBenchReport {
+	obs.SetEnabled(false)
+	off := measureSerial(s, rects)
+	obs.SetEnabled(true)
+	on := measureSerial(s, rects)
+	r := &obsBenchReport{DisabledP50us: off.P50us, EnabledP50us: on.P50us}
+	if off.P50us > 0 {
+		r.OverheadPct = (on.P50us - off.P50us) / off.P50us * 100
+	}
+	return r
+}
+
+// runMetricsCheck stands up the real serving mux on a loopback listener,
+// posts the workload through POST /query, and scrapes GET /metrics before
+// and after: coax_queries_total must advance by exactly the request count.
+// With dump set, the final scrape is also written to disk so CI can archive
+// the full exposition alongside the perf reports.
+func runMetricsCheck(s *shard.Sharded, check bool, dump string, rects []index.Rect) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	th := coax.DefaultThresholds()
+	st := newServerState(s, coax.NewCompactor(s, th, 0), th)
+	srv := &http.Server{Handler: newServerMux(st)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	_, before, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	n := min(len(rects), 200)
+	for _, r := range rects[:n] {
+		blob, err := json.Marshal(rectToRequest(r))
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("metrics check: POST /query returned %d", resp.StatusCode)
+		}
+	}
+	body, after, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	if check && after-before != float64(n) {
+		return fmt.Errorf("metrics check FAILED: coax_queries_total advanced by %.0f over %d requests", after-before, n)
+	}
+	fmt.Printf("metrics check: coax_queries_total advanced by %.0f over %d requests\n", after-before, n)
+	if dump != "" {
+		if err := os.WriteFile(dump, []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dump)
+	}
+	return nil
+}
+
+// scrapeMetrics fetches /metrics and extracts coax_queries_total.
+func scrapeMetrics(base string) (body string, queries float64, err error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	body = string(blob)
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, "coax_queries_total "); ok {
+			v, perr := strconv.ParseFloat(rest, 64)
+			if perr != nil {
+				return body, 0, fmt.Errorf("unparseable coax_queries_total sample %q", line)
+			}
+			return body, v, nil
+		}
+	}
+	return body, 0, nil
+}
+
+// rectToRequest converts a workload rectangle into its wire form, counting
+// only (limit 0) so the check measures query accounting, not row transfer.
+func rectToRequest(r index.Rect) rectRequest {
+	lim := 0
+	req := rectRequest{
+		Limit: &lim,
+		Min:   make([]*float64, len(r.Min)),
+		Max:   make([]*float64, len(r.Max)),
+	}
+	for i := range r.Min {
+		if !math.IsInf(r.Min[i], -1) {
+			v := r.Min[i]
+			req.Min[i] = &v
+		}
+		if !math.IsInf(r.Max[i], 1) {
+			v := r.Max[i]
+			req.Max[i] = &v
+		}
+	}
+	return req
 }
 
 // measureSerial times one-at-a-time execution on the calling goroutine.

@@ -5,15 +5,28 @@
 //
 //	coaxserve serve -dataset osm -rows 500000 -shards 8 -addr :8080 -save osm-sharded.coax
 //	coaxserve serve -in osm-sharded.coax -compact-interval 30s
-//	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json
+//	coaxserve serve -in osm-sharded.coax -debug-addr :6060 -slowlog-threshold 50ms -access-log
+//	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json -metrics-check
 //	coaxserve mutbench -rows 200000 -shards 4 -json BENCH_mutation.json
 //
 // The serve mode loads a sharded snapshot (or builds one over a synthetic
 // dataset at startup) and answers:
 //
-//	GET  /healthz  liveness probe
+//	GET  /healthz  liveness probe; ?verbose=1 adds lifecycle epoch, stale
+//	               shard count, snapshot version, rows/shards, and uptime
 //	GET  /stats    index shape plus lifecycle health: outlier/tombstone
 //	               ratios, model drift, per-shard rebuild epochs, staleness
+//	GET  /metrics  Prometheus text exposition of every metric family:
+//	               query (latency, pages/rows scanned, early stops),
+//	               mutation (insert/delete/update, compactions), lifecycle
+//	               (rebuilds, replay sizes, compactor sweeps), build
+//	               (rows/sec, phase durations, peak heap), HTTP, and the
+//	               index-health gauges (outlier/tombstone ratio, epoch)
+//	GET  /debug/vars
+//	               the same registry as an expvar JSON map (under "coax")
+//	GET  /debug/slowlog
+//	               ring buffer of the most recent queries slower than
+//	               -slowlog-threshold, each with its full EXPLAIN report
 //	POST /query    {"min":[...],"max":[...],"limit":100} — null bounds are
 //	               unconstrained; responds {"count":N,"rows":[[...],...]}.
 //	               "early":true stops the scan once limit rows are found
@@ -32,9 +45,19 @@
 // thresholds and rebuilds drifted shards automatically — the self-healing
 // loop; queries keep being served from the old epoch during every rebuild.
 //
+// -debug-addr serves net/http/pprof, expvar, and /metrics on a second
+// listener kept off the query port. -access-log writes one line per request
+// to stderr. Shutdown is graceful: SIGINT/SIGTERM stop the listener and
+// drain in-flight requests for up to -drain-timeout.
+//
 // The bench mode generates a rectangle workload, measures a serial
 // single-shard baseline, then sweeps shard count × batch size through
-// BatchQuery, reporting QPS and p50/p99 latency (see BENCH_serve.json).
+// BatchQuery, reporting QPS and p50/p99 latency (see BENCH_serve.json). It
+// also measures the observability overhead (instrumented vs kill-switched
+// p50, the report's "obs" section) and, with -metrics-check, serves the
+// workload through an in-process HTTP server and fails unless
+// coax_queries_total advanced by exactly the request count
+// (-metrics-dump archives the final scrape).
 // The mutbench mode measures query QPS/p99 before a drift-inducing write
 // workload, during the online rebuild it triggers, and after the epoch
 // swap (see BENCH_mutation.json).

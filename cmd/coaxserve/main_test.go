@@ -21,7 +21,7 @@ func testServer(t *testing.T) (*coax.ShardedIndex, *httptest.Server) {
 		t.Fatalf("BuildSharded: %v", err)
 	}
 	th := coax.DefaultThresholds()
-	srv := httptest.NewServer(newServerMux(idx, coax.NewCompactor(idx, th, 0), th))
+	srv := httptest.NewServer(newServerMux(newServerState(idx, coax.NewCompactor(idx, th, 0), th)))
 	t.Cleanup(srv.Close)
 	return idx, srv
 }
@@ -195,10 +195,13 @@ func TestBenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench smoke is not short")
 	}
-	out := t.TempDir() + "/BENCH_serve.json"
+	dir := t.TempDir()
+	out := dir + "/BENCH_serve.json"
+	prom := dir + "/metrics.prom"
 	err := cmdBench([]string{
 		"-rows", "20000", "-queries", "60", "-knn", "50",
 		"-shards", "1,2", "-batch", "1,8", "-json", out,
+		"-metrics-check", "-metrics-dump", prom,
 	})
 	if err != nil {
 		t.Fatalf("cmdBench: %v", err)
@@ -218,6 +221,16 @@ func TestBenchSmoke(t *testing.T) {
 		if run.RowsMatched != rep.Serial.RowsMatched {
 			t.Errorf("run %+v matched %d rows, serial %d", run, run.RowsMatched, rep.Serial.RowsMatched)
 		}
+	}
+	if rep.Obs == nil || rep.Obs.EnabledP50us <= 0 || rep.Obs.DisabledP50us <= 0 {
+		t.Errorf("obs overhead section missing or empty: %+v", rep.Obs)
+	}
+	dump, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatalf("-metrics-dump wrote nothing: %v", err)
+	}
+	if !bytes.Contains(dump, []byte("# TYPE coax_queries_total counter")) {
+		t.Error("metrics dump has no coax_queries_total family")
 	}
 }
 

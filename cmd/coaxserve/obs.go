@@ -1,0 +1,269 @@
+package main
+
+// Serving-tier observability: the HTTP metric families, the request
+// middleware (latency, in-flight, access log), the slow-query ring buffer,
+// the opt-in debug listener (pprof/expvar/metrics), and the graceful-
+// shutdown helper. The engine-side families live in internal/obs/metrics.go
+// and are updated by the engine itself; this file only adds what the HTTP
+// layer can see.
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/lifecycle"
+	"github.com/coax-index/coax/internal/obs"
+	"github.com/coax-index/coax/internal/snapshot"
+)
+
+// HTTP-plane metric families.
+var (
+	httpRequests = obs.NewCounter("coax_http_requests_total", "HTTP requests served.")
+	httpErrors   = obs.NewCounter("coax_http_errors_total", "HTTP responses with a 4xx or 5xx status.")
+	httpSeconds  = obs.NewHistogram("coax_http_request_seconds", "HTTP request latency in seconds.", 1e-5, 60)
+	httpInflight = obs.NewGauge("coax_http_inflight_requests", "HTTP requests currently being served.")
+	slowQueries  = obs.NewCounter("coax_slow_queries_total", "Queries slower than the slow-query threshold.")
+)
+
+// serverState carries everything the HTTP handlers share: the index and its
+// maintenance machinery, plus the serving-tier observability state.
+type serverState struct {
+	idx       *coax.ShardedIndex
+	compactor *lifecycle.Compactor
+	th        lifecycle.Thresholds
+
+	start time.Time
+	// snapVersion is the format version of the snapshot the server loaded,
+	// or the current format version when the index was built at startup.
+	snapVersion uint32
+
+	slowlog   *slowLog // nil: slow-query logging disabled
+	accessLog bool
+}
+
+// newServerState wires a state with defaults (no slowlog, no access log) —
+// the shape tests and the bench's in-process server use.
+func newServerState(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lifecycle.Thresholds) *serverState {
+	return &serverState{
+		idx:         idx,
+		compactor:   compactor,
+		th:          th,
+		start:       time.Now(),
+		snapVersion: snapshot.Version,
+	}
+}
+
+// registerIndexGauges (re-)registers the callback-backed index-health
+// gauges over st's index. Re-registration replaces the callbacks, so the
+// most recently started server (last test server, in-process bench server)
+// is the one the gauges describe.
+func registerIndexGauges(st *serverState) {
+	idx := st.idx
+	obs.NewGaugeFunc("coax_live_rows", "Live rows across all shards.",
+		func() float64 { return float64(idx.Len()) })
+	obs.NewGaugeFunc("coax_outlier_ratio", "Fraction of live rows in the outlier partitions.",
+		func() float64 { return idx.LifecycleStats().OutlierRatio })
+	obs.NewGaugeFunc("coax_tombstone_ratio", "Fraction of stored rows that are tombstones.",
+		func() float64 { return idx.LifecycleStats().TombstoneRatio })
+	obs.NewGaugeFunc("coax_index_epoch", "Sum of shard rebuild epochs (advances on every rebuild).",
+		func() float64 { return float64(idx.LifecycleStats().Epoch) })
+	obs.NewGaugeFunc("coax_memory_overhead_bytes", "Index directory overhead beyond row payload.",
+		func() float64 { return float64(idx.MemoryOverhead()) })
+	obs.NewGaugeFunc("coax_primary_pages", "Grid pages across all primary partitions.",
+		func() float64 {
+			var pages int
+			for i := 0; i < idx.NumShards(); i++ {
+				idx.WithShard(i, func(c *core.COAX) error {
+					if c.HasPrimary() {
+						pages += c.Primary().NumCells()
+					}
+					return nil
+				})
+			}
+			return float64(pages)
+		})
+	th := st.th
+	obs.NewGaugeFunc("coax_stale_shards", "Shards currently stale under the serving thresholds.",
+		func() float64 { return float64(len(idx.StaleShards(th))) })
+}
+
+// --- request middleware ---
+
+// statusWriter captures the response status for metrics and access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with the HTTP-plane metrics and, when enabled, a
+// per-request access log line on stderr.
+func (st *serverState) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		httpInflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, req)
+		elapsed := time.Since(start)
+		httpInflight.Add(-1)
+		httpRequests.Inc()
+		httpSeconds.Observe(elapsed.Seconds())
+		if sw.status >= 400 {
+			httpErrors.Inc()
+		}
+		if st.accessLog {
+			fmt.Fprintf(os.Stderr, "%s %s %s %d %v\n",
+				start.Format(time.RFC3339), req.Method, req.URL.Path, sw.status, elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+// --- slow-query log ---
+
+// slowEntry is one logged slow query: when it ran, how long it took, and
+// its full EXPLAIN report.
+type slowEntry struct {
+	At        time.Time     `json:"at"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Explain   *coax.Explain `json:"explain"`
+}
+
+// slowLog is a fixed-size ring buffer of the most recent slow queries.
+// Old entries are overwritten; Total keeps counting.
+type slowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	buf   []slowEntry
+	next  int
+	total int64
+}
+
+func newSlowLog(threshold time.Duration, size int) *slowLog {
+	if size <= 0 {
+		size = 128
+	}
+	return &slowLog{threshold: threshold, buf: make([]slowEntry, 0, size)}
+}
+
+// observe records exp when the query exceeded the threshold.
+func (l *slowLog) observe(exp *coax.Explain) {
+	if l == nil || exp == nil || exp.Elapsed < l.threshold {
+		return
+	}
+	slowQueries.Inc()
+	e := slowEntry{At: time.Now(), ElapsedMS: float64(exp.Elapsed) / float64(time.Millisecond), Explain: exp}
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % len(l.buf)
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// entries returns the logged queries, newest first.
+func (l *slowLog) entries() (out []slowEntry, total int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out = make([]slowEntry, 0, len(l.buf))
+	// The ring holds [next..end) then [0..next) in age order; walk it
+	// backwards for newest-first.
+	for i := 0; i < len(l.buf); i++ {
+		pos := (l.next - 1 - i + 2*len(l.buf)) % len(l.buf)
+		out = append(out, l.buf[pos])
+	}
+	return out, l.total
+}
+
+type slowlogResponse struct {
+	ThresholdMS float64     `json:"threshold_ms"`
+	Total       int64       `json:"total"`
+	Entries     []slowEntry `json:"entries"`
+}
+
+// --- endpoints ---
+
+// addObsEndpoints mounts the observability surface on mux: /metrics
+// (Prometheus text), /debug/vars (expvar), and /debug/slowlog.
+func addObsEndpoints(mux *http.ServeMux, st *serverState) {
+	obs.PublishExpvar()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default.WritePrometheus(w)
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+		if st.slowlog == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("slow-query log disabled; start with -slowlog-threshold"))
+			return
+		}
+		entries, total := st.slowlog.entries()
+		writeJSON(w, http.StatusOK, slowlogResponse{
+			ThresholdMS: float64(st.slowlog.threshold) / float64(time.Millisecond),
+			Total:       total,
+			Entries:     entries,
+		})
+	})
+}
+
+// newDebugMux builds the opt-in debug listener's handler: pprof, expvar,
+// metrics, and the slowlog. Handlers are mounted explicitly so nothing
+// leaks onto http.DefaultServeMux and nothing is served unless the
+// operator passed -debug-addr.
+func newDebugMux(st *serverState) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	addObsEndpoints(mux, st)
+	return mux
+}
+
+// serveUntilShutdown runs srv until it fails or ctx is cancelled (the
+// SIGINT/SIGTERM path), then drains in-flight requests for at most drain
+// before forcing the listener closed. A clean drain returns nil. ln may be
+// nil, in which case srv listens on its own Addr; tests pass an ephemeral
+// listener so they know the port.
+func serveUntilShutdown(srv *http.Server, ln net.Listener, ctx context.Context, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- srv.Serve(ln)
+		} else {
+			errc <- srv.ListenAndServe()
+		}
+	}()
+	select {
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "shutting down: draining in-flight requests (up to %v)\n", drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("drain timeout exceeded: %w", err)
+		}
+		return nil
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -9,12 +10,15 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/coax-index/coax/coax"
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/snapshot"
 )
 
 // defaultRowLimit bounds how many rows a query returns when the request
@@ -43,6 +47,12 @@ func cmdServe(args []string) error {
 		workers = fs.Int("workers", 0, "query fan-out workers (0: one per CPU)")
 		save    = fs.String("save", "", "persist the index as a sharded snapshot before serving")
 		sweep   = fs.Duration("compact-interval", 30*time.Second, "background compactor poll interval (0 disables self-healing; /compact still works)")
+
+		debugAddr = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this extra address (empty: disabled)")
+		slowThr   = fs.Duration("slowlog-threshold", 0, "log queries slower than this to /debug/slowlog with their EXPLAIN (0 disables)")
+		slowSize  = fs.Int("slowlog-size", 128, "slow-query ring-buffer capacity")
+		accessLog = fs.Bool("access-log", false, "log every request to stderr with status and latency")
+		drain     = fs.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
 	)
 	fs.Float64Var(&th.MaxOutlierRatio, "max-outlier-ratio", th.MaxOutlierRatio, "outlier fraction marking a shard stale")
 	fs.Float64Var(&th.MinOutlierGain, "min-outlier-gain", th.MinOutlierGain, "required outlier-ratio growth over the build-time baseline (guards against rebuild loops; 0 disables)")
@@ -70,16 +80,59 @@ func cmdServe(args []string) error {
 		defer compactor.Stop()
 	}
 
-	st := idx.BuildStats()
+	bst := idx.BuildStats()
 	fmt.Printf("serving %d rows × %d dims on %d %s shard(s) at %s (compactor: %v)\n",
-		st.Rows, st.Dims, st.Shards, st.Partition, *addr, *sweep)
+		bst.Rows, bst.Dims, bst.Shards, bst.Partition, *addr, *sweep)
+
+	st := newServerState(idx, compactor, th)
+	st.accessLog = *accessLog
+	if *slowThr > 0 {
+		st.slowlog = newSlowLog(*slowThr, *slowSize)
+	}
+	if *in != "" {
+		st.snapVersion = snapshotVersionOf(*in)
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           newDebugMux(st),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "debug endpoints (pprof, expvar, metrics) at %s\n", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServerMux(idx, compactor, th),
+		Handler:           newServerMux(st),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveUntilShutdown(srv, nil, ctx, *drain)
+}
+
+// snapshotVersionOf reads the format version of the snapshot at path,
+// falling back to the current version when the header cannot be read (the
+// index was still loaded, so serving proceeds; only the reported version
+// degrades).
+func snapshotVersionOf(path string) uint32 {
+	f, err := os.Open(path)
+	if err != nil {
+		return snapshot.Version
+	}
+	defer f.Close()
+	info, err := snapshot.Inspect(f)
+	if err != nil {
+		return snapshot.Version
+	}
+	return info.Version
 }
 
 // openIndex loads a sharded snapshot, wraps a single-index snapshot into a
@@ -279,13 +332,42 @@ func (q *rectRequest) limit() int {
 	return *q.Limit
 }
 
-// newServerMux wires the HTTP surface over idx. ShardedIndex is safe for
-// fully concurrent use, so handlers need no extra locking.
-func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lifecycle.Thresholds) *http.ServeMux {
-	mux := http.NewServeMux()
+// healthzResponse is the verbose /healthz body.
+type healthzResponse struct {
+	Status          string  `json:"status"`
+	Epoch           uint64  `json:"epoch"`
+	StaleShards     int     `json:"stale_shards"`
+	SnapshotVersion uint32  `json:"snapshot_version"`
+	Rows            int     `json:"rows"`
+	Shards          int     `json:"shards"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+}
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// newServerMux wires the HTTP surface over the server state. ShardedIndex
+// is safe for fully concurrent use, so handlers need no extra locking. The
+// returned handler carries the request-metrics middleware, so everything a
+// test or the bench drives through it lands in the HTTP metric families.
+func newServerMux(st *serverState) http.Handler {
+	idx, compactor, th := st.idx, st.compactor, st.th
+	registerIndexGauges(st)
+	mux := http.NewServeMux()
+	addObsEndpoints(mux, st)
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("verbose") != "1" {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+		life := idx.LifecycleStats()
+		writeJSON(w, http.StatusOK, healthzResponse{
+			Status:          "ok",
+			Epoch:           life.Epoch,
+			StaleShards:     len(idx.StaleShards(th)),
+			SnapshotVersion: st.snapVersion,
+			Rows:            idx.Len(),
+			Shards:          idx.NumShards(),
+			UptimeSeconds:   time.Since(st.start).Seconds(),
+		})
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
@@ -342,7 +424,7 @@ func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lif
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := runQuery(idx, req, r, q.limit(), q.Early)
+		resp, err := runQuery(st, req, r, q.limit(), q.Early)
 		if err != nil {
 			// The request context is the only error source here: the
 			// client is gone, so there is nobody to answer.
@@ -380,7 +462,7 @@ func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lif
 		if explainRequested(req) || early {
 			resp := batchResponse{Results: make([]queryResponse, len(rects))}
 			for i := range rects {
-				res, err := runQuery(idx, req, rects[i], limits[i], b.Queries[i].Early)
+				res, err := runQuery(st, req, rects[i], limits[i], b.Queries[i].Early)
 				if err != nil {
 					return // client gone
 				}
@@ -458,7 +540,7 @@ func newServerMux(idx *coax.ShardedIndex, compactor *lifecycle.Compactor, th lif
 		writeJSON(w, http.StatusOK, resp)
 	})
 
-	return mux
+	return st.instrument(mux)
 }
 
 // writeMutationError maps engine errors to HTTP statuses: invalid rows are
@@ -484,20 +566,24 @@ func explainRequested(req *http.Request) bool {
 // runQuery answers one rectangle through the v2 engine: the request
 // context cancels an in-flight fan-out when the client disconnects, and
 // early mode stops the scan once limit rows are found instead of counting
-// every match. The returned error is non-nil only on cancellation.
-func runQuery(idx *coax.ShardedIndex, req *http.Request, r coax.Rect, limit int, early bool) (queryResponse, error) {
+// every match. The returned error is non-nil only on cancellation. When
+// the slow-query log is armed, every query runs with EXPLAIN so a slow one
+// can be logged with its full execution report; the report only reaches
+// the response when the client asked for it.
+func runQuery(st *serverState, req *http.Request, r coax.Rect, limit int, early bool) (queryResponse, error) {
 	// Stable() makes retained rows private copies; for the sharded engine
 	// that guarantee is free (its merge boundary copies anyway), so this
 	// does not add a second copy per row.
 	q := coax.FromRect(r).WithContext(req.Context()).Stable()
-	if explainRequested(req) {
+	wantExplain := explainRequested(req)
+	if wantExplain || st.slowlog != nil {
 		q.WithExplain()
 	}
 	if early && limit > 0 {
 		q.Limit(limit)
 	}
 	var resp queryResponse
-	res, err := q.Run(idx, func(row []float64) bool {
+	res, err := q.Run(st.idx, func(row []float64) bool {
 		resp.Count++
 		if limit < 0 || len(resp.Rows) < limit {
 			resp.Rows = append(resp.Rows, row) // stable: rows are private copies
@@ -507,7 +593,10 @@ func runQuery(idx *coax.ShardedIndex, req *http.Request, r coax.Rect, limit int,
 	if err != nil {
 		return resp, err
 	}
-	resp.Explain = res.Explain
+	st.slowlog.observe(res.Explain)
+	if wantExplain {
+		resp.Explain = res.Explain
+	}
 	return resp, nil
 }
 

@@ -11,6 +11,7 @@
 //	coaxgen -dataset osm -n 10000000 -stream | coaxstore build -csv - -sample 50000
 //	coaxstore buildbench -rows 200000 -json BENCH_build.json -guard
 //	coaxstore info -in osm.coax
+//	coaxstore info -in osm.coax -metrics   # health gauges, same names as coaxserve /metrics
 //	coaxstore query -in osm.coax -min '_,0,40,-75' -max '_,5000,41,-74'
 //	coaxstore query -in osm.coax -min '_,60,_,_' -max '_,90,_,_' -limit 5
 //	coaxstore explain -in flights.coax -where airtime:60:90
@@ -23,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/snapshot"
 )
 
@@ -71,7 +74,8 @@ func usage() {
 
 subcommands:
   build    build a COAX index and save it as a snapshot
-  info     describe a snapshot file (format frame + index stats)
+  info     describe a snapshot file (format frame + index stats);
+           -metrics adds the health gauges in Prometheus text form
   query    answer a range/point query from a snapshot
   explain  run a query and report how it executed: soft-FD constraint
            translation, primary/outlier scan split, pages and rows touched
@@ -276,6 +280,7 @@ func loadTable(csvPath, ds string, rows int, seed int64) (*coax.Table, error) {
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "index.coax", "snapshot path")
+	metrics := fs.Bool("metrics", false, "also print the index-health gauges in Prometheus text form, under the same series names coaxserve exports at /metrics")
 	fs.Parse(args)
 
 	f, err := os.Open(*in)
@@ -307,7 +312,31 @@ func cmdInfo(args []string) error {
 	}
 	fmt.Printf("  directory overhead: primary %dB, outlier %dB, models %dB\n",
 		s.PrimaryOverheadB, s.OutlierOverheadB, s.ModelOverheadB)
+	if *metrics {
+		fmt.Println()
+		writeOfflineMetrics(os.Stdout, idx)
+	}
 	return nil
+}
+
+// writeOfflineMetrics renders the loaded snapshot's health gauges with the
+// exact series names coaxserve exports live, so an offline inspection and a
+// /metrics scrape can be compared name for name. A fresh registry keeps
+// this scoped to the snapshot at hand.
+func writeOfflineMetrics(w io.Writer, idx *coax.Index) {
+	reg := obs.NewRegistry()
+	life := idx.LifecycleStats()
+	reg.Gauge("coax_live_rows", "Live rows across all shards.").Set(float64(idx.Len()))
+	reg.Gauge("coax_outlier_ratio", "Fraction of live rows in the outlier partitions.").Set(life.OutlierRatio)
+	reg.Gauge("coax_tombstone_ratio", "Fraction of stored rows that are tombstones.").Set(life.TombstoneRatio)
+	reg.Gauge("coax_index_epoch", "Sum of shard rebuild epochs (advances on every rebuild).").Set(float64(life.Epoch))
+	reg.Gauge("coax_memory_overhead_bytes", "Index directory overhead beyond row payload.").Set(float64(idx.MemoryOverhead()))
+	pages := 0
+	if idx.HasPrimary() {
+		pages = idx.Primary().NumCells()
+	}
+	reg.Gauge("coax_primary_pages", "Grid pages across all primary partitions.").Set(float64(pages))
+	reg.WritePrometheus(w)
 }
 
 func cmdQuery(args []string) error {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/coax-index/coax/coax"
@@ -22,8 +25,27 @@ func TestBuildInfoQueryBench(t *testing.T) {
 	if _, err := os.Stat(snap); err != nil {
 		t.Fatalf("snapshot missing: %v", err)
 	}
-	if err := cmdInfo([]string{"-in", snap}); err != nil {
+	if err := cmdInfo([]string{"-in", snap, "-metrics"}); err != nil {
 		t.Fatalf("info: %v", err)
+	}
+	// The offline metric rendering uses the exact series names coaxserve
+	// exports at /metrics, so the two views can be diffed name for name.
+	idx, err := coax.LoadFile(snap)
+	if err != nil {
+		t.Fatalf("reloading snapshot: %v", err)
+	}
+	var prom bytes.Buffer
+	writeOfflineMetrics(&prom, idx)
+	for _, series := range []string{
+		"coax_live_rows", "coax_outlier_ratio", "coax_tombstone_ratio",
+		"coax_index_epoch", "coax_memory_overhead_bytes", "coax_primary_pages",
+	} {
+		if !strings.Contains(prom.String(), "# TYPE "+series+" gauge") {
+			t.Errorf("offline metrics missing %s:\n%s", series, prom.String())
+		}
+	}
+	if !strings.Contains(prom.String(), fmt.Sprintf("coax_live_rows %d", idx.Len())) {
+		t.Errorf("coax_live_rows disagrees with the index (%d rows):\n%s", idx.Len(), prom.String())
 	}
 	// Constrain the timestamp (a dependent column): answering requires the
 	// persisted soft-FD models, not a re-detection.

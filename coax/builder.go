@@ -26,9 +26,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"time"
 
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/softfd"
 	"github.com/coax-index/coax/internal/stats"
@@ -218,6 +221,10 @@ type Builder struct {
 	opt        Options
 	sampleSize int
 	progress   func(BuildProgress)
+	// track is the per-build metrics observer. Build/BuildSharded set it on
+	// a private copy of the builder, so the caller's Builder stays free of
+	// per-build state and sequential reuse keeps working.
+	track *buildObs
 }
 
 // NewBuilder creates a builder over schema. Categorical columns are merged
@@ -237,11 +244,97 @@ func (b *Builder) SampleSize(n int) *Builder { b.sampleSize = n; return b }
 // the building goroutine; keep it cheap.
 func (b *Builder) Progress(fn func(BuildProgress)) *Builder { b.progress = fn; return b }
 
-// report invokes the progress callback, if any.
+// report invokes the progress callback, if any, and feeds the build-plane
+// metrics observer.
 func (b *Builder) report(phase string, rows, total int) {
+	b.track.observe(phase)
 	if b.progress != nil {
 		b.progress(BuildProgress{Phase: phase, Rows: rows, Total: total})
 	}
+}
+
+// instrumented returns the builder to run a build with: a private copy
+// carrying a fresh metrics observer when instrumentation is on, the
+// receiver itself otherwise.
+func (b *Builder) instrumented() *Builder {
+	if !obs.On() {
+		return b
+	}
+	cp := *b
+	cp.track = &buildObs{start: time.Now()}
+	return &cp
+}
+
+// buildObs accumulates one build's metrics: per-phase durations (cut at
+// phase transitions seen by report), a periodically sampled peak-heap
+// reading during the place phase, and the end-to-end totals flushed by
+// finish. Builds run on one goroutine, so no locking is needed.
+type buildObs struct {
+	start      time.Time
+	phase      string
+	phaseStart time.Time
+	peakHeap   uint64
+	chunks     int
+}
+
+// heapSampleEvery is how many place-phase progress reports (chunks) pass
+// between runtime.ReadMemStats samples — the reading briefly stops the
+// world, so it must not run per chunk.
+const heapSampleEvery = 16
+
+func (o *buildObs) observe(phase string) {
+	if o == nil {
+		return
+	}
+	now := time.Now()
+	if phase != o.phase {
+		o.flushPhase(now)
+		o.phase, o.phaseStart = phase, now
+		o.chunks = 0
+	}
+	o.chunks++
+	if phase == "place" && o.chunks%heapSampleEvery == 1 {
+		o.sampleHeap()
+	}
+}
+
+func (o *buildObs) flushPhase(now time.Time) {
+	if o.phase == "" {
+		return
+	}
+	if h := obs.BuildPhase(o.phase); h != nil {
+		h.Observe(now.Sub(o.phaseStart).Seconds())
+	}
+}
+
+func (o *buildObs) sampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > o.peakHeap {
+		o.peakHeap = ms.HeapAlloc
+	}
+}
+
+// finish flushes the observer after a successful build. sampleLen/-Budget
+// describe the sampling reservoir (budget ≤ 0: the build did not sample).
+func (o *buildObs) finish(rows, sampleLen, sampleBudget int) {
+	if o == nil {
+		return
+	}
+	o.sampleHeap()
+	o.flushPhase(time.Now())
+	o.phase = ""
+	obs.Builds.Inc()
+	obs.BuildRows.Add(int64(rows))
+	obs.BuildSeconds.Observe(time.Since(o.start).Seconds())
+	if sampleBudget > 0 {
+		fill := float64(sampleLen) / float64(sampleBudget)
+		if fill > 1 {
+			fill = 1
+		}
+		obs.BuildReservoir.Set(fill)
+	}
+	obs.BuildPeakHeap.Set(float64(o.peakHeap))
 }
 
 // prepare validates the source against the schema and returns the
@@ -360,6 +453,7 @@ func (b *Builder) samplePhase(src RowSource, opt Options, names []string) (*samp
 
 // Build constructs a single COAX index from src.
 func (b *Builder) Build(src RowSource) (*Index, error) {
+	b = b.instrumented()
 	opt, names, err := b.prepare(src)
 	if err != nil {
 		return nil, err
@@ -370,7 +464,11 @@ func (b *Builder) Build(src RowSource) (*Index, error) {
 			return nil, err
 		}
 		b.report("place", t.Len(), t.Len())
-		return core.Build(t, opt)
+		idx, err := core.Build(t, opt)
+		if err == nil {
+			b.track.finish(t.Len(), 0, 0)
+		}
+		return idx, err
 	}
 
 	sp, err := b.samplePhase(src, opt, names)
@@ -379,7 +477,11 @@ func (b *Builder) Build(src RowSource) (*Index, error) {
 	}
 	if sp.whole {
 		b.report("place", sp.sample.Len(), sp.sample.Len())
-		return core.Build(sp.sample, opt)
+		idx, err := core.Build(sp.sample, opt)
+		if err == nil {
+			b.track.finish(sp.sample.Len(), sp.sample.Len(), b.sampleSize)
+		}
+		return idx, err
 	}
 
 	totalHint := sp.total
@@ -395,13 +497,18 @@ func (b *Builder) Build(src RowSource) (*Index, error) {
 		return nil, err
 	}
 	b.report("finish", sb.Rows(), sb.Rows())
-	return sb.Finish()
+	idx, err := sb.Finish()
+	if err == nil {
+		b.track.finish(sb.Rows(), sp.sample.Len(), b.sampleSize)
+	}
+	return idx, err
 }
 
 // BuildSharded constructs a sharded COAX index from src, routing chunks to
 // per-shard streaming builders on a worker pool — the whole table is never
 // held in one place.
 func (b *Builder) BuildSharded(src RowSource, so ShardOptions) (*ShardedIndex, error) {
+	b = b.instrumented()
 	opt, names, err := b.prepare(src)
 	if err != nil {
 		return nil, err
@@ -412,7 +519,11 @@ func (b *Builder) BuildSharded(src RowSource, so ShardOptions) (*ShardedIndex, e
 			return nil, err
 		}
 		b.report("place", t.Len(), t.Len())
-		return shard.Build(t, opt, so)
+		idx, err := shard.Build(t, opt, so)
+		if err == nil {
+			b.track.finish(t.Len(), 0, 0)
+		}
+		return idx, err
 	}
 
 	sp, err := b.samplePhase(src, opt, names)
@@ -421,7 +532,11 @@ func (b *Builder) BuildSharded(src RowSource, so ShardOptions) (*ShardedIndex, e
 	}
 	if sp.whole {
 		b.report("place", sp.sample.Len(), sp.sample.Len())
-		return shard.Build(sp.sample, opt, so)
+		idx, err := shard.Build(sp.sample, opt, so)
+		if err == nil {
+			b.track.finish(sp.sample.Len(), sp.sample.Len(), b.sampleSize)
+		}
+		return idx, err
 	}
 
 	totalHint := sp.total
@@ -436,7 +551,11 @@ func (b *Builder) BuildSharded(src RowSource, so ShardOptions) (*ShardedIndex, e
 		return nil, err
 	}
 	b.report("finish", sb.Rows(), sb.Rows())
-	return sb.Finish()
+	idx, err := sb.Finish()
+	if err == nil {
+		b.track.finish(sb.Rows(), sp.sample.Len(), b.sampleSize)
+	}
+	return idx, err
 }
 
 // placePhase streams the prefix (if any) and the remainder of src through

@@ -3,10 +3,12 @@ package coax
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
 	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/shard"
 )
 
@@ -45,6 +47,9 @@ type Explain struct {
 	// both are zero when a single index answered.
 	ShardsProbed int `json:"shards_probed"`
 	ShardsPruned int `json:"shards_pruned"`
+	// Shards breaks the fan-out down per probed shard — one timed span per
+	// probe, sorted by shard ordinal. Empty when a single index answered.
+	Shards []ShardSpan `json:"shards,omitempty"`
 
 	// RowsEmitted counts rows delivered to the caller's visitor.
 	RowsEmitted int `json:"rows_emitted"`
@@ -70,6 +75,18 @@ type ProbeStats struct {
 	// TombstonesFiltered is the number of deleted rows skipped at the
 	// visitor boundary.
 	TombstonesFiltered int64 `json:"tombstones_filtered"`
+}
+
+// ShardSpan is the timed record of one shard probe inside a fan-out.
+type ShardSpan struct {
+	// Shard names the probe ("shard-03").
+	Shard string `json:"shard"`
+	// Elapsed is the probe's wall time (lock acquisition through scan
+	// completion), in nanoseconds on the wire.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Pages and RowsScanned count that shard's share of the work.
+	Pages       int64 `json:"pages"`
+	RowsScanned int64 `json:"rows_scanned"`
 }
 
 // TranslationStep records one dependent-constraint translation: the query
@@ -166,6 +183,25 @@ func (e *Explain) fromShard(rep *shard.Report) {
 	e.ShardsPruned = rep.ShardsPruned
 }
 
+// fromTrace folds the fan-out's per-shard spans into the report, sorted by
+// shard name (spans arrive in completion order, which is not stable).
+func (e *Explain) fromTrace(t *obs.Trace) {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	e.Shards = make([]ShardSpan, 0, len(spans))
+	for _, sp := range spans {
+		e.Shards = append(e.Shards, ShardSpan{
+			Shard:       sp.Name,
+			Elapsed:     sp.Elapsed,
+			Pages:       sp.Pages,
+			RowsScanned: sp.Rows,
+		})
+	}
+	sort.Slice(e.Shards, func(i, j int) bool { return e.Shards[i].Shard < e.Shards[j].Shard })
+}
+
 // String renders the report for terminals (coaxstore explain).
 func (e *Explain) String() string {
 	var b strings.Builder
@@ -187,6 +223,10 @@ func (e *Explain) String() string {
 	}
 	if e.ShardsProbed+e.ShardsPruned > 0 {
 		fmt.Fprintf(&b, "shards: %d probed, %d pruned\n", e.ShardsProbed, e.ShardsPruned)
+	}
+	for _, sp := range e.Shards {
+		fmt.Fprintf(&b, "  %s: %d pages, %d rows scanned, %v\n",
+			sp.Shard, sp.Pages, sp.RowsScanned, sp.Elapsed.Round(time.Microsecond))
 	}
 	part := func(label string, probed bool, p ProbeStats) {
 		if !probed {

@@ -19,6 +19,7 @@ import (
 
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/shard"
 )
 
@@ -270,28 +271,44 @@ func (q *Query) Run(idx Querier, visit Yield) (Result, error) {
 		return true
 	}
 
+	// Sharded executions count their own query metrics inside shard.Exec
+	// (that layer also answers the legacy batch path, so it owns the
+	// counters); the single-index and generic paths are counted here — the
+	// only layer that sees those queries whole.
+	track := obs.On()
+	var crep *core.ProbeReport
+
 	start := time.Now()
 	switch ix := idx.(type) {
 	case *ShardedIndex:
 		var rep *shard.Report
 		if exp != nil {
 			rep = &shard.Report{}
+			// A trace turns the EXPLAIN's shard totals into a per-shard
+			// breakdown: each fan-out worker records one timed span.
+			spec.Trace = obs.NewTrace()
 		}
 		res.Complete = ix.Exec(r, spec, yield, rep)
 		if exp != nil {
 			exp.fromShard(rep)
+			exp.fromTrace(spec.Trace)
 		}
 	case *Index:
-		var rep *core.ProbeReport
-		if exp != nil {
-			rep = &core.ProbeReport{}
+		if exp != nil || track {
+			crep = &core.ProbeReport{}
 		}
-		res.Complete = ix.Exec(r, spec, yield, rep)
+		res.Complete = ix.Exec(r, spec, yield, crep)
 		if exp != nil {
-			exp.fromCore(rep)
+			exp.fromCore(crep)
+		}
+		if track {
+			q.observe(start, res, crep)
 		}
 	default:
 		res.Complete = runGeneric(idx, r, spec, yield)
+		if track {
+			q.observe(start, res, nil)
+		}
 	}
 	if exp != nil {
 		exp.Elapsed = time.Since(start)
@@ -308,6 +325,21 @@ func (q *Query) Run(idx Querier, visit Yield) (Result, error) {
 		return res, q.ctx.Err()
 	}
 	return res, nil
+}
+
+// observe records one finished non-sharded execution in the query-plane
+// metrics. crep may be nil (generic path: no probe report exists).
+func (q *Query) observe(start time.Time, res Result, crep *core.ProbeReport) {
+	obs.Queries.Inc()
+	obs.QuerySeconds.Observe(time.Since(start).Seconds())
+	obs.QueryRows.Add(int64(res.Rows))
+	switch {
+	case q.ctx != nil && q.ctx.Err() != nil:
+		obs.QueryCancelled.Inc()
+	case !res.Complete:
+		obs.EarlyStops.Inc()
+	}
+	core.ObserveProbe(crep)
 }
 
 // runGeneric executes the plan against a plain Querier that offers only

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/obs"
 )
 
 // Query execution v2: the stop-aware, instrumented entry points behind the
@@ -62,6 +63,28 @@ func (p *ProbeReport) Add(o *ProbeReport) {
 	p.OutlierProbed = p.OutlierProbed || o.OutlierProbed
 	p.Primary.Add(o.Primary)
 	p.Outlier.Add(o.Outlier)
+}
+
+// ObserveProbe folds one finished probe's report into the package-level
+// scan metrics. It lives here — not in obs — because obs must stay
+// import-free of the engine packages; every layer that owns a complete
+// query (shard fan-out, legacy batch path, the public single-index path)
+// calls it once per underlying ProbeReport. Callers gate on obs.On().
+func ObserveProbe(rep *ProbeReport) {
+	if rep == nil {
+		return
+	}
+	obs.ScanPagesPrimary.Add(rep.Primary.Pages)
+	obs.ScanPagesOutlier.Add(rep.Outlier.Pages)
+	obs.ScanRowsPrimary.Add(rep.Primary.Scanned)
+	obs.ScanRowsOutlier.Add(rep.Outlier.Scanned)
+	obs.ScanTombstones.Add(rep.Primary.Tombstones + rep.Outlier.Tombstones)
+	obs.Translations.Add(int64(len(rep.Translations)))
+	for _, tr := range rep.Translations {
+		if !tr.Feasible {
+			obs.TranslationsInfeas.Inc()
+		}
+	}
 }
 
 // Scan implements index.Interface over Exec.

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/gridfile"
 	"github.com/coax-index/coax/internal/index"
 	"github.com/coax-index/coax/internal/lifecycle"
+	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/rtree"
 	"github.com/coax-index/coax/internal/softfd"
 )
@@ -54,6 +56,12 @@ func (c *COAX) Insert(row []float64) error {
 	}
 	c.tracker.ObserveInsert(outlier)
 	c.observeResiduals(row)
+	if obs.On() {
+		obs.Inserts.Inc()
+		if outlier {
+			obs.InsertOutliers.Inc()
+		}
+	}
 	return nil
 }
 
@@ -70,6 +78,9 @@ func (c *COAX) Delete(row []float64) error {
 		return err
 	}
 	c.tracker.ObserveDelete()
+	if obs.On() {
+		obs.Deletes.Inc()
+	}
 	return nil
 }
 
@@ -100,6 +111,9 @@ func (c *COAX) Update(old, new []float64) error {
 	}
 	c.tracker.ObserveUpdate()
 	c.observeResiduals(new)
+	if obs.On() {
+		obs.Updates.Inc()
+	}
 	return nil
 }
 
@@ -184,11 +198,20 @@ type deleter interface {
 // the primary grid and, when the outliers live in a grid file, the outlier
 // index too (R-tree outliers delete in place and need no compaction).
 func (c *COAX) Compact() {
+	track := obs.On()
+	var start time.Time
+	if track {
+		start = time.Now()
+	}
 	if c.primary != nil {
 		c.primary.Compact()
 	}
 	if g, ok := c.outliers.(*gridfile.GridFile); ok {
 		g.Compact()
+	}
+	if track {
+		obs.Compactions.Inc()
+		obs.CompactSeconds.Observe(time.Since(start).Seconds())
 	}
 }
 

@@ -1,6 +1,10 @@
 package index
 
-import "context"
+import (
+	"context"
+
+	"github.com/coax-index/coax/internal/obs"
+)
 
 // Visitor receives one matching row per call. It is the legacy
 // run-to-completion contract; new code should use Yield, whose return value
@@ -79,6 +83,10 @@ type Spec struct {
 	// fan-out) use it to propagate their shared stop flag into per-shard
 	// scans so even match-free probes notice a stop promptly.
 	Abort func() bool
+	// Trace, when non-nil, collects per-unit timing spans as the query
+	// executes (one span per shard probe in the sharded engine). Engines
+	// that do not decompose a query into units may ignore it.
+	Trace *obs.Trace
 }
 
 // Done reports whether the spec's context has been cancelled.

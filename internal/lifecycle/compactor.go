@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/coax-index/coax/internal/obs"
 )
 
 // Rebuildable is the surface the background compactor drives. It is
@@ -138,7 +140,17 @@ func (c *Compactor) ForceSweep() (res SweepResult, ok bool) {
 	c.mu.Lock()
 	c.last = res
 	c.mu.Unlock()
+	c.observeSweep(res)
 	return res, true
+}
+
+// observeSweep records one completed sweep in the lifecycle metrics.
+func (c *Compactor) observeSweep(res SweepResult) {
+	if !obs.On() {
+		return
+	}
+	obs.CompactorSweeps.Inc()
+	obs.CompactorLast.Set(float64(res.At.Unix()))
 }
 
 // Sweep finds the stale shards and rebuilds each, recording the result.
@@ -160,5 +172,6 @@ func (c *Compactor) Sweep() SweepResult {
 	c.mu.Lock()
 	c.last = res
 	c.mu.Unlock()
+	c.observeSweep(res)
 	return res
 }

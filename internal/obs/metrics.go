@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// The repository's metric families, one var block per instrumented plane.
+// Everything lives in the Default registry; families that split by constant
+// label (partition, phase) register one series per value so the hot path
+// never formats labels. Ordering inside a block is ordering on the
+// /metrics page.
+
+// Query plane — updated by internal/shard (fan-out and legacy batch paths)
+// and by coax.Query.Run for single-index and generic execution. Queries are
+// counted exactly once, at the layer that owns the whole query: shard.Exec,
+// shard.BatchQuery, or coax.Run — never in core, which shards invoke once
+// per probed shard.
+var (
+	Queries        = NewCounter("coax_queries_total", "Queries executed (all paths: streaming, batch, generic).")
+	QuerySeconds   = NewHistogram("coax_query_seconds", "End-to-end query latency in seconds.", 1e-6, 10)
+	BatchSeconds   = NewHistogram("coax_batch_seconds", "End-to-end batch latency in seconds (one observation per BatchQuery call).", 1e-6, 10)
+	QueryRows      = NewCounter("coax_query_rows_total", "Rows delivered to query callers.")
+	EarlyStops     = NewCounter("coax_query_early_stops_total", "Queries stopped early by a met limit or a declining visitor.")
+	QueryCancelled = NewCounter("coax_query_cancelled_total", "Queries stopped by context cancellation.")
+
+	ShardScanSeconds = NewHistogram("coax_shard_scan_seconds", "Per-shard probe latency in seconds.", 1e-7, 10)
+	ShardsProbed     = NewCounter("coax_shards_probed_total", "Shard probes issued by fan-outs.")
+	ShardsPruned     = NewCounter("coax_shards_pruned_total", "Shards skipped by fan-out range pruning.")
+
+	ScanPagesPrimary   = NewCounter("coax_scan_pages_total", "Index pages touched by scans.", Label{"partition", "primary"})
+	ScanPagesOutlier   = NewCounter("coax_scan_pages_total", "Index pages touched by scans.", Label{"partition", "outlier"})
+	ScanRowsPrimary    = NewCounter("coax_scan_rows_total", "Rows examined by scans (before residual filtering).", Label{"partition", "primary"})
+	ScanRowsOutlier    = NewCounter("coax_scan_rows_total", "Rows examined by scans (before residual filtering).", Label{"partition", "outlier"})
+	ScanTombstones     = NewCounter("coax_scan_tombstones_total", "Tombstoned rows skipped by scans.")
+	Translations       = NewCounter("coax_translations_total", "Soft-FD constraint translations performed.")
+	TranslationsInfeas = NewCounter("coax_translations_infeasible_total", "Translations yielding an empty predictor interval (query answered from the outlier partition alone).")
+)
+
+// Mutation plane — updated by internal/core on successful mutations (the
+// serving layer counts rejected mutations separately, so validation
+// failures are not double-counted here).
+var (
+	Inserts        = NewCounter("coax_inserts_total", "Rows inserted (engine-level: includes delta-log replay during rebuilds; subtract coax_rebuild_replay_ops for the caller-facing rate).")
+	Deletes        = NewCounter("coax_deletes_total", "Rows deleted (engine-level: includes delta-log replay during rebuilds).")
+	Updates        = NewCounter("coax_updates_total", "Rows updated.")
+	InsertOutliers = NewCounter("coax_insert_outliers_total", "Inserted rows placed in the outlier partition (model miss).")
+	Compactions    = NewCounter("coax_compactions_total", "In-place compactions (delta merge + tombstone drop).")
+	CompactSeconds = NewHistogram("coax_compact_seconds", "In-place compaction latency in seconds.", 1e-6, 100)
+)
+
+// Lifecycle plane — updated by internal/shard's epoch-swap rebuild and by
+// the lifecycle compactor's sweeps.
+var (
+	Rebuilds         = NewCounter("coax_rebuilds_total", "Online epoch-swap shard rebuilds completed.")
+	RebuildFailures  = NewCounter("coax_rebuild_failures_total", "Shard rebuilds that failed and kept the old epoch serving.")
+	RebuildSeconds   = NewHistogram("coax_rebuild_seconds", "Epoch-swap rebuild duration in seconds (collect + build + replay).", 1e-3, 1000)
+	RebuildReplayOps = NewHistogram("coax_rebuild_replay_ops", "Delta-log operations replayed into the new epoch at swap time.", 1, 1e7)
+	CompactorSweeps  = NewCounter("coax_compactor_sweeps_total", "Background compactor sweeps completed.")
+	CompactorLast    = NewGauge("coax_compactor_last_sweep_timestamp_seconds", "Unix time of the last completed compactor sweep.")
+)
+
+// Build plane — updated by the coax.Builder pipeline.
+var (
+	Builds           = NewCounter("coax_builds_total", "Index builds completed.")
+	BuildRows        = NewCounter("coax_build_rows_total", "Rows ingested by index builds.")
+	BuildSeconds     = NewHistogram("coax_build_seconds", "End-to-end build duration in seconds.", 1e-3, 10000)
+	BuildPhaseSample = NewHistogram("coax_build_phase_seconds", "Per-phase build duration in seconds.", 1e-4, 10000, Label{"phase", "sample"})
+	BuildPhaseDetect = NewHistogram("coax_build_phase_seconds", "Per-phase build duration in seconds.", 1e-4, 10000, Label{"phase", "detect"})
+	BuildPhasePlace  = NewHistogram("coax_build_phase_seconds", "Per-phase build duration in seconds.", 1e-4, 10000, Label{"phase", "place"})
+	BuildPhaseFinish = NewHistogram("coax_build_phase_seconds", "Per-phase build duration in seconds.", 1e-4, 10000, Label{"phase", "finish"})
+	BuildReservoir   = NewGauge("coax_build_reservoir_fill_ratio", "Fraction of the sampling reservoir filled by the last build's sample phase.")
+	BuildPeakHeap    = NewGauge("coax_build_peak_heap_bytes", "Peak heap (runtime.MemStats.HeapAlloc) sampled during the last build's place phase.")
+)
+
+// BuildPhase returns the per-phase build histogram for a Builder phase
+// name, or nil for an unknown phase.
+func BuildPhase(phase string) *Histogram {
+	switch phase {
+	case "sample":
+		return BuildPhaseSample
+	case "detect":
+		return BuildPhaseDetect
+	case "place":
+		return BuildPhasePlace
+	case "finish":
+		return BuildPhaseFinish
+	}
+	return nil
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the Default registry under the expvar key
+// "coax". Safe to call more than once; the expvar variable re-snapshots on
+// every read.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("coax", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}

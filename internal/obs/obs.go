@@ -1,0 +1,470 @@
+// Package obs is the repository's zero-dependency observability layer: a
+// concurrent metrics registry (atomic counters, gauges, and log-linear-
+// bucket histograms with quantile snapshots) plus a lightweight per-query
+// trace context (trace.go). Every hot plane — query, mutation/lifecycle,
+// and build — updates the package-level families declared in metrics.go;
+// cmd/coaxserve exposes the default registry as GET /metrics (Prometheus
+// text exposition format) and expvar, and cmd/coaxstore renders the same
+// names offline from a snapshot.
+//
+// Design constraints, in order: the hot path pays only atomic increments
+// (no locks, no allocation, no formatting); the whole layer can be switched
+// off with SetEnabled so its cost is measurable rather than asserted; and
+// nothing outside the standard library is imported, so every internal
+// package can depend on obs without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// disabled is the global kill switch, inverted so the zero value means
+// enabled. Instrumentation sites poll On() before doing any work beyond an
+// atomic load, which is what makes the serve bench's instrumented-versus-
+// uninstrumented overhead comparison honest.
+var disabled atomic.Bool
+
+// On reports whether instrumentation is enabled (the default).
+func On() bool { return !disabled.Load() }
+
+// SetEnabled switches the whole layer on or off. Metrics keep their values
+// while disabled; they just stop advancing.
+func SetEnabled(v bool) { disabled.Store(!v) }
+
+// Label is one constant key="value" pair attached to a metric at
+// registration — how one family (say coax_scan_pages_total) splits into
+// per-partition series without any hot-path label handling.
+type Label struct {
+	Key, Value string
+}
+
+// kind discriminates the exposition TYPE of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is the registry's view of one series.
+type metric interface {
+	describe() (name, help string, k kind, labels []Label)
+	// writeSamples appends the series' exposition lines to b.
+	writeSamples(b *strings.Builder)
+	// snapshotValue returns the expvar/JSON-friendly value of the series.
+	snapshotValue() any
+}
+
+// Registry holds an ordered set of metrics. The package-level constructors
+// register on Default; cmd/coaxstore builds throwaway registries to render
+// snapshot stats offline under the same names.
+type Registry struct {
+	mu      sync.RWMutex
+	ordered []metric
+	byKey   map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]metric)}
+}
+
+// Default is the registry every package-level family lives in.
+var Default = NewRegistry()
+
+// seriesKey uniquely identifies one series: family name plus rendered
+// labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + renderLabels(labels, "") + "}"
+}
+
+// register adds m, or returns the already-registered series with the same
+// name and labels. Re-registering a name under a different metric kind is a
+// programming error and panics: two packages would be fighting over one
+// exposition family.
+func (r *Registry) register(name string, labels []Label, m metric) metric {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		_, _, prevKind, _ := prev.describe()
+		_, _, newKind, _ := m.describe()
+		if prevKind != newKind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", key, newKind, prevKind))
+		}
+		return prev
+	}
+	r.byKey[key] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP/# TYPE header per family,
+// then the samples. Families registered consecutively share one header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ordered := append([]metric(nil), r.ordered...)
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range ordered {
+		name, help, k, _ := m.describe()
+		if name != lastFamily {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, k)
+			lastFamily = name
+		}
+		m.writeSamples(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns every series' current value keyed by name{labels} —
+// counters as int64, gauges as float64, histograms as a sub-map with
+// count/sum/p50/p95/p99. This is what expvar publishes.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.ordered))
+	for _, m := range r.ordered {
+		name, _, _, labels := m.describe()
+		out[seriesKey(name, labels)] = m.snapshotValue()
+	}
+	return out
+}
+
+// renderLabels formats labels (plus an optional pre-rendered extra pair,
+// for the histogram le bound) as a comma-separated list.
+func renderLabels(labels []Label, extra string) string {
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		parts = append(parts, l.Key+`="`+escapeLabel(l.Value)+`"`)
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	return strings.Join(parts, ",")
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// sampleName renders name{labels} for one sample line.
+func sampleName(name string, labels []Label, extra string) string {
+	l := renderLabels(labels, extra)
+	if l == "" {
+		return name
+	}
+	return name + "{" + l + "}"
+}
+
+// --- Counter ---
+
+// Counter is a monotonically increasing atomic int64.
+type Counter struct {
+	name, help string
+	labels     []Label
+	v          atomic.Int64
+}
+
+// NewCounter registers (or fetches) a counter on the Default registry.
+func NewCounter(name, help string, labels ...Label) *Counter {
+	return Default.Counter(name, help, labels...)
+}
+
+// Counter registers (or fetches) a counter on r.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{name: name, help: help, labels: labels}
+	return r.register(name, labels, c).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; they are not checked on the
+// hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) describe() (string, string, kind, []Label) {
+	return c.name, c.help, kindCounter, c.labels
+}
+
+func (c *Counter) writeSamples(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", sampleName(c.name, c.labels, ""), c.v.Load())
+}
+
+func (c *Counter) snapshotValue() any { return c.v.Load() }
+
+// --- Gauge ---
+
+// Gauge is an atomic float64 value, optionally backed by a callback
+// evaluated at read time (for values derived from live structures, like
+// outlier ratios — the scrape pays the cost, not the mutation path).
+type Gauge struct {
+	name, help string
+	labels     []Label
+	bits       atomic.Uint64
+
+	fnMu sync.RWMutex
+	fn   func() float64
+}
+
+// NewGauge registers (or fetches) a settable gauge on the Default registry.
+func NewGauge(name, help string, labels ...Label) *Gauge {
+	return Default.Gauge(name, help, labels...)
+}
+
+// Gauge registers (or fetches) a settable gauge on r.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{name: name, help: help, labels: labels}
+	return r.register(name, labels, g).(*Gauge)
+}
+
+// NewGaugeFunc registers a callback-backed gauge on the Default registry.
+// Re-registering the same series replaces the callback — the latest live
+// structure (say, a freshly started server's index) wins.
+func NewGaugeFunc(name, help string, fn func() float64, labels ...Label) *Gauge {
+	return Default.GaugeFunc(name, help, fn, labels...)
+}
+
+// GaugeFunc registers a callback-backed gauge on r.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *Gauge {
+	g := &Gauge{name: name, help: help, labels: labels}
+	got := r.register(name, labels, g).(*Gauge)
+	got.fnMu.Lock()
+	got.fn = fn
+	got.fnMu.Unlock()
+	return got
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the stored value.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the callback's result when one is installed, the stored
+// value otherwise.
+func (g *Gauge) Value() float64 {
+	g.fnMu.RLock()
+	fn := g.fn
+	g.fnMu.RUnlock()
+	if fn != nil {
+		return fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) describe() (string, string, kind, []Label) {
+	return g.name, g.help, kindGauge, g.labels
+}
+
+func (g *Gauge) writeSamples(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", sampleName(g.name, g.labels, ""), formatFloat(g.Value()))
+}
+
+func (g *Gauge) snapshotValue() any { return g.Value() }
+
+// --- Histogram ---
+
+// Histogram is a concurrent log-linear-bucket histogram: bucket boundaries
+// follow a 1-2-5 series across decades (1µs, 2µs, 5µs, 10µs, …), so
+// relative error is bounded everywhere in the range without per-histogram
+// tuning. Observations are three atomic operations — a bucket increment, a
+// count increment, and a CAS float add to the sum — and snapshots read the
+// atomics without stopping writers.
+type Histogram struct {
+	name, help string
+	labels     []Label
+	bounds     []float64 // ascending upper bounds; one overflow bucket past the end
+	buckets    []atomic.Int64
+	count      atomic.Int64
+	sumBits    atomic.Uint64
+}
+
+// LogLinearBounds builds the 1-2-5 boundary series covering [min, max].
+// min and max are clamped to positive values and rounded outward to their
+// decades.
+func LogLinearBounds(min, max float64) []float64 {
+	if !(min > 0) {
+		min = 1e-9
+	}
+	if max < min {
+		max = min
+	}
+	emin := int(math.Floor(math.Log10(min) + 1e-9))
+	emax := int(math.Ceil(math.Log10(max) - 1e-9))
+	var out []float64
+	for e := emin; e <= emax; e++ {
+		for _, m := range [...]float64{1, 2, 5} {
+			b := m * math.Pow(10, float64(e))
+			if b > max*(1+1e-9) && len(out) > 0 {
+				return out
+			}
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// NewHistogram registers (or fetches) a histogram on the Default registry
+// with log-linear buckets spanning [min, max].
+func NewHistogram(name, help string, min, max float64, labels ...Label) *Histogram {
+	return Default.Histogram(name, help, min, max, labels...)
+}
+
+// Histogram registers (or fetches) a histogram on r.
+func (r *Registry) Histogram(name, help string, min, max float64, labels ...Label) *Histogram {
+	bounds := LogLinearBounds(min, max)
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		labels:  labels,
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	return r.register(name, labels, h).(*Histogram)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; overflow lands past the end
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time summary of a histogram.
+type HistSnapshot struct {
+	Count         int64   `json:"count"`
+	Sum           float64 `json:"sum"`
+	P50, P95, P99 float64 `json:"-"`
+}
+
+// Snapshot summarises the histogram without stopping writers. Because
+// buckets and count are read non-atomically as a group, a snapshot taken
+// mid-observation may be off by the in-flight observations — fine for
+// monitoring, and the price of a lock-free hot path.
+func (h *Histogram) Snapshot() HistSnapshot {
+	counts := make([]int64, len(h.buckets))
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, Sum: math.Float64frombits(h.sumBits.Load())}
+	if total == 0 {
+		return s
+	}
+	s.P50 = quantileFromBuckets(h.bounds, counts, total, 0.50)
+	s.P95 = quantileFromBuckets(h.bounds, counts, total, 0.95)
+	s.P99 = quantileFromBuckets(h.bounds, counts, total, 0.99)
+	return s
+}
+
+// quantileFromBuckets finds q by walking the cumulative distribution and
+// interpolating linearly inside the target bucket. The overflow bucket
+// reports the last finite bound — a histogram cannot see past its range.
+func quantileFromBuckets(bounds []float64, counts []int64, total int64, q float64) float64 {
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		return lo + (hi-lo)*(target-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
+func (h *Histogram) describe() (string, string, kind, []Label) {
+	return h.name, h.help, kindHistogram, h.labels
+}
+
+func (h *Histogram) writeSamples(b *strings.Builder) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s %d\n",
+			sampleName(h.name+"_bucket", h.labels, `le="`+formatFloat(bound)+`"`), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s %d\n", sampleName(h.name+"_bucket", h.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s %s\n", sampleName(h.name+"_sum", h.labels, ""),
+		formatFloat(math.Float64frombits(h.sumBits.Load())))
+	fmt.Fprintf(b, "%s %d\n", sampleName(h.name+"_count", h.labels, ""), cum)
+}
+
+func (h *Histogram) snapshotValue() any {
+	s := h.Snapshot()
+	return map[string]any{
+		"count": s.Count, "sum": s.Sum, "p50": s.P50, "p95": s.P95, "p99": s.P99,
+	}
+}
+
+// formatFloat renders a float for the exposition format.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}

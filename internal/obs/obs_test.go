@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_counter", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	// Idempotent registration returns the same series.
+	if again := r.Counter("t_counter", "help"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if again := r.Counter("t_counter", "help", Label{"k", "v"}); again == c {
+		t.Fatal("different labels must be a different series")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("t_gauge", "help")
+	g.Set(1.5)
+	g.Add(1.0)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("Value = %g, want 2.5", got)
+	}
+	gf := r.GaugeFunc("t_gauge_fn", "help", func() float64 { return 7 })
+	if got := gf.Value(); got != 7 {
+		t.Fatalf("GaugeFunc Value = %g, want 7", got)
+	}
+	// Re-registering a GaugeFunc replaces the callback.
+	r.GaugeFunc("t_gauge_fn", "help", func() float64 { return 9 })
+	if got := gf.Value(); got != 9 {
+		t.Fatalf("GaugeFunc after replace = %g, want 9", got)
+	}
+}
+
+func TestLogLinearBounds(t *testing.T) {
+	b := LogLinearBounds(1e-6, 10)
+	if len(b) == 0 {
+		t.Fatal("no bounds")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending: %v", b)
+		}
+	}
+	if b[0] > 1e-6 {
+		t.Fatalf("first bound %g does not cover min 1e-6", b[0])
+	}
+	if b[len(b)-1] < 10 {
+		t.Fatalf("last bound %g does not cover max 10", b[len(b)-1])
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_hist", "help", 1, 1000)
+	// Uniform 1..1000: p50 ≈ 500, p99 ≈ 990. Log-linear buckets bound the
+	// relative error by the bucket width, so allow a loose band.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if want := 500500.0; math.Abs(s.Sum-want) > 1e-6 {
+		t.Fatalf("Sum = %g, want %g", s.Sum, want)
+	}
+	if s.P50 < 300 || s.P50 > 700 {
+		t.Fatalf("P50 = %g, want ~500", s.P50)
+	}
+	if s.P99 < 800 || s.P99 > 1100 {
+		t.Fatalf("P99 = %g, want ~990", s.P99)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotone: p50=%g p95=%g p99=%g", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_hist_over", "help", 1, 10)
+	h.Observe(1e9) // far past the last bound: lands in the overflow bucket
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	var b strings.Builder
+	h.writeSamples(&b)
+	out := b.String()
+	if !strings.Contains(out, `le="+Inf"`+"} 1") && !strings.Contains(out, `le="+Inf"} 1`) {
+		t.Fatalf("overflow observation missing from +Inf bucket:\n%s", out)
+	}
+}
+
+// TestConcurrentHammer updates counters, gauges, and a histogram from many
+// goroutines while snapshots run concurrently, then checks the exact final
+// totals. Run under -race this is the data-race test the issue asks for.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_hammer_counter", "help")
+	g := r.Gauge("t_hammer_gauge", "help")
+	h := r.Histogram("t_hammer_hist", "help", 1e-6, 10)
+
+	const goroutines = 16
+	const ops = 5000
+
+	var wg sync.WaitGroup
+	stopSnap := make(chan struct{})
+	// Concurrent snapshotters: read while writers write.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopSnap:
+					return
+				default:
+					_ = h.Snapshot()
+					_ = c.Value()
+					_ = r.Snapshot()
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for j := 0; j < ops; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%1000) * 1e-5)
+			}
+		}(i)
+	}
+	writers.Wait()
+	close(stopSnap)
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*ops {
+		t.Fatalf("counter = %d, want %d", got, goroutines*ops)
+	}
+	if got := g.Value(); got != goroutines*ops {
+		t.Fatalf("gauge = %g, want %d", got, goroutines*ops)
+	}
+	if got := h.Snapshot().Count; got != goroutines*ops {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*ops)
+	}
+}
+
+// TestPrometheusFormat checks the exposition-format invariants: HELP/TYPE
+// per family (once, even with multiple labelled series), cumulative
+// monotone histogram buckets, +Inf bucket equal to _count.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_fmt_counter", "counter help")
+	c.Add(3)
+	r.Counter("t_fmt_labelled", "labelled", Label{"partition", "primary"}).Add(1)
+	r.Counter("t_fmt_labelled", "labelled", Label{"partition", "outlier"}).Add(2)
+	g := r.Gauge("t_fmt_gauge", "gauge help")
+	g.Set(0.25)
+	h := r.Histogram("t_fmt_hist", "hist help", 1, 100)
+	for _, v := range []float64{0.5, 3, 42, 9000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP t_fmt_counter counter help\n",
+		"# TYPE t_fmt_counter counter\n",
+		"t_fmt_counter 3\n",
+		"# TYPE t_fmt_labelled counter\n",
+		`t_fmt_labelled{partition="primary"} 1` + "\n",
+		`t_fmt_labelled{partition="outlier"} 2` + "\n",
+		"# TYPE t_fmt_gauge gauge\n",
+		"t_fmt_gauge 0.25\n",
+		"# TYPE t_fmt_hist histogram\n",
+		"t_fmt_hist_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE t_fmt_labelled counter\n"); n != 1 {
+		t.Errorf("TYPE header for labelled family appears %d times, want 1", n)
+	}
+
+	// Histogram buckets must be cumulative and monotone, with +Inf == count.
+	var last int64 = -1
+	var inf int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "t_fmt_hist_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not monotone at %q", line)
+		}
+		last = v
+		if strings.Contains(line, `le="+Inf"`) {
+			inf = v
+		}
+	}
+	if inf != 4 {
+		t.Fatalf("+Inf bucket = %d, want 4", inf)
+	}
+}
+
+func TestEnableSwitch(t *testing.T) {
+	if !On() {
+		t.Fatal("obs should be enabled by default")
+	}
+	SetEnabled(false)
+	if On() {
+		t.Fatal("SetEnabled(false) did not disable")
+	}
+	SetEnabled(true)
+	if !On() {
+		t.Fatal("SetEnabled(true) did not re-enable")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_kind", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("t_kind", "help")
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.AddSpan(fmt.Sprintf("shard-%02d", i), 0, int64(i), int64(i*2))
+		}(i)
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("got %d spans, want 8", len(spans))
+	}
+	// nil traces are inert.
+	var nilTrace *Trace
+	nilTrace.AddSpan("x", 0, 0, 0)
+	if nilTrace.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight per-query trace: instrumented layers append named
+// spans (one per shard probe, typically) as the query executes, and the
+// caller reads them back once the query finishes — EXPLAIN renders them as
+// a per-shard breakdown. A Trace is opt-in: query paths only touch it when
+// the caller attached one to the index.Spec, so the default path pays a
+// single nil check.
+type Trace struct {
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one timed unit of work inside a query.
+type Span struct {
+	Name    string        `json:"name"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Pages   int64         `json:"pages"`
+	Rows    int64         `json:"rows"`
+}
+
+// NewTrace starts a trace clocked from now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// AddSpan records one completed unit of work. Safe for concurrent use —
+// shard workers append from their own goroutines.
+func (t *Trace) AddSpan(name string, elapsed time.Duration, pages, rows int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Elapsed: elapsed, Pages: pages, Rows: rows})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in arrival order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Elapsed is the time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}

@@ -3,8 +3,10 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/coax-index/coax/internal/lifecycle"
+	"github.com/coax-index/coax/internal/obs"
 )
 
 // Online epoch-swap rebuild. A shard whose drift counters mark it stale is
@@ -38,6 +40,12 @@ func (s *Sharded) RebuildShard(i int) error {
 	}
 	defer slot.rebuilding.Store(false)
 
+	track := obs.On()
+	var rebuildStart time.Time
+	if track {
+		rebuildStart = time.Now()
+	}
+
 	// Phase 1 — install the delta log and collect the live rows under one
 	// read lock. Holding it excludes every mutator for the whole critical
 	// section, so no mutation can slip between the log's creation and the
@@ -57,6 +65,9 @@ func (s *Sharded) RebuildShard(i int) error {
 		slot.mu.Lock()
 		slot.delta = nil
 		slot.mu.Unlock()
+		if track {
+			obs.RebuildFailures.Inc()
+		}
 		return err
 	}
 
@@ -65,12 +76,21 @@ func (s *Sharded) RebuildShard(i int) error {
 	// applied to it, so nothing is lost).
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
+	replayOps := slot.delta.Len()
 	err = slot.delta.Replay(next.Insert, next.Delete)
 	slot.delta = nil
 	if err != nil {
+		if track {
+			obs.RebuildFailures.Inc()
+		}
 		return fmt.Errorf("shard %d: %w", i, err)
 	}
 	slot.idx = next
+	if track {
+		obs.Rebuilds.Inc()
+		obs.RebuildSeconds.Observe(time.Since(rebuildStart).Seconds())
+		obs.RebuildReplayOps.Observe(float64(replayOps))
+	}
 	return nil
 }
 

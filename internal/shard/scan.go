@@ -1,11 +1,14 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/obs"
 )
 
 // Query execution v2 for the sharded engine. Unlike the legacy
@@ -72,9 +75,31 @@ func (s *Sharded) Scan(r index.Rect, yield index.Yield, probe *index.Probe) bool
 // report. Exec reports whether the scan ran to completion (false: stopped
 // early by yield or cancellation).
 func (s *Sharded) Exec(r index.Rect, spec index.Spec, yield index.Yield, rep *Report) bool {
+	// This layer owns the whole query, so it is where queries are counted
+	// exactly once (core.Exec runs once per probed shard and must not
+	// count). With instrumentation on, per-shard reports are created even
+	// when the caller asked for none, so page/row/translation counters are
+	// fed from the same ProbeReport plumbing EXPLAIN uses.
+	track := obs.On()
+	var start time.Time
+	var delivered int64
+	if track {
+		start = time.Now()
+		obs.Queries.Inc()
+		inner := yield
+		yield = func(row []float64) bool {
+			delivered++
+			return inner(row)
+		}
+	}
+
 	if r.Empty() {
 		if rep != nil {
 			rep.ShardsPruned = len(s.shards)
+		}
+		if track {
+			obs.ShardsPruned.Add(int64(len(s.shards)))
+			obs.QuerySeconds.Observe(time.Since(start).Seconds())
 		}
 		return true
 	}
@@ -99,7 +124,7 @@ func (s *Sharded) Exec(r index.Rect, spec index.Spec, yield index.Yield, rep *Re
 	}
 
 	var reps []*core.ProbeReport
-	if rep != nil {
+	if rep != nil || track || spec.Trace != nil {
 		reps = make([]*core.ProbeReport, probes)
 		for i := range reps {
 			reps[i] = &core.ProbeReport{}
@@ -107,13 +132,29 @@ func (s *Sharded) Exec(r index.Rect, spec index.Spec, yield index.Yield, rep *Re
 	}
 
 	complete := s.execStream(r, spec, yield, reps, &stop, lo, hi)
-	if spec.Done() {
+	cancelled := spec.Done()
+	if cancelled {
 		complete = false
 	}
 
 	if rep != nil {
 		for _, crep := range reps {
 			rep.Core.Add(crep)
+		}
+	}
+	if track {
+		obs.QuerySeconds.Observe(time.Since(start).Seconds())
+		obs.QueryRows.Add(delivered)
+		obs.ShardsProbed.Add(int64(probes))
+		obs.ShardsPruned.Add(int64(len(s.shards) - probes))
+		switch {
+		case cancelled:
+			obs.QueryCancelled.Inc()
+		case !complete:
+			obs.EarlyStops.Inc()
+		}
+		for _, crep := range reps {
+			core.ObserveProbe(crep)
 		}
 	}
 	return complete
@@ -144,6 +185,7 @@ func (s *Sharded) execStream(r index.Rect, spec index.Spec, yield index.Yield, r
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			track := obs.On()
 			for si := range work {
 				var crep *core.ProbeReport
 				if reps != nil {
@@ -156,6 +198,10 @@ func (s *Sharded) execStream(r index.Rect, spec index.Spec, yield index.Yield, r
 					default:
 						pending = append(pending, buf)
 					}
+				}
+				var probeStart time.Time
+				if track || spec.Trace != nil {
+					probeStart = time.Now()
 				}
 				slot := s.shards[si]
 				slot.mu.RLock()
@@ -182,6 +228,17 @@ func (s *Sharded) execStream(r index.Rect, spec index.Spec, yield index.Yield, r
 					flush(buf)
 				}
 				slot.mu.RUnlock()
+				if track || spec.Trace != nil {
+					elapsed := time.Since(probeStart)
+					if track {
+						obs.ShardScanSeconds.Observe(elapsed.Seconds())
+					}
+					if spec.Trace != nil && crep != nil {
+						spec.Trace.AddSpan(fmt.Sprintf("shard-%02d", si), elapsed,
+							crep.Primary.Pages+crep.Outlier.Pages,
+							crep.Primary.Scanned+crep.Outlier.Scanned)
+					}
+				}
 				// Deliver what the non-blocking sends could not; no lock is
 				// held now, and the caller drains until close, so these
 				// sends always terminate. A raised stop flag means the

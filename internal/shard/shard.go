@@ -44,11 +44,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
 	"github.com/coax-index/coax/internal/lifecycle"
+	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/softfd"
 )
 
@@ -539,6 +541,19 @@ func (s *Sharded) Query(r index.Rect, visit index.Visitor) {
 // goroutine. Rows handed to visit are stable copies. Every query of the
 // batch is answered exactly, including duplicates and empty rectangles.
 func (s *Sharded) BatchQuery(rs []index.Rect, visit BatchVisitor) {
+	// The batch path owns its queries end to end, so it counts them here
+	// (one per rectangle) and observes one batch latency per call; the
+	// per-probe page/row counters are folded in runTask.
+	track := obs.On()
+	var start time.Time
+	if track {
+		start = time.Now()
+		obs.Queries.Add(int64(len(rs)))
+		defer func() {
+			obs.BatchSeconds.Observe(time.Since(start).Seconds())
+		}()
+	}
+
 	tasks := make([]task, 0, len(rs))
 	for qi, r := range rs {
 		if r.Empty() {
@@ -548,6 +563,10 @@ func (s *Sharded) BatchQuery(rs []index.Rect, visit BatchVisitor) {
 		for si := lo; si <= hi; si++ {
 			tasks = append(tasks, task{qi: qi, si: si})
 		}
+	}
+	if track {
+		obs.ShardsProbed.Add(int64(len(tasks)))
+		obs.ShardsPruned.Add(int64(len(rs)*len(s.shards) - len(tasks)))
 	}
 	if len(tasks) == 0 {
 		return
@@ -597,10 +616,15 @@ func (s *Sharded) BatchQuery(rs []index.Rect, visit BatchVisitor) {
 	// Merge: tasks were appended in (qi, si) order, so delivery is
 	// deterministic. Full-capacity sub-slices keep a retaining visitor from
 	// reaching neighbouring rows through append.
+	var delivered int64
 	for _, t := range tasks {
 		for o := 0; o+s.dims <= len(t.rows); o += s.dims {
 			visit(t.qi, t.rows[o:o+s.dims:o+s.dims])
+			delivered++
 		}
+	}
+	if track {
+		obs.QueryRows.Add(delivered)
 	}
 }
 
@@ -608,12 +632,24 @@ func (s *Sharded) BatchQuery(rs []index.Rect, visit BatchVisitor) {
 // task's buffer — the merge-boundary copy that makes the delivered slices
 // stable.
 func (s *Sharded) runTask(rs []index.Rect, t *task) {
+	track := obs.On()
+	var crep *core.ProbeReport
+	var start time.Time
+	if track {
+		crep = &core.ProbeReport{}
+		start = time.Now()
+	}
 	slot := s.shards[t.si]
 	slot.mu.RLock()
-	slot.idx.Query(rs[t.qi], func(row []float64) {
+	slot.idx.Exec(rs[t.qi], index.Spec{}, func(row []float64) bool {
 		t.rows = append(t.rows, row...)
-	})
+		return true
+	}, crep)
 	slot.mu.RUnlock()
+	if track {
+		obs.ShardScanSeconds.Observe(time.Since(start).Seconds())
+		core.ObserveProbe(crep)
+	}
 }
 
 // Stats summarises the sharded build.
