@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"github.com/coax-index/coax/internal/dataset"
 	"github.com/coax-index/coax/internal/index"
 	"github.com/coax-index/coax/internal/obs"
+	"github.com/coax-index/coax/internal/serve"
 	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/softfd"
 	"github.com/coax-index/coax/internal/workload"
@@ -52,6 +54,7 @@ type serveReport struct {
 	Serial     runReport       `json:"serial"`
 	Runs       []runReport     `json:"runs"`
 	Obs        *obsBenchReport `json:"obs,omitempty"`
+	HotKey     *hotKeyReport   `json:"hotkey,omitempty"`
 }
 
 // obsBenchReport measures what the observability layer costs: the same
@@ -61,6 +64,24 @@ type obsBenchReport struct {
 	DisabledP50us float64 `json:"disabled_p50_us"`
 	EnabledP50us  float64 `json:"enabled_p50_us"`
 	OverheadPct   float64 `json:"overhead_pct"`
+}
+
+// hotKeyReport measures what the result cache buys on a hot-key workload: a
+// zipfian draw over a small pool of distinct rectangles (skew s≈1.2, the
+// classic hot-key shape) is answered twice with the identical request
+// sequence — straight through the engine, then through the serving-tier
+// cache. Answers must match exactly; the speedup and hit rate are the
+// serving-tier headline numbers CI tracks.
+type hotKeyReport struct {
+	DistinctRects int     `json:"distinct_rects"`
+	Requests      int     `json:"requests"`
+	ZipfS         float64 `json:"zipf_s"`
+	UncachedQPS   float64 `json:"uncached_qps"`
+	UncachedP99us float64 `json:"uncached_p99_us"`
+	CachedQPS     float64 `json:"cached_qps"`
+	CachedP99us   float64 `json:"cached_p99_us"`
+	HitRate       float64 `json:"hit_rate"`
+	Speedup       float64 `json:"speedup_vs_uncached"`
 }
 
 func cmdBench(args []string) error {
@@ -158,6 +179,14 @@ func cmdBench(args []string) error {
 	rep.Obs = measureObsOverhead(obsIdx, rects)
 	fmt.Printf("obs overhead: p50 %.1fµs instrumented vs %.1fµs off (%+.2f%%)\n",
 		rep.Obs.EnabledP50us, rep.Obs.DisabledP50us, rep.Obs.OverheadPct)
+
+	rep.HotKey, err = measureHotKey(obsIdx, rects)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hot-key sweep: cached %.0f qps vs uncached %.0f qps (%.1fx, hit rate %.0f%%, %d rects, zipf s=%.1f)\n",
+		rep.HotKey.CachedQPS, rep.HotKey.UncachedQPS, rep.HotKey.Speedup,
+		rep.HotKey.HitRate*100, rep.HotKey.DistinctRects, rep.HotKey.ZipfS)
 
 	if *metricsCheck || *metricsDump != "" {
 		if err := runMetricsCheck(obsIdx, *metricsCheck, *metricsDump, rects); err != nil {
@@ -290,6 +319,81 @@ func measureObsOverhead(s *shard.Sharded, rects []index.Rect) *obsBenchReport {
 		r.OverheadPct = (on.P50us - off.P50us) / off.P50us * 100
 	}
 	return r
+}
+
+// measureHotKey times the identical zipfian request sequence through the
+// bare engine and through the result cache. Counts only (the limit-0 wire
+// shape), so both passes do the same scan work on a miss and the comparison
+// isolates what caching saves. Returns an error when the two passes
+// disagree on any answer — a cached result may be faster, never different.
+func measureHotKey(s *shard.Sharded, rects []index.Rect) (*hotKeyReport, error) {
+	const (
+		poolSize = 64
+		requests = 4000
+		zipfS    = 1.2
+	)
+	pool := rects[:min(poolSize, len(rects))]
+	rng := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(pool)-1))
+	seq := make([]int, requests)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+	count := func(r index.Rect) int {
+		n := 0
+		s.Query(r, func([]float64) { n++ })
+		return n
+	}
+	warmup(func(r index.Rect) { count(r) }, pool)
+
+	uncachedAns := make([]int, requests)
+	lat := make([]time.Duration, requests)
+	t0 := time.Now()
+	for i, qi := range seq {
+		q0 := time.Now()
+		uncachedAns[i] = count(pool[qi])
+		lat[i] = time.Since(q0)
+	}
+	uncachedTotal := time.Since(t0)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep := &hotKeyReport{
+		DistinctRects: len(pool),
+		Requests:      requests,
+		ZipfS:         zipfS,
+		UncachedQPS:   float64(requests) / uncachedTotal.Seconds(),
+		UncachedP99us: us(percentile(lat, 0.99)),
+	}
+
+	qc := serve.NewQueryCache(s, 4096)
+	keys := make([]string, len(pool))
+	for i, r := range pool {
+		keys[i] = serve.Key(r, 0, false)
+	}
+	lat = make([]time.Duration, requests)
+	t0 = time.Now()
+	for i, qi := range seq {
+		q0 := time.Now()
+		r := pool[qi]
+		v, _, err := qc.Do(keys[qi], r, func() (any, error) { return count(r), nil })
+		if err != nil {
+			return nil, err
+		}
+		lat[i] = time.Since(q0)
+		if v.(int) != uncachedAns[i] {
+			return nil, fmt.Errorf("hot-key sweep: request %d answered %d cached vs %d uncached", i, v.(int), uncachedAns[i])
+		}
+	}
+	cachedTotal := time.Since(t0)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.CachedQPS = float64(requests) / cachedTotal.Seconds()
+	rep.CachedP99us = us(percentile(lat, 0.99))
+	if st := qc.Stats(); st.Hits+st.Misses > 0 {
+		rep.HitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	if uncachedTotal > 0 && cachedTotal > 0 {
+		rep.Speedup = uncachedTotal.Seconds() / cachedTotal.Seconds()
+	}
+	return rep, nil
 }
 
 // runMetricsCheck stands up the real serving mux on a loopback listener,

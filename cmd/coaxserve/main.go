@@ -6,6 +6,7 @@
 //	coaxserve serve -dataset osm -rows 500000 -shards 8 -addr :8080 -save osm-sharded.coax
 //	coaxserve serve -in osm-sharded.coax -compact-interval 30s
 //	coaxserve serve -in osm-sharded.coax -debug-addr :6060 -slowlog-threshold 50ms -access-log
+//	coaxserve serve -in osm-sharded.coax -cache-size 8192 -max-inflight 64 -queue-timeout 100ms
 //	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json -metrics-check
 //	coaxserve mutbench -rows 200000 -shards 4 -json BENCH_mutation.json
 //
@@ -30,10 +31,12 @@
 //	POST /query    {"min":[...],"max":[...],"limit":100} — null bounds are
 //	               unconstrained; responds {"count":N,"rows":[[...],...]}.
 //	               "early":true stops the scan once limit rows are found
-//	               (count then equals rows returned); ?explain=true adds an
-//	               execution report (soft-FD constraint translation,
-//	               primary/outlier scan split, shards pruned, wall time).
-//	               NaN, inverted, or wrong-dimension bounds are a 400.
+//	               (count then equals rows returned) and requires a positive
+//	               limit — "early" with limit ≤ 0 is a 400; ?explain=true
+//	               adds an execution report (soft-FD constraint translation,
+//	               primary/outlier scan split, shards pruned, wall time) and
+//	               bypasses the result cache. NaN, inverted, or
+//	               wrong-dimension bounds are a 400.
 //	POST /batch    {"queries":[{...},...]} — one fan-out for the whole
 //	               batch (?explain=true or "early" run per-query instead)
 //	POST /insert   {"row":[...]} — routes the row to its shard
@@ -44,6 +47,16 @@
 // A background compactor (-compact-interval) polls the same staleness
 // thresholds and rebuilds drifted shards automatically — the self-healing
 // loop; queries keep being served from the old epoch during every rebuild.
+//
+// The serving tier hardens /query and /batch (internal/serve): -cache-size
+// bounds a sharded-LRU result cache keyed on the canonicalized rectangle
+// and invalidated by per-shard mutation versions — a cached answer is never
+// stale; identical concurrent /query misses coalesce onto one engine
+// fan-out. -max-inflight caps concurrently executing queries: excess
+// requests wait in a bounded queue (-max-queue, -queue-timeout) and are
+// shed with 429 + Retry-After when it overflows or the deadline passes.
+// /stats reports cache hit/eviction and admission shed counters alongside
+// the matching /metrics families.
 //
 // -debug-addr serves net/http/pprof, expvar, and /metrics on a second
 // listener kept off the query port. -access-log writes one line per request

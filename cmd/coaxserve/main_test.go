@@ -225,6 +225,15 @@ func TestBenchSmoke(t *testing.T) {
 	if rep.Obs == nil || rep.Obs.EnabledP50us <= 0 || rep.Obs.DisabledP50us <= 0 {
 		t.Errorf("obs overhead section missing or empty: %+v", rep.Obs)
 	}
+	if rep.HotKey == nil {
+		t.Fatal("hotkey section missing")
+	}
+	if rep.HotKey.CachedQPS <= 0 || rep.HotKey.UncachedQPS <= 0 || rep.HotKey.Requests <= 0 {
+		t.Errorf("hotkey section empty: %+v", *rep.HotKey)
+	}
+	if rep.HotKey.HitRate <= 0.5 {
+		t.Errorf("hot-key hit rate %.2f — the zipfian pool should hit far more than half", rep.HotKey.HitRate)
+	}
 	dump, err := os.ReadFile(prom)
 	if err != nil {
 		t.Fatalf("-metrics-dump wrote nothing: %v", err)

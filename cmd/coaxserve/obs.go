@@ -22,16 +22,18 @@ import (
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/obs"
+	"github.com/coax-index/coax/internal/serve"
 	"github.com/coax-index/coax/internal/snapshot"
 )
 
 // HTTP-plane metric families.
 var (
-	httpRequests = obs.NewCounter("coax_http_requests_total", "HTTP requests served.")
-	httpErrors   = obs.NewCounter("coax_http_errors_total", "HTTP responses with a 4xx or 5xx status.")
-	httpSeconds  = obs.NewHistogram("coax_http_request_seconds", "HTTP request latency in seconds.", 1e-5, 60)
-	httpInflight = obs.NewGauge("coax_http_inflight_requests", "HTTP requests currently being served.")
-	slowQueries  = obs.NewCounter("coax_slow_queries_total", "Queries slower than the slow-query threshold.")
+	httpRequests   = obs.NewCounter("coax_http_requests_total", "HTTP requests served.")
+	httpErrors     = obs.NewCounter("coax_http_errors_total", "HTTP responses with a 4xx or 5xx status.")
+	httpRespErrors = obs.NewCounter("coax_http_response_errors_total", "Responses whose body failed to encode or send after the status was committed.")
+	httpSeconds    = obs.NewHistogram("coax_http_request_seconds", "HTTP request latency in seconds.", 1e-5, 60)
+	httpInflight   = obs.NewGauge("coax_http_inflight_requests", "HTTP requests currently being served.")
+	slowQueries    = obs.NewCounter("coax_slow_queries_total", "Queries slower than the slow-query threshold.")
 )
 
 // serverState carries everything the HTTP handlers share: the index and its
@@ -48,6 +50,12 @@ type serverState struct {
 
 	slowlog   *slowLog // nil: slow-query logging disabled
 	accessLog bool
+
+	// Serving-tier hardening; either may be nil (layer disabled). The
+	// zero-value state serves correctly without them — tests and the bench
+	// opt in per scenario.
+	qcache *serve.QueryCache
+	adm    *serve.Admission
 }
 
 // newServerState wires a state with defaults (no slowlog, no access log) —

@@ -17,6 +17,7 @@ import (
 	"github.com/coax-index/coax/coax"
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/lifecycle"
+	"github.com/coax-index/coax/internal/serve"
 	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/snapshot"
 )
@@ -53,6 +54,11 @@ func cmdServe(args []string) error {
 		slowSize  = fs.Int("slowlog-size", 128, "slow-query ring-buffer capacity")
 		accessLog = fs.Bool("access-log", false, "log every request to stderr with status and latency")
 		drain     = fs.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+
+		cacheSize    = fs.Int("cache-size", 4096, "result-cache capacity in entries; hot repeated queries are answered from cache until a mutation invalidates them (0 disables caching and coalescing)")
+		maxInflight  = fs.Int("max-inflight", 0, "admission control: queries executing concurrently before new ones queue (0 disables)")
+		maxQueue     = fs.Int("max-queue", -1, "admission control: requests allowed to wait for a slot before shedding with 429 (-1: twice -max-inflight)")
+		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "admission control: longest a queued request waits for a slot before shedding with 429")
 	)
 	fs.Float64Var(&th.MaxOutlierRatio, "max-outlier-ratio", th.MaxOutlierRatio, "outlier fraction marking a shard stale")
 	fs.Float64Var(&th.MinOutlierGain, "min-outlier-gain", th.MinOutlierGain, "required outlier-ratio growth over the build-time baseline (guards against rebuild loops; 0 disables)")
@@ -92,6 +98,16 @@ func cmdServe(args []string) error {
 	if *in != "" {
 		st.snapVersion = snapshotVersionOf(*in)
 	}
+	if *cacheSize > 0 {
+		st.qcache = serve.NewQueryCache(idx, *cacheSize)
+	}
+	if *maxInflight > 0 {
+		q := *maxQueue
+		if q < 0 {
+			q = 2 * *maxInflight
+		}
+		st.adm = serve.NewAdmission(*maxInflight, q, *queueTimeout)
+	}
 
 	if *debugAddr != "" {
 		dbg := &http.Server{
@@ -118,19 +134,21 @@ func cmdServe(args []string) error {
 	return serveUntilShutdown(srv, nil, ctx, *drain)
 }
 
-// snapshotVersionOf reads the format version of the snapshot at path,
-// falling back to the current version when the header cannot be read (the
-// index was still loaded, so serving proceeds; only the reported version
-// degrades).
+// snapshotVersionOf reads the format version of the snapshot at path, or 0
+// ("unknown") when the header cannot be read. Reporting the current format
+// version here would claim knowledge the server does not have — an operator
+// checking /healthz after a format migration would see the new version even
+// for a file whose header never parsed. The index was still loaded, so
+// serving proceeds; only the reported version degrades to unknown.
 func snapshotVersionOf(path string) uint32 {
 	f, err := os.Open(path)
 	if err != nil {
-		return snapshot.Version
+		return 0
 	}
 	defer f.Close()
 	info, err := snapshot.Inspect(f)
 	if err != nil {
-		return snapshot.Version
+		return 0
 	}
 	return info.Version
 }
@@ -279,6 +297,12 @@ type statsResponse struct {
 	Stale        bool                   `json:"stale"`
 	StaleReasons []string               `json:"stale_reasons,omitempty"`
 	LastSweep    *lifecycle.SweepResult `json:"last_sweep,omitempty"`
+
+	// Serving-tier hardening state: result-cache occupancy and hit/eviction
+	// counters, and the admission controller's inflight/queued/shed numbers.
+	// Absent when the corresponding layer is disabled.
+	Cache     *serve.CacheStats     `json:"cache,omitempty"`
+	Admission *serve.AdmissionStats `json:"admission,omitempty"`
 }
 
 type compactResponse struct {
@@ -332,6 +356,18 @@ func (q *rectRequest) limit() int {
 	return *q.Limit
 }
 
+// validate rejects request shapes that cannot mean what the client asked
+// for. "early": true promises to stop after limit rows, which needs a
+// positive limit — with limit 0 (count only) or negative (stream all) the
+// engine would have to silently ignore the flag and run a full scan, so the
+// combination is an error rather than a surprise.
+func (q *rectRequest) validate() error {
+	if q.Early && q.limit() <= 0 {
+		return fmt.Errorf(`"early" requires a positive limit, got %d`, q.limit())
+	}
+	return nil
+}
+
 // healthzResponse is the verbose /healthz body.
 type healthzResponse struct {
 	Status          string  `json:"status"`
@@ -371,7 +407,7 @@ func newServerMux(st *serverState) http.Handler {
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
-		st := idx.BuildStats()
+		bst := idx.BuildStats()
 		// One per-shard stats pass serves both views: the aggregate is
 		// merged from it rather than recomputed by LifecycleStats (which
 		// would take every shard lock a second time).
@@ -396,13 +432,13 @@ func newServerMux(st *serverState) http.Handler {
 			}
 		}
 		resp := statsResponse{
-			Rows:            st.Rows,
-			Dims:            st.Dims,
-			Shards:          st.Shards,
-			Partition:       st.Partition,
-			RangeColumn:     st.RangeColumn,
-			RowsPerShard:    st.RowsPerShard,
-			MemoryOverheadB: st.MemoryOverheadB,
+			Rows:            bst.Rows,
+			Dims:            bst.Dims,
+			Shards:          bst.Shards,
+			Partition:       bst.Partition,
+			RangeColumn:     bst.RangeColumn,
+			RowsPerShard:    bst.RowsPerShard,
+			MemoryOverheadB: bst.MemoryOverheadB,
 			Lifecycle:       life,
 			ShardEpochs:     epochs,
 			Stale:           stale,
@@ -410,6 +446,14 @@ func newServerMux(st *serverState) http.Handler {
 		}
 		if last := compactor.Last(); !last.At.IsZero() {
 			resp.LastSweep = &last
+		}
+		if st.qcache != nil {
+			cs := st.qcache.Stats()
+			resp.Cache = &cs
+		}
+		if st.adm != nil {
+			as := st.adm.Stats()
+			resp.Admission = &as
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
@@ -419,12 +463,21 @@ func newServerMux(st *serverState) http.Handler {
 		if !readJSON(w, req, &q) {
 			return
 		}
+		if err := q.validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		r, err := q.rect(idx.Dims())
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := runQuery(st, req, r, q.limit(), q.Early)
+		if err := st.adm.Acquire(req.Context()); err != nil {
+			writeOverloaded(w, st.adm, err)
+			return
+		}
+		defer st.adm.Release()
+		resp, err := answerQuery(st, req, r, q.limit(), q.Early)
 		if err != nil {
 			// The request context is the only error source here: the
 			// client is gone, so there is nobody to answer.
@@ -447,6 +500,10 @@ func newServerMux(st *serverState) http.Handler {
 		limits := make([]int, len(b.Queries))
 		early := false
 		for i := range b.Queries {
+			if err := b.Queries[i].validate(); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+				return
+			}
 			r, err := b.Queries[i].rect(idx.Dims())
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
@@ -456,6 +513,11 @@ func newServerMux(st *serverState) http.Handler {
 			limits[i] = b.Queries[i].limit()
 			early = early || b.Queries[i].Early
 		}
+		if err := st.adm.Acquire(req.Context()); err != nil {
+			writeOverloaded(w, st.adm, err)
+			return
+		}
+		defer st.adm.Release()
 		// Per-query explain reports (or any early-termination request)
 		// need per-query executions; a plain batch keeps the amortised
 		// single fan-out.
@@ -563,6 +625,35 @@ func explainRequested(req *http.Request) bool {
 	return req.URL.Query().Get("explain") == "true"
 }
 
+// answerQuery serves one /query rectangle through the hardening layer:
+// cache hit, or single-flight coalesced execution whose result the cache
+// retains. Explain requests bypass the cache — an execution report describes
+// one particular run, and attaching a cached one would be a lie. A coalesced
+// error usually means the leader's client disconnected and cancelled the
+// shared scan; a caller whose own request is still live retries directly
+// instead of inheriting that cancellation.
+func answerQuery(st *serverState, req *http.Request, r coax.Rect, limit int, early bool) (queryResponse, error) {
+	if st.qcache == nil || explainRequested(req) {
+		return runQuery(st, req, r, limit, early)
+	}
+	v, _, err := st.qcache.Do(serve.Key(r, limit, early), r, func() (any, error) {
+		resp, rerr := runQuery(st, req, r, limit, early)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return &resp, nil
+	})
+	if err != nil {
+		if req.Context().Err() != nil {
+			return queryResponse{}, err
+		}
+		return runQuery(st, req, r, limit, early)
+	}
+	// The cached response is shared by every coalesced caller and future
+	// hits; it is only ever serialized, never mutated.
+	return *v.(*queryResponse), nil
+}
+
 // runQuery answers one rectangle through the v2 engine: the request
 // context cancels an in-flight fan-out when the client disconnects, and
 // early mode stops the scan once limit rows are found instead of counting
@@ -611,11 +702,32 @@ func readJSON(w http.ResponseWriter, req *http.Request, v any) bool {
 	return true
 }
 
+// writeOverloaded maps an admission failure onto the wire: a shed request
+// gets 429 with a Retry-After derived from the queue deadline; a context
+// error means the client already went away and there is nobody to answer.
+func writeOverloaded(w http.ResponseWriter, adm *serve.Admission, err error) {
+	if !errors.Is(err, serve.ErrOverloaded) {
+		return
+	}
+	secs := int(math.Ceil(adm.RetryAfter().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already committed (status line sent), so the error
+		// cannot reach the client as a status — count it and log it instead
+		// of discarding it. Typical causes: the client hung up mid-body, or
+		// an unencodable value (NaN) reached the response path.
+		httpRespErrors.Inc()
+		fmt.Fprintf(os.Stderr, "writing response: %v\n", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -272,6 +272,16 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// SetFunc installs (or replaces) a callback backing the gauge — the same
+// replacement semantics as re-registering through NewGaugeFunc, for gauges
+// whose live structure is created after the family is declared (the latest
+// structure wins).
+func (g *Gauge) SetFunc(fn func() float64) {
+	g.fnMu.Lock()
+	g.fn = fn
+	g.fnMu.Unlock()
+}
+
 // Add adds delta to the stored value.
 func (g *Gauge) Add(delta float64) {
 	for {

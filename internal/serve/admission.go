@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when a request is shed:
+// every execution slot is busy and the wait queue is full, or the slot
+// wait exceeded the deadline. The HTTP layer maps it to 429 + Retry-After.
+var ErrOverloaded = errors.New("serve: overloaded, retry later")
+
+// Admission is the serving tier's overload valve: a semaphore of
+// maxInflight execution slots fronted by a bounded wait queue with a
+// deadline. Requests beyond the slots wait up to maxWait for one; requests
+// beyond slots+queue — or whose wait times out — are shed immediately with
+// ErrOverloaded, so overload degrades into fast 429s instead of a
+// convoying collapse of every in-flight query. A nil *Admission admits
+// everything (the control is disabled).
+type Admission struct {
+	slots   chan struct{}
+	queued  atomic.Int64
+	maxQ    int64
+	maxWait time.Duration
+}
+
+// NewAdmission builds an admission controller with maxInflight execution
+// slots, a wait queue of maxQueue requests, and a queue deadline of
+// maxWait. maxInflight must be ≥ 1; maxQueue ≤ 0 disables queueing (over-
+// limit requests shed immediately); maxWait ≤ 0 falls back to one second.
+// The inflight/queued gauges are (re-)registered over this controller.
+func NewAdmission(maxInflight, maxQueue int, maxWait time.Duration) *Admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxWait <= 0 {
+		maxWait = time.Second
+	}
+	a := &Admission{
+		slots:   make(chan struct{}, maxInflight),
+		maxQ:    int64(maxQueue),
+		maxWait: maxWait,
+	}
+	obs := a // capture for the gauges; latest registration wins
+	admInflight.SetFunc(func() float64 { return float64(len(obs.slots)) })
+	admQueued.SetFunc(func() float64 { return float64(obs.queued.Load()) })
+	return a
+}
+
+// Acquire admits the request or sheds it. It returns nil once an execution
+// slot is held (pair with Release), ErrOverloaded when the request is shed,
+// or the context's error when the caller went away while queued.
+func (a *Admission) Acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Every slot is busy: join the bounded queue or shed. The CAS loop
+	// bounds the queue without a lock — competitors past the bound fail
+	// fast rather than serialise.
+	for {
+		n := a.queued.Load()
+		if n >= a.maxQ {
+			admShedQueueFull.Inc()
+			return ErrOverloaded
+		}
+		if a.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	start := time.Now()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case a.slots <- struct{}{}:
+		admQueueWait.Observe(time.Since(start).Seconds())
+		return nil
+	case <-timer.C:
+		admShedTimeout.Inc()
+		return ErrOverloaded
+	case <-done:
+		return ctx.Err()
+	}
+}
+
+// Release returns the slot taken by a successful Acquire.
+func (a *Admission) Release() {
+	if a == nil {
+		return
+	}
+	<-a.slots
+}
+
+// RetryAfter suggests how long a shed client should back off: the queue
+// deadline, the horizon after which a freed slot would have admitted it.
+func (a *Admission) RetryAfter() time.Duration {
+	if a == nil {
+		return 0
+	}
+	return a.maxWait
+}
+
+// AdmissionStats is the /stats view of the controller.
+type AdmissionStats struct {
+	MaxInflight   int     `json:"max_inflight"`
+	Inflight      int     `json:"inflight"`
+	MaxQueue      int     `json:"max_queue"`
+	Queued        int     `json:"queued"`
+	ShedQueueFull int64   `json:"shed_queue_full"`
+	ShedTimeout   int64   `json:"shed_timeout"`
+	QueueWaitMS   float64 `json:"queue_wait_deadline_ms"`
+}
+
+// Stats snapshots the controller. Shed counters are process-global (they
+// are metric families), so across multiple controllers in one process they
+// report the combined total.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		MaxInflight:   cap(a.slots),
+		Inflight:      len(a.slots),
+		MaxQueue:      int(a.maxQ),
+		Queued:        int(a.queued.Load()),
+		ShedQueueFull: admShedQueueFull.Value(),
+		ShedTimeout:   admShedTimeout.Value(),
+		QueueWaitMS:   float64(a.maxWait) / float64(time.Millisecond),
+	}
+}

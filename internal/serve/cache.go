@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the lock-striping factor of the result cache. Sixteen
+// stripes keep lock contention negligible at serving concurrency without
+// fragmenting a small capacity into useless per-stripe quotas.
+const cacheShards = 16
+
+// entry is one cached answer plus the invalidation capture that guards it:
+// the versions of shards [lo, lo+len(vers)) at the moment the computing
+// query began.
+type entry struct {
+	key  string
+	lo   int
+	vers []uint64
+	val  any
+}
+
+// cacheStripe is one LRU stripe: a map for lookup and an intrusive list
+// for recency, both under one mutex.
+type cacheStripe struct {
+	mu    sync.Mutex
+	elems map[string]*list.Element
+	lru   *list.List // front = most recently used
+	cap   int
+}
+
+// Cache is a bounded, sharded-LRU result cache whose entries are
+// invalidated by the engine's per-shard mutation versions. Get validates
+// on every lookup (two atomic loads per spanned shard) rather than on
+// mutation, so the mutation path pays nothing for the cache's existence.
+type Cache struct {
+	src     Invalidator
+	stripes [cacheShards]cacheStripe
+	entries atomic.Int64
+	cap     int
+
+	hits, misses, stale, evicts atomic.Int64
+}
+
+// NewCache builds a cache holding at most capacity entries (minimum one
+// per stripe) validated against src.
+func NewCache(src Invalidator, capacity int) *Cache {
+	c := &Cache{src: src, cap: capacity}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.stripes {
+		c.stripes[i].elems = make(map[string]*list.Element)
+		c.stripes[i].lru = list.New()
+		c.stripes[i].cap = per
+	}
+	return c
+}
+
+// fnv64 is FNV-1a over the key, selecting the stripe.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Get returns the cached value for key when one exists and its version
+// capture still matches the engine. A mismatch evicts the entry (it can
+// never become valid again — versions only grow) and reports a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	st := &c.stripes[fnv64(key)%cacheShards]
+	st.mu.Lock()
+	el, ok := st.elems[key]
+	if !ok {
+		st.mu.Unlock()
+		c.misses.Add(1)
+		cacheMisses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	for i, v := range e.vers {
+		if c.src.ShardVersion(e.lo+i) != v {
+			st.lru.Remove(el)
+			delete(st.elems, key)
+			st.mu.Unlock()
+			c.entries.Add(-1)
+			c.stale.Add(1)
+			c.misses.Add(1)
+			cacheStaleEvicts.Inc()
+			cacheMisses.Inc()
+			return nil, false
+		}
+	}
+	st.lru.MoveToFront(el)
+	val := e.val
+	st.mu.Unlock()
+	c.hits.Add(1)
+	cacheHits.Inc()
+	return val, true
+}
+
+// Put stores val for key with its version capture: vers holds the
+// mutation versions of shards [lo, lo+len(vers)) read before the value was
+// computed. An existing entry for key is replaced; over-capacity stripes
+// evict their least-recently-used entry.
+func (c *Cache) Put(key string, lo int, vers []uint64, val any) {
+	st := &c.stripes[fnv64(key)%cacheShards]
+	st.mu.Lock()
+	if el, ok := st.elems[key]; ok {
+		e := el.Value.(*entry)
+		e.lo, e.vers, e.val = lo, vers, val
+		st.lru.MoveToFront(el)
+		st.mu.Unlock()
+		return
+	}
+	st.elems[key] = st.lru.PushFront(&entry{key: key, lo: lo, vers: vers, val: val})
+	evicted := 0
+	for st.lru.Len() > st.cap {
+		back := st.lru.Back()
+		st.lru.Remove(back)
+		delete(st.elems, back.Value.(*entry).key)
+		evicted++
+	}
+	st.mu.Unlock()
+	c.entries.Add(int64(1 - evicted))
+	if evicted > 0 {
+		c.evicts.Add(int64(evicted))
+		cacheEvicts.Add(int64(evicted))
+	}
+}
+
+// Len reports the entries currently held.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// CacheStats is the /stats view of the cache.
+type CacheStats struct {
+	Entries        int   `json:"entries"`
+	Capacity       int   `json:"capacity"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	StaleEvictions int64 `json:"stale_evictions"`
+	LRUEvictions   int64 `json:"lru_evictions"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Entries:        c.Len(),
+		Capacity:       c.cap,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		StaleEvictions: c.stale.Load(),
+		LRUEvictions:   c.evicts.Load(),
+	}
+}

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/coax-index/coax/internal/index"
+)
+
+// fakeInv is a hand-cranked Invalidator: the test bumps shard versions to
+// simulate mutations. Every rect spans all shards unless span is set.
+type fakeInv struct {
+	vers []atomic.Uint64
+	span func(r index.Rect) (int, int)
+}
+
+func newFakeInv(shards int) *fakeInv { return &fakeInv{vers: make([]atomic.Uint64, shards)} }
+
+func (f *fakeInv) NumShards() int            { return len(f.vers) }
+func (f *fakeInv) ShardVersion(i int) uint64 { return f.vers[i].Load() }
+func (f *fakeInv) ShardSpan(r index.Rect) (int, int) {
+	if f.span != nil {
+		return f.span(r)
+	}
+	return 0, len(f.vers) - 1
+}
+
+func rect2(x0, y0, x1, y1 float64) index.Rect {
+	return index.Rect{Min: []float64{x0, y0}, Max: []float64{x1, y1}}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	r := rect2(1, 2, 3, 4)
+	base := Key(r, 100, false)
+	if Key(rect2(1, 2, 3, 4), 100, false) != base {
+		t.Error("identical queries produced different keys")
+	}
+	distinct := []string{
+		Key(rect2(1.5, 2, 3, 4), 100, false),
+		Key(rect2(1, 2, 3, 4.5), 100, false),
+		Key(r, 101, false),
+		Key(r, -1, false),
+		Key(r, 100, true),
+	}
+	seen := map[string]bool{base: true}
+	for i, k := range distinct {
+		if seen[k] {
+			t.Errorf("variant %d collided with another key", i)
+		}
+		seen[k] = true
+	}
+	// -0 and +0 have different bit patterns, so they are different keys;
+	// both are answered correctly, just without sharing a cache line.
+	if Key(rect2(0, 2, 3, 4), 100, false) == Key(rect2(math.Copysign(0, -1), 2, 3, 4), 100, false) {
+		t.Error("negative zero folded into positive zero")
+	}
+}
+
+func TestCacheStaleInvalidation(t *testing.T) {
+	inv := newFakeInv(4)
+	c := NewCache(inv, 64)
+	key := Key(rect2(0, 0, 1, 1), -1, false)
+
+	c.Put(key, 1, []uint64{inv.ShardVersion(1), inv.ShardVersion(2)}, "answer")
+	if v, ok := c.Get(key); !ok || v != "answer" {
+		t.Fatalf("expected hit, got (%v, %v)", v, ok)
+	}
+	// A mutation on a shard outside the captured span leaves the entry valid.
+	inv.vers[0].Add(1)
+	inv.vers[3].Add(1)
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("mutation outside the span invalidated the entry")
+	}
+	// A mutation inside the span evicts it — permanently.
+	inv.vers[2].Add(1)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("stale entry was served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not evicted: len=%d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.StaleEvictions != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 stale eviction, 1 miss", st)
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	inv := newFakeInv(1)
+	cap := 32
+	c := NewCache(inv, cap)
+	for i := 0; i < 50*cap; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), 0, []uint64{0}, i)
+	}
+	if c.Len() > cap {
+		t.Fatalf("cache holds %d entries, capacity %d", c.Len(), cap)
+	}
+	if ev := c.Stats().LRUEvictions; ev == 0 {
+		t.Fatal("no LRU evictions recorded despite overfill")
+	}
+	// Replacing an existing key must not grow the cache.
+	before := c.Len()
+	c.Put("key-1599", 0, []uint64{0}, "replaced")
+	if c.Len() != before {
+		t.Fatalf("replacement changed len from %d to %d", before, c.Len())
+	}
+}
+
+func TestCacheLRUKeepsRecent(t *testing.T) {
+	inv := newFakeInv(1)
+	// Single-entry stripes: every stripe holds exactly its most recent key.
+	c := NewCache(inv, 1)
+	c.Put("a", 0, []uint64{0}, 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	// A second key on the same stripe evicts "a"; on a different stripe both
+	// live. Either way the most recently inserted key must be present.
+	c.Put("b", 0, []uint64{0}, 2)
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+func TestSingleFlightCoalesces(t *testing.T) {
+	var g flightGroup
+	const n = 8
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, n)
+	var execs, shared atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, wasShared := g.Do("k", func() (any, error) {
+				arrived <- struct{}{}
+				<-gate // hold the flight open until every goroutine has joined
+				execs.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%v, %v)", v, err)
+			}
+			if wasShared {
+				shared.Add(1)
+			}
+		}()
+	}
+	<-arrived // the leader is inside fn; joiners now pile onto the same call
+	// Give the joiners a moment to register before releasing the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if execs.Load() != 1 {
+		t.Fatalf("fn executed %d times, want 1", execs.Load())
+	}
+	if shared.Load() != n-1 {
+		t.Fatalf("%d callers saw shared=true, want %d", shared.Load(), n-1)
+	}
+}
+
+func TestQueryCacheDo(t *testing.T) {
+	inv := newFakeInv(2)
+	qc := NewQueryCache(inv, 16)
+	r := rect2(0, 0, 1, 1)
+	key := Key(r, 10, false)
+	var computes atomic.Int64
+	compute := func() (any, error) {
+		computes.Add(1)
+		return "result", nil
+	}
+
+	v, fromCache, err := qc.Do(key, r, compute)
+	if err != nil || v != "result" || fromCache {
+		t.Fatalf("first Do = (%v, %v, %v)", v, fromCache, err)
+	}
+	v, fromCache, err = qc.Do(key, r, compute)
+	if err != nil || v != "result" || !fromCache {
+		t.Fatalf("second Do = (%v, %v, %v), want cache hit", v, fromCache, err)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computes.Load())
+	}
+
+	// A mutation invalidates; the next Do recomputes.
+	inv.vers[1].Add(1)
+	_, fromCache, _ = qc.Do(key, r, compute)
+	if fromCache {
+		t.Fatal("stale entry served after version bump")
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("computed %d times after invalidation, want 2", computes.Load())
+	}
+
+	// Errors are not cached.
+	boom := errors.New("boom")
+	_, _, err = qc.Do(Key(r, 11, false), r, func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	var computed atomic.Int64
+	_, fromCache, _ = qc.Do(Key(r, 11, false), r, func() (any, error) { computed.Add(1); return 1, nil })
+	if fromCache || computed.Load() != 1 {
+		t.Fatal("a failed compute left a cache entry behind")
+	}
+}
+
+// A mutation that lands while the compute is running must poison the entry:
+// the versions were captured before the scan, so the post-mutation lookup
+// sees a mismatch even though the cached value was stored after the bump.
+func TestQueryCacheMidScanMutation(t *testing.T) {
+	inv := newFakeInv(1)
+	qc := NewQueryCache(inv, 16)
+	r := rect2(0, 0, 1, 1)
+	key := Key(r, -1, false)
+	_, _, err := qc.Do(key, r, func() (any, error) {
+		inv.vers[0].Add(1) // mutation overlaps the scan
+		return "possibly-torn", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, fromCache, _ := qc.Do(key, r, func() (any, error) { return "fresh", nil }); fromCache {
+		t.Fatal("entry stored during an overlapping mutation was served")
+	}
+}
+
+func TestAdmissionNilAdmitsAll(t *testing.T) {
+	var a *Admission
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+	if a.RetryAfter() != 0 {
+		t.Fatal("nil admission has a retry hint")
+	}
+}
+
+func TestAdmissionShedAndQueue(t *testing.T) {
+	a := NewAdmission(1, 1, 200*time.Millisecond)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One request fits the queue and admits once the slot frees.
+	admitted := make(chan error, 1)
+	go func() { admitted <- a.Acquire(context.Background()) }()
+	waitFor(t, func() bool { return a.Stats().Queued == 1 })
+
+	// The queue is full: the next request sheds immediately.
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue overflow returned %v, want ErrOverloaded", err)
+	}
+
+	a.Release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued request not admitted after release: %v", err)
+	}
+	a.Release()
+
+	st := a.Stats()
+	if st.ShedQueueFull < 1 {
+		t.Fatalf("stats = %+v, want at least one queue-full shed", st)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := NewAdmission(1, 4, 30*time.Millisecond)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	start := time.Now()
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("timed-out wait returned %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("shed after %v, before the deadline", elapsed)
+	}
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := NewAdmission(1, 4, time.Minute)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx) }()
+	waitFor(t, func() bool { return a.Stats().Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait returned %v, want context.Canceled", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -86,6 +86,7 @@ func (s *Sharded) RebuildShard(i int) error {
 		return fmt.Errorf("shard %d: %w", i, err)
 	}
 	slot.idx = next
+	slot.ver.Add(1)
 	if track {
 		obs.Rebuilds.Inc()
 		obs.RebuildSeconds.Observe(time.Since(rebuildStart).Seconds())
@@ -152,6 +153,7 @@ func (s *Sharded) Compact() {
 	for _, slot := range s.shards {
 		slot.mu.Lock()
 		slot.idx.Compact()
+		slot.ver.Add(1)
 		slot.mu.Unlock()
 	}
 }

@@ -122,6 +122,16 @@ type shardSlot struct {
 	delta *lifecycle.DeltaLog
 	// rebuilding serialises rebuilds of this shard without holding mu.
 	rebuilding atomic.Bool
+
+	// ver is the shard's mutation version: bumped — while the shard's
+	// write lock is still held — by every successful insert, delete, and
+	// update, by in-place compaction, and by an epoch-swap rebuild. It is
+	// the exact invalidation signal result caches key on: a cached answer
+	// computed when a shard's version was v is provably current as long as
+	// the version still reads v, because every path that could change a
+	// query's answer bumps it before releasing the lock. Readers load it
+	// without taking the lock.
+	ver atomic.Uint64
 }
 
 // Sharded is a partitioned COAX index. Build one with Build (or reassemble
@@ -423,8 +433,11 @@ func (s *Sharded) Insert(row []float64) error {
 	slot := s.shards[s.routeRow(row)]
 	slot.mu.Lock()
 	err := slot.idx.Insert(row)
-	if err == nil && slot.delta != nil {
-		slot.delta.Append(lifecycle.OpInsert, row)
+	if err == nil {
+		if slot.delta != nil {
+			slot.delta.Append(lifecycle.OpInsert, row)
+		}
+		slot.ver.Add(1)
 	}
 	slot.mu.Unlock()
 	if err != nil {
@@ -445,8 +458,11 @@ func (s *Sharded) Delete(row []float64) error {
 	slot := s.shards[s.routeRow(row)]
 	slot.mu.Lock()
 	err := slot.idx.Delete(row)
-	if err == nil && slot.delta != nil {
-		slot.delta.Append(lifecycle.OpDelete, row)
+	if err == nil {
+		if slot.delta != nil {
+			slot.delta.Append(lifecycle.OpDelete, row)
+		}
+		slot.ver.Add(1)
 	}
 	slot.mu.Unlock()
 	if err != nil {
@@ -473,9 +489,12 @@ func (s *Sharded) Update(old, new []float64) error {
 		slot := s.shards[si]
 		slot.mu.Lock()
 		err := slot.idx.Update(old, new)
-		if err == nil && slot.delta != nil {
-			slot.delta.Append(lifecycle.OpDelete, old)
-			slot.delta.Append(lifecycle.OpInsert, new)
+		if err == nil {
+			if slot.delta != nil {
+				slot.delta.Append(lifecycle.OpDelete, old)
+				slot.delta.Append(lifecycle.OpInsert, new)
+			}
+			slot.ver.Add(1)
 		}
 		slot.mu.Unlock()
 		return err
@@ -486,8 +505,11 @@ func (s *Sharded) Update(old, new []float64) error {
 	src := s.shards[si]
 	src.mu.Lock()
 	err := src.idx.Delete(old)
-	if err == nil && src.delta != nil {
-		src.delta.Append(lifecycle.OpDelete, old)
+	if err == nil {
+		if src.delta != nil {
+			src.delta.Append(lifecycle.OpDelete, old)
+		}
+		src.ver.Add(1)
 	}
 	src.mu.Unlock()
 	if err != nil {
@@ -496,8 +518,11 @@ func (s *Sharded) Update(old, new []float64) error {
 	dst := s.shards[di]
 	dst.mu.Lock()
 	err = dst.idx.Insert(new)
-	if err == nil && dst.delta != nil {
-		dst.delta.Append(lifecycle.OpInsert, new)
+	if err == nil {
+		if dst.delta != nil {
+			dst.delta.Append(lifecycle.OpInsert, new)
+		}
+		dst.ver.Add(1)
 	}
 	dst.mu.Unlock()
 	if err != nil {
@@ -505,8 +530,11 @@ func (s *Sharded) Update(old, new []float64) error {
 		// row so the update is all-or-nothing.
 		src.mu.Lock()
 		rerr := src.idx.Insert(old)
-		if rerr == nil && src.delta != nil {
-			src.delta.Append(lifecycle.OpInsert, old)
+		if rerr == nil {
+			if src.delta != nil {
+				src.delta.Append(lifecycle.OpInsert, old)
+			}
+			src.ver.Add(1)
 		}
 		src.mu.Unlock()
 		if rerr != nil {
@@ -651,6 +679,31 @@ func (s *Sharded) runTask(rs []index.Rect, t *task) {
 		core.ObserveProbe(crep)
 	}
 }
+
+// ShardVersion reports shard i's current mutation version without taking
+// the shard lock. Together with ShardSpan this is the serving tier's cache
+// invalidation contract: capture the versions of a query's span before
+// executing it, and the answer is provably current for as long as every
+// captured version still reads the same — any mutation that could change
+// the answer bumps the version of the shard it lands on before its lock is
+// released.
+func (s *Sharded) ShardVersion(i int) uint64 { return s.shards[i].ver.Load() }
+
+// Versions returns every shard's mutation version (see ShardVersion).
+func (s *Sharded) Versions() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, slot := range s.shards {
+		out[i] = slot.ver.Load()
+	}
+	return out
+}
+
+// ShardSpan reports the inclusive shard interval [lo, hi] a rectangle can
+// match — the shards whose mutation versions govern the freshness of a
+// cached answer to r. Rectangles constraining the range column span fewer
+// shards; everything else (and any hash-partitioned index) spans all of
+// them.
+func (s *Sharded) ShardSpan(r index.Rect) (lo, hi int) { return s.shardRange(r) }
 
 // Stats summarises the sharded build.
 type Stats struct {

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# benchgate.sh — benchstat-gated perf regression check.
+#
+# Runs the curated microbenchmark set on the current tree and on a base ref,
+# compares with benchstat, and fails when any sec/op result regressed by
+# more than the threshold with statistical significance (p < 0.05). Noise
+# shows up as "~" rows and never fails the gate; only a confident slowdown
+# does.
+#
+# Usage: scripts/benchgate.sh [base-ref]     (default: origin/main)
+# Env:   BENCH_PKGS     packages to bench   (default: ./internal/serve ./internal/snapshot)
+#        BENCH_PATTERN  -bench regexp       (default: .)
+#        BENCH_COUNT    -count              (default: 5)
+#        BENCH_TIME     -benchtime          (default: 0.3s)
+#        BENCH_MAX_PCT  regression threshold percent (default: 10)
+#        BENCH_OUT      output directory    (default: benchgate)
+set -euo pipefail
+
+BASE_REF="${1:-origin/main}"
+BENCH_PKGS="${BENCH_PKGS:-./internal/serve ./internal/snapshot}"
+BENCH_PATTERN="${BENCH_PATTERN:-.}"
+BENCH_COUNT="${BENCH_COUNT:-5}"
+BENCH_TIME="${BENCH_TIME:-0.3s}"
+BENCH_MAX_PCT="${BENCH_MAX_PCT:-10}"
+BENCH_OUT="${BENCH_OUT:-benchgate}"
+
+if ! command -v benchstat >/dev/null 2>&1; then
+  echo "benchgate: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); skipping gate"
+  exit 0
+fi
+
+mkdir -p "$BENCH_OUT"
+
+run_bench() {
+  # -short keeps the heavier snapshot benchmarks on their small shapes; the
+  # gate wants stable relative numbers, not absolute throughput.
+  go test -run NONE -bench "$BENCH_PATTERN" -count "$BENCH_COUNT" \
+    -benchtime "$BENCH_TIME" -short $BENCH_PKGS
+}
+
+echo "== head benchmarks =="
+run_bench | tee "$BENCH_OUT/head.txt"
+
+worktree="$(mktemp -d)"
+cleanup() { git worktree remove --force "$worktree" >/dev/null 2>&1 || true; }
+trap cleanup EXIT
+
+if ! git worktree add --detach "$worktree" "$BASE_REF" >/dev/null 2>&1; then
+  echo "benchgate: base ref $BASE_REF unavailable; nothing to compare against"
+  exit 0
+fi
+
+echo "== base benchmarks ($BASE_REF) =="
+# A base that fails to build or bench (e.g. the benchmarks are new in this
+# change) is not a regression — there is no baseline to regress from.
+if ! (cd "$worktree" && run_bench) | tee "$BENCH_OUT/base.txt"; then
+  echo "benchgate: base failed to run the benchmark set; skipping comparison"
+  exit 0
+fi
+
+echo "== benchstat $BASE_REF vs head =="
+benchstat "$BENCH_OUT/base.txt" "$BENCH_OUT/head.txt" | tee "$BENCH_OUT/benchstat.txt"
+
+# Gate on the sec/op table only: memory tables matter but are gated by the
+# time they cost, and alloc-count jitter on tiny benchmarks is pure noise.
+awk -v max="$BENCH_MAX_PCT" '
+  /sec\/op/   { insec = 1 }
+  /B\/op/     { if ($0 !~ /sec\/op/) insec = 0 }
+  /allocs\/op/{ if ($0 !~ /sec\/op/) insec = 0 }
+  insec && /\+[0-9.]+%/ && /p=/ {
+    delta = $0; sub(/.*\+/, "", delta); sub(/%.*/, "", delta)
+    p = $0; sub(/.*p=/, "", p); sub(/[^0-9.].*/, "", p)
+    if (delta + 0 > max && p + 0 < 0.05) {
+      print "REGRESSION: " $0
+      bad = 1
+    }
+  }
+  END { exit bad }
+' "$BENCH_OUT/benchstat.txt" || {
+  echo "benchgate: statistically significant regression over ${BENCH_MAX_PCT}% — failing"
+  exit 1
+}
+echo "benchgate: no significant regression over ${BENCH_MAX_PCT}%"
