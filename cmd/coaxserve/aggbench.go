@@ -1,0 +1,421 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// The aggbench mode measures what aggregation pushdown buys over the
+// Collect-then-fold idiom it replaces: the same rectangle workload answered
+// twice, once by materializing every matching row and folding the aggregate
+// in the caller, once through Query.Aggregate where the batch kernels fold
+// selection bitmaps and no row is ever built. The sweep crosses selectivity
+// (via k-NN rectangle size) with COUNT and SUM, runs a GROUP BY on the
+// airline carrier column, and repeats the headline point on a sharded
+// engine. Answers must agree — bit-identically on the single-index runs,
+// where the batch fold visits rows in exactly the row path's order — or the
+// bench fails, so CI tracks speedups only over proven-correct kernels.
+
+// aggSweepRun is one (selectivity, op) cell of the pushdown sweep.
+type aggSweepRun struct {
+	TargetSelectivity float64 `json:"target_selectivity"`
+	KNN               int     `json:"knn"`
+	Op                string  `json:"op"`
+	AvgRowsMatched    float64 `json:"avg_rows_matched"`
+	CollectFoldMS     float64 `json:"collect_fold_ms"`
+	PushdownMS        float64 `json:"pushdown_ms"`
+	Speedup           float64 `json:"speedup_vs_collect_fold"`
+	BitIdentical      bool    `json:"bit_identical"`
+}
+
+// aggGroupByRun measures a grouped aggregate against Collect plus a
+// caller-side map fold.
+type aggGroupByRun struct {
+	Dataset       string  `json:"dataset"`
+	Rows          int     `json:"rows"`
+	Op            string  `json:"op"`
+	Column        string  `json:"column"`
+	GroupBy       string  `json:"group_by"`
+	Groups        int     `json:"groups"`
+	CollectFoldMS float64 `json:"collect_fold_ms"`
+	PushdownMS    float64 `json:"pushdown_ms"`
+	Speedup       float64 `json:"speedup_vs_collect_fold"`
+	BitIdentical  bool    `json:"bit_identical"`
+}
+
+// aggShardedRun repeats one sweep point on the sharded engine, whose
+// gather-point merge keeps the pushdown deterministic but whose concurrent
+// Collect baseline folds in arrival order — so SUM is checked within a
+// relative tolerance instead of bitwise.
+type aggShardedRun struct {
+	Shards        int     `json:"shards"`
+	KNN           int     `json:"knn"`
+	Op            string  `json:"op"`
+	CollectFoldMS float64 `json:"collect_fold_ms"`
+	PushdownMS    float64 `json:"pushdown_ms"`
+	Speedup       float64 `json:"speedup_vs_collect_fold"`
+	MaxRelError   float64 `json:"max_rel_error"`
+}
+
+// aggReport is the JSON shape written to BENCH_agg.json and consumed by CI
+// to track the aggregation-pushdown perf trajectory.
+type aggReport struct {
+	Dataset    string          `json:"dataset"`
+	Rows       int             `json:"rows"`
+	Queries    int             `json:"queries"`
+	SumColumn  string          `json:"sum_column"`
+	CPUs       int             `json:"cpus"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Runs       []aggSweepRun   `json:"runs"`
+	GroupBy    *aggGroupByRun  `json:"group_by,omitempty"`
+	Sharded    []aggShardedRun `json:"sharded,omitempty"`
+}
+
+func cmdAggBench(args []string) error {
+	fs := flag.NewFlagSet("aggbench", flag.ExitOnError)
+	var (
+		rows    = fs.Int("rows", 200000, "OSM dataset size")
+		queries = fs.Int("queries", 30, "rectangles per sweep point")
+		sels    = fs.String("selectivities", "0.01,0.1,0.5", "comma-separated target selectivities (fraction of rows per rectangle)")
+		sumCol  = fs.String("sumcol", "lon", "column SUM aggregates over")
+		shards  = fs.Int("shards", 4, "shard count for the sharded repeat (0 skips it)")
+		grpRows = fs.Int("grouprows", 200000, "airline dataset size for the GROUP BY run (0 skips it)")
+		jsonOut = fs.String("json", "", "also write the report as JSON to this path")
+	)
+	fs.Parse(args)
+
+	fractions, err := parseFloatList(*sels)
+	if err != nil {
+		return fmt.Errorf("-selectivities: %w", err)
+	}
+
+	tab, err := makeTable("osm", *rows)
+	if err != nil {
+		return err
+	}
+	idx, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rep := aggReport{
+		Dataset:    "osm",
+		Rows:       tab.Len(),
+		Queries:    *queries,
+		SumColumn:  *sumCol,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("dataset osm, %d rows, %d queries per point, SUM over %q\n",
+		rep.Rows, rep.Queries, rep.SumColumn)
+
+	gen := workload.NewGenerator(tab, 7)
+	for _, frac := range fractions {
+		k := int(frac * float64(tab.Len()))
+		if k < 1 {
+			k = 1
+		}
+		rects := gen.KNNRects(*queries, k)
+		for _, op := range []string{"count", "sum"} {
+			run, err := measureAggSweep(idx, tab.Cols, rects, op, *sumCol, frac, k)
+			if err != nil {
+				return err
+			}
+			rep.Runs = append(rep.Runs, run)
+			fmt.Printf("sel=%-5.2g %-5s  collect+fold %8.2fms  pushdown %8.2fms  %6.2fx  (%.0f rows/query)\n",
+				frac, op, run.CollectFoldMS, run.PushdownMS, run.Speedup, run.AvgRowsMatched)
+		}
+	}
+
+	if *grpRows > 0 {
+		g, err := measureAggGroupBy(*grpRows)
+		if err != nil {
+			return err
+		}
+		rep.GroupBy = g
+		fmt.Printf("group by %s: avg(%s) over %d groups  collect+fold %8.2fms  pushdown %8.2fms  %6.2fx\n",
+			g.GroupBy, g.Column, g.Groups, g.CollectFoldMS, g.PushdownMS, g.Speedup)
+	}
+
+	if *shards > 0 {
+		// Repeat the 10%-selectivity point (or the sweep's middle fraction)
+		// on the sharded engine.
+		frac := fractions[len(fractions)/2]
+		k := int(frac * float64(tab.Len()))
+		rects := gen.KNNRects(*queries, k)
+		sidx, err := coax.BuildSharded(tab, coax.DefaultOptions(),
+			coax.ShardOptions{NumShards: *shards})
+		if err != nil {
+			return err
+		}
+		for _, op := range []string{"count", "sum"} {
+			run, err := measureAggSharded(sidx, tab.Cols, rects, op, *sumCol, *shards, k)
+			if err != nil {
+				return err
+			}
+			rep.Sharded = append(rep.Sharded, run)
+			fmt.Printf("shards=%d %-5s  collect+fold %8.2fms  pushdown %8.2fms  %6.2fx\n",
+				*shards, op, run.CollectFoldMS, run.PushdownMS, run.Speedup)
+		}
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// aggOf builds the Aggregation for one sweep op.
+func aggOf(op, col string) (coax.Aggregation, error) {
+	switch op {
+	case "count":
+		return coax.CountRows(), nil
+	case "sum":
+		return coax.Sum(col), nil
+	default:
+		return coax.Aggregation{}, fmt.Errorf("aggbench: unknown op %q", op)
+	}
+}
+
+// collectFold is the baseline the pushdown is judged against: materialize
+// every matching row, then fold the aggregate in the caller.
+func collectFold(idx coax.Querier, r coax.Rect, op string, col int) (int64, float64) {
+	rows := coax.Collect(idx, r)
+	count := int64(len(rows))
+	var sum float64
+	if op == "sum" {
+		for _, row := range rows {
+			sum += row[col]
+		}
+	}
+	return count, sum
+}
+
+// measureAggSweep times one (selectivity, op) point on the single-index
+// engine and insists the two paths agree bit for bit — the batch fold
+// visits rows in exactly the order Collect yields them, so even SUM must
+// match exactly here.
+func measureAggSweep(idx *coax.Index, cols []string, rects []index.Rect, op, sumCol string, frac float64, k int) (aggSweepRun, error) {
+	run := aggSweepRun{TargetSelectivity: frac, KNN: k, Op: op, BitIdentical: true}
+	agg, err := aggOf(op, sumCol)
+	if err != nil {
+		return run, err
+	}
+	col := colIndex(cols, sumCol)
+	if op == "sum" && col < 0 {
+		return run, fmt.Errorf("aggbench: unknown sum column %q", sumCol)
+	}
+
+	// Warmup both paths once so neither pays first-touch costs.
+	collectFold(idx, rects[0], op, col)
+	if _, err := coax.FromRect(rects[0]).Aggregate(idx, agg); err != nil {
+		return run, err
+	}
+
+	baseCount := make([]int64, len(rects))
+	baseSum := make([]float64, len(rects))
+	t0 := time.Now()
+	var totalRows int64
+	for i, r := range rects {
+		baseCount[i], baseSum[i] = collectFold(idx, r, op, col)
+		totalRows += baseCount[i]
+	}
+	run.CollectFoldMS = ms(time.Since(t0))
+	run.AvgRowsMatched = float64(totalRows) / float64(len(rects))
+
+	t0 = time.Now()
+	for i, r := range rects {
+		res, err := coax.FromRect(r).Aggregate(idx, agg)
+		if err != nil {
+			return run, err
+		}
+		if res.Count != baseCount[i] {
+			return run, fmt.Errorf("aggbench: %s query %d counted %d pushed down vs %d collected",
+				op, i, res.Count, baseCount[i])
+		}
+		if op == "sum" && baseCount[i] > 0 &&
+			math.Float64bits(res.Value) != math.Float64bits(baseSum[i]) {
+			return run, fmt.Errorf("aggbench: sum query %d got %x pushed down vs %x collected",
+				i, math.Float64bits(res.Value), math.Float64bits(baseSum[i]))
+		}
+	}
+	run.PushdownMS = ms(time.Since(t0))
+	if run.PushdownMS > 0 {
+		run.Speedup = run.CollectFoldMS / run.PushdownMS
+	}
+	return run, nil
+}
+
+// measureAggGroupBy times avg(airtime) grouped by carrier on the airline
+// dataset against Collect plus a caller-side map fold.
+func measureAggGroupBy(rows int) (*aggGroupByRun, error) {
+	run := &aggGroupByRun{
+		Dataset: "airline", Rows: rows,
+		Op: "avg", Column: "airtime", GroupBy: "carrier",
+		BitIdentical: true,
+	}
+	tab, err := makeTable("airline", rows)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cols := tab.Cols
+	airtime, carrier := colIndex(cols, run.Column), colIndex(cols, run.GroupBy)
+	if airtime < 0 || carrier < 0 {
+		return nil, fmt.Errorf("aggbench: airline table lacks %q/%q", run.Column, run.GroupBy)
+	}
+	r := coax.FullRect(tab.Dims())
+
+	type cell struct {
+		n   int64
+		sum float64
+	}
+	fold := func() map[float64]*cell {
+		groups := map[float64]*cell{}
+		for _, row := range coax.Collect(idx, r) {
+			c := groups[row[carrier]]
+			if c == nil {
+				c = &cell{}
+				groups[row[carrier]] = c
+			}
+			c.n++
+			c.sum += row[airtime]
+		}
+		return groups
+	}
+	fold() // warmup
+	t0 := time.Now()
+	groups := fold()
+	run.CollectFoldMS = ms(time.Since(t0))
+
+	q := func() (*coax.AggResult, error) {
+		return coax.FromRect(r).GroupBy(run.GroupBy).Aggregate(idx, coax.Avg(run.Column))
+	}
+	if _, err := q(); err != nil { // warmup
+		return nil, err
+	}
+	t0 = time.Now()
+	res, err := q()
+	if err != nil {
+		return nil, err
+	}
+	run.PushdownMS = ms(time.Since(t0))
+	run.Groups = len(res.Groups)
+	if len(res.Groups) != len(groups) {
+		return nil, fmt.Errorf("aggbench: group by found %d groups pushed down vs %d collected",
+			len(res.Groups), len(groups))
+	}
+	for _, g := range res.Groups {
+		c := groups[g.Key]
+		if c == nil || c.n != g.Count ||
+			math.Float64bits(c.sum/float64(c.n)) != math.Float64bits(g.Value) {
+			return nil, fmt.Errorf("aggbench: group %g disagrees between paths", g.Key)
+		}
+	}
+	if run.PushdownMS > 0 {
+		run.Speedup = run.CollectFoldMS / run.PushdownMS
+	}
+	return run, nil
+}
+
+// measureAggSharded repeats one sweep point on the sharded engine. The
+// concurrent Collect baseline folds rows in arrival order, so SUM is held
+// to a relative tolerance; COUNT must still match exactly.
+func measureAggSharded(idx *coax.ShardedIndex, cols []string, rects []index.Rect, op, sumCol string, shards, k int) (aggShardedRun, error) {
+	run := aggShardedRun{Shards: shards, KNN: k, Op: op}
+	agg, err := aggOf(op, sumCol)
+	if err != nil {
+		return run, err
+	}
+	col := colIndex(cols, sumCol)
+
+	collectFold(idx, rects[0], op, col)
+	if _, err := coax.FromRect(rects[0]).Aggregate(idx, agg); err != nil {
+		return run, err
+	}
+
+	baseCount := make([]int64, len(rects))
+	baseSum := make([]float64, len(rects))
+	t0 := time.Now()
+	for i, r := range rects {
+		baseCount[i], baseSum[i] = collectFold(idx, r, op, col)
+	}
+	run.CollectFoldMS = ms(time.Since(t0))
+
+	t0 = time.Now()
+	for i, r := range rects {
+		res, err := coax.FromRect(r).Aggregate(idx, agg)
+		if err != nil {
+			return run, err
+		}
+		if res.Count != baseCount[i] {
+			return run, fmt.Errorf("aggbench: sharded %s query %d counted %d pushed down vs %d collected",
+				op, i, res.Count, baseCount[i])
+		}
+		if op == "sum" && baseCount[i] > 0 {
+			rel := math.Abs(res.Value-baseSum[i]) / math.Max(math.Abs(baseSum[i]), 1)
+			if rel > run.MaxRelError {
+				run.MaxRelError = rel
+			}
+			if rel > 1e-9 {
+				return run, fmt.Errorf("aggbench: sharded sum query %d off by %g relative", i, rel)
+			}
+		}
+	}
+	run.PushdownMS = ms(time.Since(t0))
+	if run.PushdownMS > 0 {
+		run.Speedup = run.CollectFoldMS / run.PushdownMS
+	}
+	return run, nil
+}
+
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("selectivity %g outside (0,1]", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

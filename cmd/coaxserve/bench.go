@@ -367,7 +367,7 @@ func measureHotKey(s *shard.Sharded, rects []index.Rect) (*hotKeyReport, error) 
 	qc := serve.NewQueryCache(s, 4096)
 	keys := make([]string, len(pool))
 	for i, r := range pool {
-		keys[i] = serve.Key(r, 0, false)
+		keys[i] = serve.Key(r, 0, false, "")
 	}
 	lat = make([]time.Duration, requests)
 	t0 = time.Now()

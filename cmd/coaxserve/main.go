@@ -9,6 +9,7 @@
 //	coaxserve serve -in osm-sharded.coax -cache-size 8192 -max-inflight 64 -queue-timeout 100ms
 //	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json -metrics-check
 //	coaxserve mutbench -rows 200000 -shards 4 -json BENCH_mutation.json
+//	coaxserve aggbench -rows 200000 -selectivities 0.01,0.1,0.5 -json BENCH_agg.json
 //
 // The serve mode loads a sharded snapshot (or builds one over a synthetic
 // dataset at startup) and answers:
@@ -36,7 +37,12 @@
 //	               adds an execution report (soft-FD constraint translation,
 //	               primary/outlier scan split, shards pruned, wall time) and
 //	               bypasses the result cache. NaN, inverted, or
-//	               wrong-dimension bounds are a 400.
+//	               wrong-dimension bounds are a 400. "agg" switches the
+//	               query to an aggregation pushdown: {"agg":{"op":"sum",
+//	               "col":"lon"}} (ops count/sum/min/max/avg, optional
+//	               "group_by") answers {"count":N,"agg":{...}} with no rows,
+//	               folded inside the batch scan kernels; "agg" with "early"
+//	               is a 400.
 //	POST /batch    {"queries":[{...},...]} — one fan-out for the whole
 //	               batch (?explain=true or "early" run per-query instead)
 //	POST /insert   {"row":[...]} — routes the row to its shard
@@ -74,6 +80,12 @@
 // The mutbench mode measures query QPS/p99 before a drift-inducing write
 // workload, during the online rebuild it triggers, and after the epoch
 // swap (see BENCH_mutation.json).
+//
+// The aggbench mode measures the aggregation pushdown (POST /query with
+// "agg", Query.Aggregate in the library) against the Collect-then-fold
+// idiom it replaces: COUNT and SUM across a selectivity sweep, a GROUP BY
+// on the airline carrier column, and a sharded repeat, failing unless both
+// paths agree on every answer (see BENCH_agg.json).
 package main
 
 import (
@@ -94,6 +106,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "mutbench":
 		err = cmdMutBench(os.Args[2:])
+	case "aggbench":
+		err = cmdAggBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -115,6 +129,7 @@ subcommands:
   serve     answer HTTP/JSON queries and mutations from a sharded index
   bench     measure QPS and latency vs. shard count and batch size
   mutbench  measure query latency before/during/after an online rebuild
+  aggbench  measure aggregation pushdown vs. Collect-then-fold
 
 run 'coaxserve <subcommand> -h' for flags`)
 }

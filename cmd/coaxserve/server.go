@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -254,6 +255,76 @@ type rectRequest struct {
 	Max   []*float64 `json:"max"`
 	Limit *int       `json:"limit"`
 	Early bool       `json:"early"`
+	// Agg turns the query into an aggregation pushdown: instead of rows the
+	// response carries one aggregate (or one per group) folded inside the
+	// engine's batch scan kernels. Limit is ignored (aggregates consume
+	// every match) and "early" is rejected.
+	Agg *aggRequest `json:"agg,omitempty"`
+}
+
+// aggRequest is the wire form of an aggregation: an op ("count", "sum",
+// "min", "max", "avg"), the value column by name or position (except
+// count), and an optional categorical group-by column.
+type aggRequest struct {
+	Op         string  `json:"op"`
+	Col        *string `json:"col,omitempty"`
+	Dim        *int    `json:"dim,omitempty"`
+	GroupBy    *string `json:"group_by,omitempty"`
+	GroupByDim *int    `json:"group_by_dim,omitempty"`
+}
+
+// aggregation translates the wire form into the coax builder pieces,
+// rejecting shapes that cannot mean anything (unknown op, sum without a
+// column, count of a column).
+func (a *aggRequest) aggregation() (coax.Aggregation, error) {
+	named, positional := a.Col != nil, a.Dim != nil
+	if named && positional {
+		return coax.Aggregation{}, fmt.Errorf(`"col" and "dim" are mutually exclusive`)
+	}
+	switch a.Op {
+	case "count":
+		if named || positional {
+			return coax.Aggregation{}, fmt.Errorf(`"count" takes no column; drop "col"/"dim"`)
+		}
+		return coax.CountRows(), nil
+	case "sum", "min", "max", "avg":
+		byName := map[string]func(string) coax.Aggregation{
+			"sum": coax.Sum, "min": coax.Min, "max": coax.Max, "avg": coax.Avg,
+		}
+		byDim := map[string]func(int) coax.Aggregation{
+			"sum": coax.SumDim, "min": coax.MinDim, "max": coax.MaxDim, "avg": coax.AvgDim,
+		}
+		if named {
+			return byName[a.Op](*a.Col), nil
+		}
+		if positional {
+			return byDim[a.Op](*a.Dim), nil
+		}
+		return coax.Aggregation{}, fmt.Errorf("%q needs a value column: set \"col\" or \"dim\"", a.Op)
+	default:
+		return coax.Aggregation{}, fmt.Errorf("unknown aggregation op %q (want count, sum, min, max, or avg)", a.Op)
+	}
+}
+
+// descriptor canonicalizes the aggregation for the result-cache key. Col
+// and Dim deliberately stay distinct even when they name the same column —
+// a spurious cache miss is harmless, a collision would not be.
+func (a *aggRequest) descriptor() string {
+	var sb strings.Builder
+	sb.WriteString(a.Op)
+	switch {
+	case a.Col != nil:
+		fmt.Fprintf(&sb, "(%s)", *a.Col)
+	case a.Dim != nil:
+		fmt.Fprintf(&sb, "(#%d)", *a.Dim)
+	}
+	switch {
+	case a.GroupBy != nil:
+		fmt.Fprintf(&sb, " by %s", *a.GroupBy)
+	case a.GroupByDim != nil:
+		fmt.Fprintf(&sb, " by #%d", *a.GroupByDim)
+	}
+	return sb.String()
 }
 
 type batchRequest struct {
@@ -263,7 +334,25 @@ type batchRequest struct {
 type queryResponse struct {
 	Count   int           `json:"count"`
 	Rows    [][]float64   `json:"rows,omitempty"`
+	Agg     *aggResponse  `json:"agg,omitempty"`
 	Explain *coax.Explain `json:"explain,omitempty"`
+}
+
+// aggResponse carries an aggregate answer: "value" is omitted when the
+// aggregate is undefined (min/max/avg over zero rows) or when the result
+// is grouped — grouped answers live in "groups", sorted by ascending key.
+type aggResponse struct {
+	Op       string     `json:"op"`
+	Count    int64      `json:"count"`
+	Value    *float64   `json:"value,omitempty"`
+	Groups   []aggGroup `json:"groups,omitempty"`
+	Complete bool       `json:"complete"`
+}
+
+type aggGroup struct {
+	Key   float64 `json:"key"`
+	Count int64   `json:"count"`
+	Value float64 `json:"value"`
 }
 
 type batchResponse struct {
@@ -364,6 +453,14 @@ func (q *rectRequest) limit() int {
 func (q *rectRequest) validate() error {
 	if q.Early && q.limit() <= 0 {
 		return fmt.Errorf(`"early" requires a positive limit, got %d`, q.limit())
+	}
+	if q.Agg != nil {
+		if q.Early {
+			return fmt.Errorf(`"early" cannot combine with "agg": an aggregate consumes every matching row`)
+		}
+		if _, err := q.Agg.aggregation(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -477,6 +574,18 @@ func newServerMux(st *serverState) http.Handler {
 			return
 		}
 		defer st.adm.Release()
+		if q.Agg != nil {
+			resp, status, err := answerAgg(st, req, r, q.Agg)
+			if err != nil {
+				if status != 0 {
+					writeError(w, status, err)
+				}
+				// status 0: the client is gone, nobody to answer.
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		resp, err := answerQuery(st, req, r, q.limit(), q.Early)
 		if err != nil {
 			// The request context is the only error source here: the
@@ -500,6 +609,13 @@ func newServerMux(st *serverState) http.Handler {
 		limits := make([]int, len(b.Queries))
 		early := false
 		for i := range b.Queries {
+			if b.Queries[i].Agg != nil {
+				// The batch fan-out shares one row visitor across queries;
+				// aggregates belong on /query, one at a time.
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf(`query %d: "agg" is not supported in /batch; use /query`, i))
+				return
+			}
 			if err := b.Queries[i].validate(); err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
 				return
@@ -636,7 +752,7 @@ func answerQuery(st *serverState, req *http.Request, r coax.Rect, limit int, ear
 	if st.qcache == nil || explainRequested(req) {
 		return runQuery(st, req, r, limit, early)
 	}
-	v, _, err := st.qcache.Do(serve.Key(r, limit, early), r, func() (any, error) {
+	v, _, err := st.qcache.Do(serve.Key(r, limit, early, ""), r, func() (any, error) {
 		resp, rerr := runQuery(st, req, r, limit, early)
 		if rerr != nil {
 			return nil, rerr
@@ -652,6 +768,86 @@ func answerQuery(st *serverState, req *http.Request, r coax.Rect, limit int, ear
 	// The cached response is shared by every coalesced caller and future
 	// hits; it is only ever serialized, never mutated.
 	return *v.(*queryResponse), nil
+}
+
+// answerAgg serves one /query aggregation through the same hardening layer
+// as answerQuery: cache hit or coalesced execution, with explain requests
+// bypassing the cache. The status is the HTTP error code to write when err
+// is non-nil; status 0 means the client disconnected and there is nobody
+// to answer.
+func answerAgg(st *serverState, req *http.Request, r coax.Rect, a *aggRequest) (queryResponse, int, error) {
+	if st.qcache == nil || explainRequested(req) {
+		return runAgg(st, req, r, a)
+	}
+	var status int
+	v, _, err := st.qcache.Do(serve.Key(r, 0, false, a.descriptor()), r, func() (any, error) {
+		resp, rstatus, rerr := runAgg(st, req, r, a)
+		if rerr != nil {
+			status = rstatus
+			return nil, rerr
+		}
+		return &resp, nil
+	})
+	if err != nil {
+		if status != 0 {
+			return queryResponse{}, status, err
+		}
+		if req.Context().Err() != nil {
+			return queryResponse{}, 0, err
+		}
+		// Coalesced cancellation from another caller's context; our own
+		// request is still live, so retry directly.
+		return runAgg(st, req, r, a)
+	}
+	return *v.(*queryResponse), 0, nil
+}
+
+// runAgg answers one aggregation through the pushdown engine. A column
+// that fails to resolve is the client's fault (400); a cancelled request
+// context surfaces as err with status 0, like runQuery.
+func runAgg(st *serverState, req *http.Request, r coax.Rect, a *aggRequest) (queryResponse, int, error) {
+	agg, err := a.aggregation()
+	if err != nil {
+		// validate() already vetted the shape; this is unreachable.
+		return queryResponse{}, http.StatusBadRequest, err
+	}
+	q := coax.FromRect(r).WithContext(req.Context())
+	switch {
+	case a.GroupBy != nil:
+		q.GroupBy(*a.GroupBy)
+	case a.GroupByDim != nil:
+		q.GroupByDim(*a.GroupByDim)
+	}
+	wantExplain := explainRequested(req)
+	if wantExplain || st.slowlog != nil {
+		q.WithExplain()
+	}
+	res, err := q.Aggregate(st.idx, agg)
+	if err != nil {
+		if res == nil {
+			// Compile/resolution failure: unknown column, bad dim.
+			return queryResponse{}, http.StatusBadRequest, err
+		}
+		// A partial result with an error is a cancelled context.
+		return queryResponse{}, 0, err
+	}
+	ar := &aggResponse{Op: res.Op, Count: res.Count, Complete: res.Complete}
+	if res.Valid {
+		v := res.Value
+		ar.Value = &v
+	}
+	if res.Groups != nil {
+		ar.Groups = make([]aggGroup, len(res.Groups))
+		for i, g := range res.Groups {
+			ar.Groups[i] = aggGroup{Key: g.Key, Count: g.Count, Value: g.Value}
+		}
+	}
+	resp := queryResponse{Count: int(res.Count), Agg: ar}
+	st.slowlog.observe(res.Explain)
+	if wantExplain {
+		resp.Explain = res.Explain
+	}
+	return resp, 0, nil
 }
 
 // runQuery answers one rectangle through the v2 engine: the request

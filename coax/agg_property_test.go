@@ -1,0 +1,261 @@
+package coax_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/coax"
+)
+
+// Property: for every engine shape (single vs sharded, grid vs R-tree
+// outlier index) in every mutation state (fresh, tombstoned, compacted),
+// Query.Aggregate must agree with running the same query and folding the
+// rows in the visitor. COUNT/MIN/MAX are order-independent and must match
+// bitwise everywhere; SUM must match bitwise on the single-index engines
+// (the batch fold visits rows in scan order) and within float tolerance on
+// the sharded engine, whose row-path baseline folds in nondeterministic
+// arrival order while the pushdown merges per-shard partials in shard
+// order. The race detector covers the sharded fan-out when CI runs this
+// under -race.
+
+// aggQuerier is the slice of engine surface the property needs.
+type aggQuerier interface {
+	coax.Querier
+	Delete(row []float64) error
+	Compact()
+}
+
+func TestPropertyAggregateMatchesRowFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(20000))
+
+	build := map[string]func(t *testing.T) aggQuerier{
+		"single/grid": func(t *testing.T) aggQuerier {
+			idx, err := coax.Build(copyOSM(tab), coax.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"single/rtree": func(t *testing.T) aggQuerier {
+			opt := coax.DefaultOptions()
+			opt.OutlierKind = coax.OutlierRTree
+			idx, err := coax.Build(copyOSM(tab), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"sharded/grid": func(t *testing.T) aggQuerier {
+			so := coax.DefaultShardOptions()
+			so.NumShards = 4
+			idx, err := coax.BuildSharded(copyOSM(tab), coax.DefaultOptions(), so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"sharded/rtree": func(t *testing.T) aggQuerier {
+			opt := coax.DefaultOptions()
+			opt.OutlierKind = coax.OutlierRTree
+			so := coax.DefaultShardOptions()
+			so.NumShards = 4
+			idx, err := coax.BuildSharded(copyOSM(tab), opt, so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+	}
+
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			idx := mk(t)
+			exact := len(name) > 6 && name[:6] == "single"
+			states := []struct {
+				name string
+				prep func()
+			}{
+				{"fresh", func() {}},
+				{"tombstoned", func() {
+					for i := 0; i < 3000; i += 3 {
+						if err := idx.Delete(tab.Row(i)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}},
+				{"compacted", func() { idx.Compact() }},
+			}
+			for _, state := range states {
+				state.prep()
+				for qi := 0; qi < 15; qi++ {
+					r := randOSMRect(rng, tab)
+					checkAggProperty(t, idx, r, name+"/"+state.name, exact)
+				}
+			}
+		})
+	}
+}
+
+// checkAggProperty compares every aggregate op (plus one GROUP BY) against
+// a visitor fold of the same query.
+func checkAggProperty(t *testing.T, idx aggQuerier, r coax.Rect, label string, exact bool) {
+	t.Helper()
+	var n int64
+	var sum, minv, maxv float64
+	first := true
+	if _, err := coax.FromRect(r).Run(idx, func(row []float64) bool {
+		v := row[3] // lon
+		if first {
+			minv, maxv = v, v
+			first = false
+		} else {
+			if v < minv {
+				minv = v
+			}
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum += v
+		n++
+		return true
+	}); err != nil {
+		t.Fatalf("%s: row fold: %v", label, err)
+	}
+
+	res, err := coax.FromRect(r).Aggregate(idx, coax.CountRows())
+	if err != nil {
+		t.Fatalf("%s: count: %v", label, err)
+	}
+	if !res.Complete || res.Count != n || !res.Valid || res.Value != float64(n) {
+		t.Fatalf("%s: count %+v, want %d", label, res, n)
+	}
+
+	for _, op := range []struct {
+		agg  coax.Aggregation
+		want float64
+	}{
+		{coax.Min("lon"), minv},
+		{coax.Max("lon"), maxv},
+	} {
+		res, err := coax.FromRect(r).Aggregate(idx, op.agg)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", label, res.Op, err)
+		}
+		if n == 0 {
+			if res.Valid {
+				t.Fatalf("%s: %s valid over zero rows", label, res.Op)
+			}
+			continue
+		}
+		// MIN/MAX are fold-order independent: bitwise equal everywhere.
+		if !res.Valid || math.Float64bits(res.Value) != math.Float64bits(op.want) {
+			t.Fatalf("%s: %s = %v (valid=%v), want %v", label, res.Op, res.Value, res.Valid, op.want)
+		}
+	}
+
+	res, err = coax.FromRect(r).Aggregate(idx, coax.Sum("lon"))
+	if err != nil {
+		t.Fatalf("%s: sum: %v", label, err)
+	}
+	if res.Count != n {
+		t.Fatalf("%s: sum counted %d rows, want %d", label, res.Count, n)
+	}
+	if n > 0 {
+		if exact {
+			if math.Float64bits(res.Value) != math.Float64bits(sum) {
+				t.Fatalf("%s: sum %x, want %x bitwise", label,
+					math.Float64bits(res.Value), math.Float64bits(sum))
+			}
+		} else if rel := math.Abs(res.Value-sum) / math.Max(math.Abs(sum), 1); rel > 1e-9 {
+			t.Fatalf("%s: sum %v vs row fold %v (rel %g)", label, res.Value, sum, rel)
+		}
+	}
+}
+
+// TestPropertyGroupByMatchesRowFold checks the grouped fold on the airline
+// carrier column across single and sharded engines.
+func TestPropertyGroupByMatchesRowFold(t *testing.T) {
+	tab := coax.GenerateAirline(coax.DefaultAirlineConfig(15000))
+	single, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := coax.DefaultShardOptions()
+	so.NumShards = 3
+	sharded, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := coax.FullRect(tab.Dims())
+	type cell struct {
+		n   int64
+		sum float64
+	}
+	want := map[float64]*cell{}
+	for _, row := range coax.Collect(single, r) {
+		c := want[row[7]] // carrier
+		if c == nil {
+			c = &cell{}
+			want[row[7]] = c
+		}
+		c.n++
+		c.sum += row[2] // airtime
+	}
+
+	for name, idx := range map[string]coax.Querier{"single": single, "sharded": sharded} {
+		res, err := coax.FromRect(r).GroupBy("carrier").Aggregate(idx, coax.Avg("airtime"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Valid {
+			t.Fatalf("%s: grouped result claims an ungrouped value", name)
+		}
+		if len(res.Groups) != len(want) {
+			t.Fatalf("%s: %d groups, want %d", name, len(res.Groups), len(want))
+		}
+		prev := math.Inf(-1)
+		for _, g := range res.Groups {
+			if g.Key <= prev {
+				t.Fatalf("%s: group keys not ascending: %g after %g", name, g.Key, prev)
+			}
+			prev = g.Key
+			w := want[g.Key]
+			if w == nil || g.Count != w.n {
+				t.Fatalf("%s: group %g count %d, want %+v", name, g.Key, g.Count, w)
+			}
+			avg := w.sum / float64(w.n)
+			if rel := math.Abs(g.Value-avg) / math.Max(math.Abs(avg), 1); rel > 1e-9 {
+				t.Fatalf("%s: group %g avg %v, want %v", name, g.Key, g.Value, avg)
+			}
+		}
+	}
+}
+
+// copyOSM deep-copies the generated table so each engine mutates its own.
+func copyOSM(t *coax.Table) *coax.Table {
+	cp := coax.NewTable(t.Cols)
+	for i := 0; i < t.Len(); i++ {
+		cp.Append(t.Row(i))
+	}
+	return cp
+}
+
+// randOSMRect draws a rectangle between two random data rows, widened a
+// little so it matches a few hundred rows on average.
+func randOSMRect(rng *rand.Rand, tab *coax.Table) coax.Rect {
+	r := coax.FullRect(tab.Dims())
+	a := tab.Row(rng.Intn(tab.Len()))
+	b := tab.Row(rng.Intn(tab.Len()))
+	for d := 0; d < tab.Dims(); d++ {
+		lo, hi := a[d], b[d]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r.Min[d], r.Max[d] = lo, hi
+	}
+	return r
+}

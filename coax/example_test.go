@@ -55,6 +55,68 @@ func ExampleQuery_limit() {
 	// Output: 3
 }
 
+// ExampleQuery_aggregate computes an aggregate entirely inside the scan
+// kernels: COUNT is a popcount over selection bitmaps, SUM/MIN/MAX walk
+// only the set bits of the value column, and no row is materialized.
+func ExampleQuery_aggregate() {
+	table := coax.NewTable([]string{"seq", "temp", "reading"})
+	for i := 0; i < 8000; i++ {
+		seq := float64(i)
+		table.Append([]float64{seq, 20 + seq*0.01, float64(i % 100)})
+	}
+	idx, err := coax.Build(table, coax.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := coax.NewQuery().
+		Where("reading", coax.Between(10, 19)).
+		Aggregate(idx, coax.Sum("reading"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Count, res.Value)
+
+	res, err = coax.NewQuery().
+		Where("seq", coax.AtMost(3999)).
+		Aggregate(idx, coax.CountRows())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Count)
+	// Output:
+	// 800 11600
+	// 4000
+}
+
+// ExampleQuery_groupBy groups an aggregate by a categorical column: one
+// result per distinct value, sorted by ascending key.
+func ExampleQuery_groupBy() {
+	table := coax.NewTable([]string{"seq", "temp", "reading"})
+	for i := 0; i < 8000; i++ {
+		seq := float64(i)
+		table.Append([]float64{seq, 20 + seq*0.01, float64(i % 3)})
+	}
+	idx, err := coax.Build(table, coax.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := coax.NewQuery().
+		GroupBy("reading").
+		Aggregate(idx, coax.Avg("temp"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		fmt.Printf("reading %.0f: %d rows\n", g.Key, g.Count)
+	}
+	// Output:
+	// reading 0: 2667 rows
+	// reading 1: 2667 rows
+	// reading 2: 2666 rows
+}
+
 // ExampleQuery_explain reports how a query on a dependent attribute
 // executed: the constraint is translated through the learned soft-FD model
 // into a predictor interval, and the report shows the primary/outlier

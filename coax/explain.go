@@ -51,6 +51,11 @@ type Explain struct {
 	// probe, sorted by shard ordinal. Empty when a single index answered.
 	Shards []ShardSpan `json:"shards,omitempty"`
 
+	// Agg describes an aggregation execution: the op, the scan kernels
+	// dispatched per partition, and the batch-path shape (batches, rows per
+	// batch, bitmap selectivity). Nil for row queries.
+	Agg *AggExplain `json:"agg,omitempty"`
+
 	// RowsEmitted counts rows delivered to the caller's visitor.
 	RowsEmitted int `json:"rows_emitted"`
 	// Limited/Cancelled/Complete report what ended the scan: a satisfied
@@ -75,6 +80,32 @@ type ProbeStats struct {
 	// TombstonesFiltered is the number of deleted rows skipped at the
 	// visitor boundary.
 	TombstonesFiltered int64 `json:"tombstones_filtered"`
+	// Batches is the number of selection-bitmap batches the partition's
+	// vectorized kernel processed; zero on the row-at-a-time path.
+	Batches int64 `json:"batches,omitempty"`
+}
+
+// AggExplain is the aggregation-pushdown section of an EXPLAIN: which
+// kernel answered each partition and how the batch path shaped up.
+type AggExplain struct {
+	// Op, Column, and GroupBy describe the aggregate computed (Column is
+	// empty for COUNT, GroupBy for ungrouped aggregates).
+	Op      string `json:"op"`
+	Column  string `json:"column,omitempty"`
+	GroupBy string `json:"group_by,omitempty"`
+	// PrimaryKernel/OutlierKernel name the scan kernel dispatched per
+	// partition ("grid-batch", "rtree-batch", "row-fallback", ...); empty
+	// when that partition was pruned.
+	PrimaryKernel string `json:"primary_kernel,omitempty"`
+	OutlierKernel string `json:"outlier_kernel,omitempty"`
+	// Batches is the total selection-bitmap batches processed;
+	// RowsPerBatch the mean candidate rows per batch; Selectivity the
+	// fraction of scanned rows the bitmaps selected.
+	Batches      int64   `json:"batches"`
+	RowsPerBatch float64 `json:"rows_per_batch"`
+	Selectivity  float64 `json:"selectivity"`
+	// Groups counts the distinct group keys of a GroupBy result.
+	Groups int `json:"groups,omitempty"`
 }
 
 // ShardSpan is the timed record of one shard probe inside a fan-out.
@@ -156,12 +187,21 @@ func (e *Explain) fromCore(rep *core.ProbeReport) {
 		RowsScanned:        rep.Primary.Scanned,
 		RowsMatched:        rep.Primary.Matched,
 		TombstonesFiltered: rep.Primary.Tombstones,
+		Batches:            rep.Primary.Batches,
 	}
 	e.Outlier = ProbeStats{
 		Pages:              rep.Outlier.Pages,
 		RowsScanned:        rep.Outlier.Scanned,
 		RowsMatched:        rep.Outlier.Matched,
 		TombstonesFiltered: rep.Outlier.Tombstones,
+		Batches:            rep.Outlier.Batches,
+	}
+	if rep.PrimaryKernel != "" || rep.OutlierKernel != "" {
+		if e.Agg == nil {
+			e.Agg = &AggExplain{}
+		}
+		e.Agg.PrimaryKernel = rep.PrimaryKernel
+		e.Agg.OutlierKernel = rep.OutlierKernel
 	}
 	e.Translations = make([]TranslationStep, 0, len(rep.Translations))
 	for _, tr := range rep.Translations {
@@ -246,6 +286,27 @@ func (e *Explain) String() string {
 		part("primary", e.PrimaryProbed, e.Primary)
 	}
 	part("outlier", e.OutlierProbed, e.Outlier)
+	if a := e.Agg; a != nil {
+		fmt.Fprintf(&b, "aggregate: %s", a.Op)
+		if a.Column != "" {
+			fmt.Fprintf(&b, "(%s)", a.Column)
+		}
+		if a.GroupBy != "" {
+			fmt.Fprintf(&b, " group by %s (%d groups)", a.GroupBy, a.Groups)
+		}
+		kernels := a.PrimaryKernel
+		if a.OutlierKernel != "" && a.OutlierKernel != kernels {
+			if kernels != "" {
+				kernels += "+"
+			}
+			kernels += a.OutlierKernel
+		}
+		if kernels != "" {
+			fmt.Fprintf(&b, " via %s", kernels)
+		}
+		fmt.Fprintf(&b, ": %d batches, %.1f rows/batch, selectivity %.4f\n",
+			a.Batches, a.RowsPerBatch, a.Selectivity)
+	}
 	status := "complete"
 	switch {
 	case e.Cancelled:

@@ -90,6 +90,7 @@ type Query struct {
 	ctx     context.Context
 	stable  bool
 	explain bool
+	group   *colRef // aggregation grouping (agg.go); nil when ungrouped
 }
 
 // NewQuery returns an empty query matching every row.

@@ -49,6 +49,12 @@ type ProbeReport struct {
 	// scan.
 	Primary index.Probe
 	Outlier index.Probe
+	// PrimaryKernel and OutlierKernel name the scan kernel an aggregation
+	// execution dispatched per partition ("grid-batch", "rtree-batch",
+	// "row-fallback", ...); empty when the partition was pruned or the
+	// query ran the plain row path.
+	PrimaryKernel string
+	OutlierKernel string
 }
 
 // Add accumulates o's counters and probe flags into p; translations are
@@ -63,6 +69,12 @@ func (p *ProbeReport) Add(o *ProbeReport) {
 	p.OutlierProbed = p.OutlierProbed || o.OutlierProbed
 	p.Primary.Add(o.Primary)
 	p.Outlier.Add(o.Outlier)
+	if p.PrimaryKernel == "" {
+		p.PrimaryKernel = o.PrimaryKernel
+	}
+	if p.OutlierKernel == "" {
+		p.OutlierKernel = o.OutlierKernel
+	}
 }
 
 // ObserveProbe folds one finished probe's report into the package-level
@@ -79,6 +91,7 @@ func ObserveProbe(rep *ProbeReport) {
 	obs.ScanRowsPrimary.Add(rep.Primary.Scanned)
 	obs.ScanRowsOutlier.Add(rep.Outlier.Scanned)
 	obs.ScanTombstones.Add(rep.Primary.Tombstones + rep.Outlier.Tombstones)
+	obs.ScanBatches.Add(rep.Primary.Batches + rep.Outlier.Batches)
 	obs.Translations.Add(int64(len(rep.Translations)))
 	for _, tr := range rep.Translations {
 		if !tr.Feasible {

@@ -1,0 +1,183 @@
+package gridfile
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// rowPath collects rows and counters through the row-at-a-time scan.
+func rowPath(g *GridFile, r index.Rect) ([][]float64, index.Probe) {
+	var rows [][]float64
+	var p index.Probe
+	g.Scan(r, func(row []float64) bool {
+		rows = append(rows, append([]float64(nil), row...))
+		return true
+	}, &p)
+	return rows, p
+}
+
+// batchPath collects rows and counters through the batch kernel, via the
+// Each compatibility shim.
+func batchPath(g *GridFile, r index.Rect) ([][]float64, index.Probe) {
+	var rows [][]float64
+	var p index.Probe
+	g.ScanBatch(r, func(b *index.Batch) bool {
+		return b.Each(func(row []float64) bool {
+			rows = append(rows, append([]float64(nil), row...))
+			return true
+		})
+	}, &p)
+	return rows, p
+}
+
+// sameProbe insists the batch path reproduced the row path's counters
+// exactly; Batches is the one field that legitimately differs (always zero
+// on the row path).
+func sameProbe(t *testing.T, label string, row, batch index.Probe) {
+	t.Helper()
+	if batch.Pages != row.Pages || batch.Scanned != row.Scanned ||
+		batch.Matched != row.Matched || batch.Tombstones != row.Tombstones {
+		t.Fatalf("%s: batch probe {pages %d scanned %d matched %d tombstones %d} vs row {%d %d %d %d}",
+			label, batch.Pages, batch.Scanned, batch.Matched, batch.Tombstones,
+			row.Pages, row.Scanned, row.Matched, row.Tombstones)
+	}
+	if batch.Matched > 0 && batch.Batches == 0 {
+		t.Fatalf("%s: batch path matched %d rows in zero batches", label, batch.Matched)
+	}
+	if row.Batches != 0 {
+		t.Fatalf("%s: row path counted %d batches", label, row.Batches)
+	}
+}
+
+// TestScanBatchMatchesScan drives both paths over the same grid file in
+// every mutation state — fresh, with overflow inserts, with tombstones,
+// both, and compacted — and requires identical row multisets and identical
+// probe counters.
+func TestScanBatchMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tab := randomTable(rng, 4000, 3)
+	build := func() *GridFile {
+		g, err := Build(tab, Config{GridDims: []int{0, 1}, SortDim: 2, CellsPerDim: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	mutate := map[string]func(*GridFile){
+		"fresh": func(*GridFile) {},
+		"overflow": func(g *GridFile) {
+			for i := 0; i < 300; i++ {
+				if err := g.Insert([]float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10, rng.NormFloat64() * 10}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+		"tombstoned": func(g *GridFile) {
+			for i := 0; i < 500; i += 3 {
+				g.Delete(tab.Row(i))
+			}
+		},
+		"overflow+tombstoned": func(g *GridFile) {
+			for i := 0; i < 200; i++ {
+				if err := g.Insert(append([]float64(nil), tab.Row(i)...)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 600; i += 2 {
+				g.Delete(tab.Row(i))
+			}
+		},
+		"compacted": func(g *GridFile) {
+			for i := 0; i < 500; i += 3 {
+				g.Delete(tab.Row(i))
+			}
+			g.Compact()
+		},
+	}
+	for name, mut := range mutate {
+		t.Run(name, func(t *testing.T) {
+			g := build()
+			mut(g)
+			rects := make([]index.Rect, 0, 42)
+			for i := 0; i < 40; i++ {
+				rects = append(rects, workload.RandRect(rng, tab))
+			}
+			rects = append(rects, index.Full(3), index.Point(tab.Row(7)))
+			for _, r := range rects {
+				rowRows, rowProbe := rowPath(g, r)
+				batchRows, batchProbe := batchPath(g, r)
+				sameRows(t, batchRows, rowRows)
+				sameProbe(t, name, rowProbe, batchProbe)
+			}
+		})
+	}
+}
+
+// TestScanBatchStops verifies a false-returning batch yield stops the scan
+// exactly like a false-returning row yield, reporting incompleteness.
+func TestScanBatchStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tab := randomTable(rng, 2000, 2)
+	g, err := Build(tab, Config{GridDims: []int{0}, SortDim: 1, CellsPerDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	complete := g.ScanBatch(index.Full(2), func(b *index.Batch) bool {
+		calls++
+		return false
+	}, nil)
+	if complete || calls != 1 {
+		t.Fatalf("complete=%v after %d yields, want aborted after 1", complete, calls)
+	}
+
+	// An abort hook fires at page granularity even when nothing matches.
+	var p index.Probe
+	p.Abort = func() bool { return true }
+	if g.ScanBatch(index.Full(2), func(*index.Batch) bool { return true }, &p) {
+		t.Fatal("aborted scan reported complete")
+	}
+}
+
+// TestScanBatchSelectionInvariants checks the bitmap contract every fold
+// relies on: tail bits past Rows are zero and Selected agrees with Each.
+func TestScanBatchSelectionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tab := randomTable(rng, 3000, 2)
+	g, err := Build(tab, Config{GridDims: []int{0}, SortDim: 1, CellsPerDim: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i += 2 {
+		g.Delete(tab.Row(i))
+	}
+	r := workload.RandRect(rng, tab)
+	g.ScanBatch(r, func(b *index.Batch) bool {
+		if b.Rows < 1 || b.Rows > index.BatchRows {
+			t.Fatalf("batch carries %d rows", b.Rows)
+		}
+		if len(b.Sel) != index.BatchWords(b.Rows) {
+			t.Fatalf("%d selection words for %d rows", len(b.Sel), b.Rows)
+		}
+		if tail := b.Rows & 63; tail != 0 {
+			if b.Sel[len(b.Sel)-1]&^(1<<uint(tail)-1) != 0 {
+				t.Fatal("selection bits set past Rows")
+			}
+		}
+		n := 0
+		b.Each(func(row []float64) bool {
+			if !r.Contains(row) {
+				t.Fatalf("selected row %v outside %v", row, r)
+			}
+			n++
+			return true
+		})
+		if n != b.Selected() {
+			t.Fatalf("Each visited %d rows, Selected says %d", n, b.Selected())
+		}
+		return true
+	}, nil)
+}

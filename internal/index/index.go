@@ -41,6 +41,9 @@ type Probe struct {
 	Matched int64
 	// Tombstones counts deleted rows filtered at the visitor boundary.
 	Tombstones int64
+	// Batches counts selection-bitmap batches processed by a batch scan;
+	// always zero on the row-at-a-time path.
+	Batches int64
 	// Abort, when non-nil, is polled at page boundaries; returning true
 	// stops the scan exactly as a false-returning yield would. This is how
 	// cancellation reaches scans whose pages match nothing — a yield-side
@@ -54,6 +57,7 @@ func (p *Probe) Add(o Probe) {
 	p.Scanned += o.Scanned
 	p.Matched += o.Matched
 	p.Tombstones += o.Tombstones
+	p.Batches += o.Batches
 }
 
 // Aborted reports whether the probe carries an abort hook that has fired;

@@ -37,6 +37,39 @@ var (
 	TranslationsInfeas = NewCounter("coax_translations_infeasible_total", "Translations yielding an empty predictor interval (query answered from the outlier partition alone).")
 )
 
+// Batch-kernel plane — updated by the layers that own whole queries when
+// an execution ran the vectorized scan kernels (core.ObserveProbe folds
+// Probe.Batches; the aggregation paths count dispatches and selected
+// rows). One dispatch series is pre-registered per kernel name so the hot
+// path never formats labels.
+var (
+	AggQueries        = NewCounter("coax_agg_queries_total", "Aggregation queries executed through the pushdown path.")
+	ScanBatches       = NewCounter("coax_scan_batches_total", "Selection-bitmap batches processed by vectorized scan kernels.")
+	BatchRowsSelected = NewCounter("coax_scan_batch_rows_selected_total", "Rows selected by batch kernels' bitmaps (popcount over selection words).")
+
+	KernelGridBatch     = NewCounter("coax_kernel_dispatch_total", "Scan-kernel dispatches by kernel name.", Label{"kernel", "grid-batch"})
+	KernelRTreeBatch    = NewCounter("coax_kernel_dispatch_total", "Scan-kernel dispatches by kernel name.", Label{"kernel", "rtree-batch"})
+	KernelFullScanBatch = NewCounter("coax_kernel_dispatch_total", "Scan-kernel dispatches by kernel name.", Label{"kernel", "fullscan-batch"})
+	KernelRowFallback   = NewCounter("coax_kernel_dispatch_total", "Scan-kernel dispatches by kernel name.", Label{"kernel", "row-fallback"})
+	KernelOtherBatch    = NewCounter("coax_kernel_dispatch_total", "Scan-kernel dispatches by kernel name.", Label{"kernel", "batch"})
+)
+
+// KernelDispatch returns the dispatch counter for a kernel name; unknown
+// batch kernels share the generic "batch" series.
+func KernelDispatch(name string) *Counter {
+	switch name {
+	case "grid-batch":
+		return KernelGridBatch
+	case "rtree-batch":
+		return KernelRTreeBatch
+	case "fullscan-batch":
+		return KernelFullScanBatch
+	case "row-fallback":
+		return KernelRowFallback
+	}
+	return KernelOtherBatch
+}
+
 // Mutation plane — updated by internal/core on successful mutations (the
 // serving layer counts rejected mutations separately, so validation
 // failures are not double-counted here).

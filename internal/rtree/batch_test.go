@@ -1,0 +1,104 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/coax-index/coax/internal/index"
+)
+
+// TestScanBatchMatchesScan drives the row path and the gather-based batch
+// kernel over the same tree — bulk-loaded, then with inserts and deletes —
+// and requires identical row multisets and identical probe counters.
+func TestScanBatchMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := randomTable(rng, 3000, 3)
+	rt, err := Bulk(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		for i := 0; i < 40; i++ {
+			r := randRect(rng, 3)
+			if i == 0 {
+				r = index.Full(3)
+			}
+			var rowRows, batchRows [][]float64
+			var rowProbe, batchProbe index.Probe
+			rt.Scan(r, func(row []float64) bool {
+				rowRows = append(rowRows, append([]float64(nil), row...))
+				return true
+			}, &rowProbe)
+			rt.ScanBatch(r, func(b *index.Batch) bool {
+				return b.Each(func(row []float64) bool {
+					batchRows = append(batchRows, append([]float64(nil), row...))
+					return true
+				})
+			}, &batchProbe)
+			if len(rowRows) != len(batchRows) {
+				t.Fatalf("%s: %d rows batched vs %d scanned", label, len(batchRows), len(rowRows))
+			}
+			sortRows(rowRows)
+			sortRows(batchRows)
+			for j := range rowRows {
+				for d := range rowRows[j] {
+					if rowRows[j][d] != batchRows[j][d] {
+						t.Fatalf("%s: row %d differs: %v vs %v", label, j, batchRows[j], rowRows[j])
+					}
+				}
+			}
+			if batchProbe.Pages != rowProbe.Pages || batchProbe.Scanned != rowProbe.Scanned ||
+				batchProbe.Matched != rowProbe.Matched || batchProbe.Tombstones != rowProbe.Tombstones {
+				t.Fatalf("%s: batch probe %+v vs row probe %+v", label, batchProbe, rowProbe)
+			}
+			if rowProbe.Batches != 0 {
+				t.Fatalf("%s: row path counted batches", label)
+			}
+		}
+	}
+	check("bulk")
+
+	for i := 0; i < 500; i++ {
+		rt.Insert([]float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100})
+	}
+	check("inserted")
+
+	for i := 0; i < 900; i += 3 {
+		rt.Delete(tab.Row(i))
+	}
+	check("deleted")
+}
+
+// TestScanBatchStops verifies batch-yield and abort-hook termination.
+func TestScanBatchStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tab := randomTable(rng, 5000, 2)
+	rt, err := Bulk(tab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if rt.ScanBatch(index.Full(2), func(*index.Batch) bool { calls++; return false }, nil) {
+		t.Fatal("stopped scan reported complete")
+	}
+	if calls != 1 {
+		t.Fatalf("yield ran %d times after returning false", calls)
+	}
+	var p index.Probe
+	p.Abort = func() bool { return true }
+	if rt.ScanBatch(index.Full(2), func(*index.Batch) bool { return true }, &p) {
+		t.Fatal("aborted scan reported complete")
+	}
+}
+
+func sortRows(rows [][]float64) {
+	sort.Slice(rows, func(i, j int) bool {
+		for d := range rows[i] {
+			if rows[i][d] != rows[j][d] {
+				return rows[i][d] < rows[j][d]
+			}
+		}
+		return false
+	})
+}

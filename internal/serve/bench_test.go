@@ -21,14 +21,14 @@ func BenchmarkKey(b *testing.B) {
 	r := benchRect()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = Key(r, 100, false)
+		_ = Key(r, 100, false, "")
 	}
 }
 
 func BenchmarkCacheHit(b *testing.B) {
 	inv := newFakeInv(8)
 	c := NewCache(inv, 1024)
-	key := Key(benchRect(), 100, false)
+	key := Key(benchRect(), 100, false, "")
 	c.Put(key, 0, []uint64{0, 0, 0, 0, 0, 0, 0, 0}, "answer")
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -42,7 +42,7 @@ func BenchmarkCacheHit(b *testing.B) {
 func BenchmarkCacheMiss(b *testing.B) {
 	inv := newFakeInv(8)
 	c := NewCache(inv, 1024)
-	key := Key(benchRect(), 100, false)
+	key := Key(benchRect(), 100, false, "")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -71,7 +71,7 @@ func BenchmarkQueryCacheHitParallel(b *testing.B) {
 	inv := newFakeInv(8)
 	qc := NewQueryCache(inv, 1024)
 	r := benchRect()
-	key := Key(r, 100, false)
+	key := Key(r, 100, false, "")
 	if _, _, err := qc.Do(key, r, func() (any, error) { return "answer", nil }); err != nil {
 		b.Fatal(err)
 	}

@@ -133,7 +133,7 @@ func TestCacheNeverServesStaleProperty(t *testing.T) {
 				} else if len(pool) < 32 {
 					pool = append(pool, r)
 				}
-				v, _, err := qc.Do(serve.Key(r, -1, false), r, func() (any, error) {
+				v, _, err := qc.Do(serve.Key(r, -1, false, ""), r, func() (any, error) {
 					return collect(s, r), nil
 				})
 				if err != nil {
@@ -233,7 +233,7 @@ func TestQueryCacheConcurrentMutation(t *testing.T) {
 			qrng := rand.New(rand.NewSource(int64(100 + g)))
 			for i := 0; i < 300; i++ {
 				r := pool[qrng.Intn(len(pool))]
-				v, _, err := qc.Do(serve.Key(r, -1, false), r, func() (any, error) {
+				v, _, err := qc.Do(serve.Key(r, -1, false, ""), r, func() (any, error) {
 					return collect(s, r), nil
 				})
 				if err != nil {

@@ -42,11 +42,14 @@ type Invalidator interface {
 }
 
 // Key canonicalizes one rectangle query into a cache/coalescing key: the
-// bit patterns of every bound, the row limit, and the early-termination
-// flag. Two requests producing the same key are answerable by the same
-// response bytes, so the key is also the single-flight identity.
-func Key(r index.Rect, limit int, early bool) string {
-	b := make([]byte, 0, 16*len(r.Min)+9)
+// bit patterns of every bound, the row limit, the early-termination flag,
+// and a canonical aggregation descriptor (empty for row queries). Two
+// requests producing the same key are answerable by the same response
+// bytes, so the key is also the single-flight identity. Within one engine
+// every rectangle has the same dimensionality, so row keys (fixed length)
+// and agg keys (fixed length plus descriptor) can never collide.
+func Key(r index.Rect, limit int, early bool, agg string) string {
+	b := make([]byte, 0, 16*len(r.Min)+9+len(agg))
 	var w [8]byte
 	for _, v := range r.Min {
 		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
@@ -63,6 +66,7 @@ func Key(r index.Rect, limit int, early bool) string {
 	} else {
 		b = append(b, 0)
 	}
+	b = append(b, agg...)
 	return string(b)
 }
 

@@ -37,16 +37,16 @@ func rect2(x0, y0, x1, y1 float64) index.Rect {
 
 func TestKeyCanonicalization(t *testing.T) {
 	r := rect2(1, 2, 3, 4)
-	base := Key(r, 100, false)
-	if Key(rect2(1, 2, 3, 4), 100, false) != base {
+	base := Key(r, 100, false, "")
+	if Key(rect2(1, 2, 3, 4), 100, false, "") != base {
 		t.Error("identical queries produced different keys")
 	}
 	distinct := []string{
-		Key(rect2(1.5, 2, 3, 4), 100, false),
-		Key(rect2(1, 2, 3, 4.5), 100, false),
-		Key(r, 101, false),
-		Key(r, -1, false),
-		Key(r, 100, true),
+		Key(rect2(1.5, 2, 3, 4), 100, false, ""),
+		Key(rect2(1, 2, 3, 4.5), 100, false, ""),
+		Key(r, 101, false, ""),
+		Key(r, -1, false, ""),
+		Key(r, 100, true, ""),
 	}
 	seen := map[string]bool{base: true}
 	for i, k := range distinct {
@@ -57,7 +57,7 @@ func TestKeyCanonicalization(t *testing.T) {
 	}
 	// -0 and +0 have different bit patterns, so they are different keys;
 	// both are answered correctly, just without sharing a cache line.
-	if Key(rect2(0, 2, 3, 4), 100, false) == Key(rect2(math.Copysign(0, -1), 2, 3, 4), 100, false) {
+	if Key(rect2(0, 2, 3, 4), 100, false, "") == Key(rect2(math.Copysign(0, -1), 2, 3, 4), 100, false, "") {
 		t.Error("negative zero folded into positive zero")
 	}
 }
@@ -65,7 +65,7 @@ func TestKeyCanonicalization(t *testing.T) {
 func TestCacheStaleInvalidation(t *testing.T) {
 	inv := newFakeInv(4)
 	c := NewCache(inv, 64)
-	key := Key(rect2(0, 0, 1, 1), -1, false)
+	key := Key(rect2(0, 0, 1, 1), -1, false, "")
 
 	c.Put(key, 1, []uint64{inv.ShardVersion(1), inv.ShardVersion(2)}, "answer")
 	if v, ok := c.Get(key); !ok || v != "answer" {
@@ -170,7 +170,7 @@ func TestQueryCacheDo(t *testing.T) {
 	inv := newFakeInv(2)
 	qc := NewQueryCache(inv, 16)
 	r := rect2(0, 0, 1, 1)
-	key := Key(r, 10, false)
+	key := Key(r, 10, false, "")
 	var computes atomic.Int64
 	compute := func() (any, error) {
 		computes.Add(1)
@@ -201,12 +201,12 @@ func TestQueryCacheDo(t *testing.T) {
 
 	// Errors are not cached.
 	boom := errors.New("boom")
-	_, _, err = qc.Do(Key(r, 11, false), r, func() (any, error) { return nil, boom })
+	_, _, err = qc.Do(Key(r, 11, false, ""), r, func() (any, error) { return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("error not propagated: %v", err)
 	}
 	var computed atomic.Int64
-	_, fromCache, _ = qc.Do(Key(r, 11, false), r, func() (any, error) { computed.Add(1); return 1, nil })
+	_, fromCache, _ = qc.Do(Key(r, 11, false, ""), r, func() (any, error) { computed.Add(1); return 1, nil })
 	if fromCache || computed.Load() != 1 {
 		t.Fatal("a failed compute left a cache entry behind")
 	}
@@ -219,7 +219,7 @@ func TestQueryCacheMidScanMutation(t *testing.T) {
 	inv := newFakeInv(1)
 	qc := NewQueryCache(inv, 16)
 	r := rect2(0, 0, 1, 1)
-	key := Key(r, -1, false)
+	key := Key(r, -1, false, "")
 	_, _, err := qc.Do(key, r, func() (any, error) {
 		inv.vers[0].Add(1) // mutation overlaps the scan
 		return "possibly-torn", nil

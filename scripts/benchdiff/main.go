@@ -1,0 +1,160 @@
+// Command benchdiff compares two macro benchmark reports (the BENCH_*.json
+// files emitted by coaxstore bench/buildbench and coaxserve
+// bench/mutbench/aggbench) and fails when a headline metric regressed
+// beyond a threshold.
+//
+// It walks the two JSON trees in parallel and classifies every numeric
+// leaf by its key: throughput-like keys (qps, speedup, hit_rate, *_per_sec)
+// must not drop, latency/size-like keys (*_ms, *_us, p50/p99, *_bytes,
+// overhead) must not grow, and everything else — dataset shape, sweep
+// parameters, matched-row counts — is ignored. Keys or array slots present
+// on one side only are skipped: a new metric has no baseline to regress
+// from, and a removed one has nothing to compare.
+//
+// Macro sweeps run once per side (no benchstat-style resampling), so the
+// default threshold is deliberately loose; it exists to catch step-change
+// regressions, not noise.
+//
+// Usage: benchdiff -base old.json -head new.json [-max-pct 25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type direction int
+
+const (
+	skip direction = iota
+	higherBetter
+	lowerBetter
+)
+
+// classify maps a JSON key to the direction its value should move.
+func classify(key string) direction {
+	k := strings.ToLower(key)
+	switch {
+	case strings.Contains(k, "qps"),
+		strings.Contains(k, "speedup"),
+		strings.Contains(k, "hit_rate"),
+		strings.Contains(k, "per_sec"):
+		return higherBetter
+	case strings.HasSuffix(k, "_ms"),
+		strings.HasSuffix(k, "_us"),
+		strings.HasSuffix(k, "_ns"),
+		strings.HasSuffix(k, "_seconds"),
+		strings.HasSuffix(k, "_bytes"),
+		strings.Contains(k, "p50"),
+		strings.Contains(k, "p99"),
+		strings.Contains(k, "overhead"):
+		return lowerBetter
+	}
+	return skip
+}
+
+type diff struct {
+	path       string
+	base, head float64
+	pct        float64 // signed percent change in the bad direction
+}
+
+// walk descends base and head in lockstep, collecting regressions and
+// improvements on the leaves both sides share.
+func walk(path, key string, base, head any, maxPct float64, regress, improve *[]diff) {
+	switch b := base.(type) {
+	case map[string]any:
+		h, ok := head.(map[string]any)
+		if !ok {
+			return
+		}
+		for k, bv := range b {
+			if hv, ok := h[k]; ok {
+				walk(path+"."+k, k, bv, hv, maxPct, regress, improve)
+			}
+		}
+	case []any:
+		h, ok := head.([]any)
+		if !ok {
+			return
+		}
+		n := min(len(b), len(h))
+		for i := 0; i < n; i++ {
+			walk(fmt.Sprintf("%s[%d]", path, i), key, b[i], h[i], maxPct, regress, improve)
+		}
+	case float64:
+		h, ok := head.(float64)
+		if !ok {
+			return
+		}
+		dir := classify(key)
+		if dir == skip || b == 0 {
+			return
+		}
+		var pct float64
+		switch dir {
+		case higherBetter:
+			pct = (b - h) / b * 100 // positive: throughput dropped
+		case lowerBetter:
+			pct = (h - b) / b * 100 // positive: latency grew
+		}
+		d := diff{path: strings.TrimPrefix(path, "."), base: b, head: h, pct: pct}
+		if pct > maxPct {
+			*regress = append(*regress, d)
+		} else if pct < -maxPct {
+			*improve = append(*improve, d)
+		}
+	}
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline report JSON")
+	headPath := flag.String("head", "", "candidate report JSON")
+	maxPct := flag.Float64("max-pct", 25, "regression threshold percent")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -head are required")
+		os.Exit(2)
+	}
+
+	load := func(path string) (any, error) {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var v any
+		if err := json.Unmarshal(blob, &v); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return v, nil
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	head, err := load(*headPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var regress, improve []diff
+	walk("", "", base, head, *maxPct, &regress, &improve)
+
+	for _, d := range improve {
+		fmt.Printf("improved:   %-50s %12.4g -> %-12.4g (%+.1f%%)\n", d.path, d.base, d.head, -d.pct)
+	}
+	for _, d := range regress {
+		fmt.Printf("REGRESSION: %-50s %12.4g -> %-12.4g (%+.1f%% worse)\n", d.path, d.base, d.head, d.pct)
+	}
+	if len(regress) > 0 {
+		fmt.Printf("benchdiff: %d metric(s) regressed over %.0f%% (%s vs %s)\n",
+			len(regress), *maxPct, *basePath, *headPath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regression over %.0f%% (%s vs %s)\n", *maxPct, *basePath, *headPath)
+}

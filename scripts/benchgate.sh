@@ -1,19 +1,31 @@
 #!/usr/bin/env bash
-# benchgate.sh — benchstat-gated perf regression check.
+# benchgate.sh — perf regression gate: benchstat micro phase + macro sweeps.
 #
-# Runs the curated microbenchmark set on the current tree and on a base ref,
-# compares with benchstat, and fails when any sec/op result regressed by
-# more than the threshold with statistical significance (p < 0.05). Noise
-# shows up as "~" rows and never fails the gate; only a confident slowdown
-# does.
+# Micro phase: runs the curated microbenchmark set on the current tree and
+# on a base ref, compares with benchstat, and fails when any sec/op result
+# regressed by more than the threshold with statistical significance
+# (p < 0.05). Noise shows up as "~" rows and never fails the gate; only a
+# confident slowdown does.
+#
+# Macro phase (BENCH_MACRO=1): builds the bench binaries on both trees,
+# runs the BENCH_*.json macro sweeps — serving QPS/latency, mutation mix,
+# streaming build, aggregation pushdown — on each, and diffs the reports
+# with scripts/benchdiff: throughput must not drop and latency must not
+# grow beyond BENCH_MACRO_MAX_PCT. Macro sweeps run once per side, so the
+# threshold is loose by design; a report the base cannot produce (e.g. the
+# sweep is new in this change) is skipped, not failed.
 #
 # Usage: scripts/benchgate.sh [base-ref]     (default: origin/main)
 # Env:   BENCH_PKGS     packages to bench   (default: ./internal/serve ./internal/snapshot)
 #        BENCH_PATTERN  -bench regexp       (default: .)
 #        BENCH_COUNT    -count              (default: 5)
 #        BENCH_TIME     -benchtime          (default: 0.3s)
-#        BENCH_MAX_PCT  regression threshold percent (default: 10)
+#        BENCH_MAX_PCT  micro regression threshold percent (default: 10)
 #        BENCH_OUT      output directory    (default: benchgate)
+#        BENCH_MICRO    0 skips the benchstat micro phase (default: 1)
+#        BENCH_MACRO    1 enables the macro-sweep diff (default: 0)
+#        BENCH_MACRO_ROWS     macro dataset size        (default: 100000)
+#        BENCH_MACRO_MAX_PCT  macro regression percent  (default: 25)
 set -euo pipefail
 
 BASE_REF="${1:-origin/main}"
@@ -23,13 +35,27 @@ BENCH_COUNT="${BENCH_COUNT:-5}"
 BENCH_TIME="${BENCH_TIME:-0.3s}"
 BENCH_MAX_PCT="${BENCH_MAX_PCT:-10}"
 BENCH_OUT="${BENCH_OUT:-benchgate}"
-
-if ! command -v benchstat >/dev/null 2>&1; then
-  echo "benchgate: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); skipping gate"
-  exit 0
-fi
+BENCH_MICRO="${BENCH_MICRO:-1}"
+BENCH_MACRO="${BENCH_MACRO:-0}"
+BENCH_MACRO_ROWS="${BENCH_MACRO_ROWS:-100000}"
+BENCH_MACRO_MAX_PCT="${BENCH_MACRO_MAX_PCT:-25}"
 
 mkdir -p "$BENCH_OUT"
+
+worktree=""
+cleanup() {
+  [ -n "$worktree" ] && git worktree remove --force "$worktree" >/dev/null 2>&1 || true
+}
+trap cleanup EXIT
+
+setup_worktree() {
+  [ -n "$worktree" ] && return 0
+  worktree="$(mktemp -d)"
+  if ! git worktree add --detach "$worktree" "$BASE_REF" >/dev/null 2>&1; then
+    worktree=""
+    return 1
+  fi
+}
 
 run_bench() {
   # -short keeps the heavier snapshot benchmarks on their small shapes; the
@@ -38,46 +64,114 @@ run_bench() {
     -benchtime "$BENCH_TIME" -short $BENCH_PKGS
 }
 
-echo "== head benchmarks =="
-run_bench | tee "$BENCH_OUT/head.txt"
+micro_phase() {
+  if ! command -v benchstat >/dev/null 2>&1; then
+    echo "benchgate: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); skipping micro gate"
+    return 0
+  fi
 
-worktree="$(mktemp -d)"
-cleanup() { git worktree remove --force "$worktree" >/dev/null 2>&1 || true; }
-trap cleanup EXIT
+  echo "== head benchmarks =="
+  run_bench | tee "$BENCH_OUT/head.txt"
 
-if ! git worktree add --detach "$worktree" "$BASE_REF" >/dev/null 2>&1; then
-  echo "benchgate: base ref $BASE_REF unavailable; nothing to compare against"
-  exit 0
-fi
+  if ! setup_worktree; then
+    echo "benchgate: base ref $BASE_REF unavailable; nothing to compare against"
+    return 0
+  fi
 
-echo "== base benchmarks ($BASE_REF) =="
-# A base that fails to build or bench (e.g. the benchmarks are new in this
-# change) is not a regression — there is no baseline to regress from.
-if ! (cd "$worktree" && run_bench) | tee "$BENCH_OUT/base.txt"; then
-  echo "benchgate: base failed to run the benchmark set; skipping comparison"
-  exit 0
-fi
+  echo "== base benchmarks ($BASE_REF) =="
+  # A base that fails to build or bench (e.g. the benchmarks are new in this
+  # change) is not a regression — there is no baseline to regress from.
+  if ! (cd "$worktree" && run_bench) | tee "$BENCH_OUT/base.txt"; then
+    echo "benchgate: base failed to run the benchmark set; skipping comparison"
+    return 0
+  fi
 
-echo "== benchstat $BASE_REF vs head =="
-benchstat "$BENCH_OUT/base.txt" "$BENCH_OUT/head.txt" | tee "$BENCH_OUT/benchstat.txt"
+  echo "== benchstat $BASE_REF vs head =="
+  benchstat "$BENCH_OUT/base.txt" "$BENCH_OUT/head.txt" | tee "$BENCH_OUT/benchstat.txt"
 
-# Gate on the sec/op table only: memory tables matter but are gated by the
-# time they cost, and alloc-count jitter on tiny benchmarks is pure noise.
-awk -v max="$BENCH_MAX_PCT" '
-  /sec\/op/   { insec = 1 }
-  /B\/op/     { if ($0 !~ /sec\/op/) insec = 0 }
-  /allocs\/op/{ if ($0 !~ /sec\/op/) insec = 0 }
-  insec && /\+[0-9.]+%/ && /p=/ {
-    delta = $0; sub(/.*\+/, "", delta); sub(/%.*/, "", delta)
-    p = $0; sub(/.*p=/, "", p); sub(/[^0-9.].*/, "", p)
-    if (delta + 0 > max && p + 0 < 0.05) {
-      print "REGRESSION: " $0
-      bad = 1
+  # Gate on the sec/op table only: memory tables matter but are gated by the
+  # time they cost, and alloc-count jitter on tiny benchmarks is pure noise.
+  awk -v max="$BENCH_MAX_PCT" '
+    /sec\/op/   { insec = 1 }
+    /B\/op/     { if ($0 !~ /sec\/op/) insec = 0 }
+    /allocs\/op/{ if ($0 !~ /sec\/op/) insec = 0 }
+    insec && /\+[0-9.]+%/ && /p=/ {
+      delta = $0; sub(/.*\+/, "", delta); sub(/%.*/, "", delta)
+      p = $0; sub(/.*p=/, "", p); sub(/[^0-9.].*/, "", p)
+      if (delta + 0 > max && p + 0 < 0.05) {
+        print "REGRESSION: " $0
+        bad = 1
+      }
     }
+    END { exit bad }
+  ' "$BENCH_OUT/benchstat.txt" || {
+    echo "benchgate: statistically significant regression over ${BENCH_MAX_PCT}% — failing"
+    return 1
   }
-  END { exit bad }
-' "$BENCH_OUT/benchstat.txt" || {
-  echo "benchgate: statistically significant regression over ${BENCH_MAX_PCT}% — failing"
-  exit 1
+  echo "benchgate: no significant micro regression over ${BENCH_MAX_PCT}%"
 }
-echo "benchgate: no significant regression over ${BENCH_MAX_PCT}%"
+
+# run_macro <tree-dir> <out-dir>: build the bench binaries from one tree
+# and run every macro sweep it supports, writing BENCH_*.json into out-dir.
+# Sweeps the tree does not have (older base refs) are skipped.
+run_macro() {
+  local tree="$1" out="$2"
+  mkdir -p "$out"
+  out="$(cd "$out" && pwd)"
+  (
+    cd "$tree"
+    bin="$(mktemp -d)"
+    go build -o "$bin/coaxstore" ./cmd/coaxstore
+    go build -o "$bin/coaxserve" ./cmd/coaxserve
+    "$bin/coaxserve" bench -rows "$BENCH_MACRO_ROWS" -queries 500 \
+      -shards 1,4 -batch 1,16 -json "$out/BENCH_serve.json" >/dev/null
+    "$bin/coaxserve" mutbench -rows "$BENCH_MACRO_ROWS" -shards 4 -queries 500 \
+      -json "$out/BENCH_mutation.json" >/dev/null
+    "$bin/coaxstore" buildbench -rows "$BENCH_MACRO_ROWS" -rates 0.01,0.1 \
+      -json "$out/BENCH_build.json" >/dev/null
+    if "$bin/coaxserve" aggbench -h 2>&1 | grep -q selectivities; then
+      "$bin/coaxserve" aggbench -rows "$BENCH_MACRO_ROWS" -queries 15 \
+        -grouprows "$BENCH_MACRO_ROWS" -json "$out/BENCH_agg.json" >/dev/null
+    fi
+    rm -rf "$bin"
+  )
+}
+
+macro_phase() {
+  if ! setup_worktree; then
+    echo "benchgate: base ref $BASE_REF unavailable; skipping macro phase"
+    return 0
+  fi
+
+  echo "== macro sweeps: head =="
+  run_macro "$PWD" "$BENCH_OUT/macro-head"
+  echo "== macro sweeps: base ($BASE_REF) =="
+  if ! run_macro "$worktree" "$BENCH_OUT/macro-base"; then
+    echo "benchgate: base failed to run the macro sweeps; skipping comparison"
+    return 0
+  fi
+
+  local bad=0 f name
+  for f in "$BENCH_OUT"/macro-head/BENCH_*.json; do
+    name="$(basename "$f")"
+    if [ ! -f "$BENCH_OUT/macro-base/$name" ]; then
+      echo "benchgate: $name has no baseline at $BASE_REF; skipping"
+      continue
+    fi
+    echo "== benchdiff $name =="
+    go run ./scripts/benchdiff -base "$BENCH_OUT/macro-base/$name" \
+      -head "$f" -max-pct "$BENCH_MACRO_MAX_PCT" || bad=1
+  done
+  if [ "$bad" -ne 0 ]; then
+    echo "benchgate: macro sweep regression over ${BENCH_MACRO_MAX_PCT}% — failing"
+    return 1
+  fi
+  echo "benchgate: no macro regression over ${BENCH_MACRO_MAX_PCT}%"
+}
+
+if [ "$BENCH_MICRO" = "1" ]; then
+  micro_phase
+fi
+if [ "$BENCH_MACRO" = "1" ]; then
+  macro_phase
+fi
