@@ -1,0 +1,373 @@
+package main
+
+// The clusterbench mode measures the distributed tier (internal/cluster):
+// query QPS and latency as the node count grows with the dataset fixed,
+// and what hedged replica reads buy under an injected straggler — one
+// replica delaying every request while the router either waits for it
+// (hedging off) or races the shard's backup replica after a fixed delay
+// (hedging on). Nodes and router run in one process over loopback TCP, so
+// the numbers include the full wire protocol but no physical network.
+//
+// The report lands in BENCH_cluster.json (CI's perf-reports-cluster
+// artifact) and is diffed by scripts/benchdiff in the benchgate macro
+// phase: qps must not drop, p50/p99 must not grow.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/cluster"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// clusterLatRun is one measured configuration's latency profile.
+type clusterLatRun struct {
+	QPS   float64 `json:"qps"`
+	P50us float64 `json:"p50_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+// clusterRun is one point of the node-count sweep. The qps lane streams
+// every matching row through the wire protocol (transfer-bound: more
+// nodes mostly add protocol overhead when they share one machine); the
+// agg_qps lane pushes a COUNT down to the nodes, so only per-shard
+// partials cross the wire and the scan parallelism of extra nodes shows.
+type clusterRun struct {
+	Nodes       int     `json:"nodes"`
+	Replication int     `json:"replication"`
+	QPS         float64 `json:"qps"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	AggQPS      float64 `json:"agg_qps"`
+	AggP50us    float64 `json:"agg_p50_us"`
+	AggP99us    float64 `json:"agg_p99_us"`
+	Speedup     float64 `json:"speedup_vs_first,omitempty"`
+	AggSpeedup  float64 `json:"agg_speedup_vs_first,omitempty"`
+}
+
+// hedgeReport compares hedged against unhedged reads under a straggler.
+// straggler_ms and hedge_delay_ms are sweep parameters, not measurements —
+// benchdiff skips them explicitly.
+type hedgeReport struct {
+	Nodes        int           `json:"nodes"`
+	Replication  int           `json:"replication"`
+	StragglerMS  float64       `json:"straggler_ms"`
+	HedgeDelayMS float64       `json:"hedge_delay_ms"`
+	Unhedged     clusterLatRun `json:"unhedged"`
+	Hedged       clusterLatRun `json:"hedged"`
+	P99Speedup   float64       `json:"p99_speedup"`
+}
+
+// clusterReport is the JSON shape written to BENCH_cluster.json.
+type clusterReport struct {
+	Dataset      string       `json:"dataset"`
+	Rows         int          `json:"rows"`
+	Queries      int          `json:"queries"`
+	KNN          int          `json:"knn"`
+	GlobalShards int          `json:"global_shards"`
+	Concurrency  int          `json:"concurrency"`
+	Runs         []clusterRun `json:"runs"`
+	Hedge        *hedgeReport `json:"hedge,omitempty"`
+}
+
+func cmdClusterBench(args []string) error {
+	fs := flag.NewFlagSet("clusterbench", flag.ExitOnError)
+	var (
+		ds      = fs.String("dataset", "osm", "dataset: osm|airline")
+		rows    = fs.Int("rows", 100000, "dataset size")
+		queries = fs.Int("queries", 300, "workload size")
+		knn     = fs.Int("knn", 200, "rectangles bound the k nearest records of a random seed row")
+		shards  = fs.Int("shards", 16, "cluster-wide global shard count K")
+		nodes   = fs.String("nodes", "1,2,3", "comma-separated node counts to sweep")
+		rf      = fs.Int("replication", 2, "replication factor (clamped to the node count per sweep point)")
+		conc    = fs.Int("concurrency", 8, "client goroutines driving the router")
+
+		localShards = fs.Int("local-shards", 2, "local sub-shards per hosted global shard")
+		straggler   = fs.Duration("straggler", 30*time.Millisecond, "injected per-request delay on one replica for the hedged-vs-unhedged comparison (0 skips it)")
+		hedgeDelay  = fs.Duration("hedge-delay", 5*time.Millisecond, "fixed hedge delay for the comparison (adaptive p99 needs a warm history a short bench does not have)")
+		jsonOut     = fs.String("json", "", "also write the report as JSON to this path")
+	)
+	fs.Parse(args)
+
+	nodeCounts, err := parseIntList(*nodes)
+	if err != nil {
+		return fmt.Errorf("-nodes: %w", err)
+	}
+	sort.Ints(nodeCounts)
+
+	tab, err := makeTable(*ds, *rows)
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(tab, 1)
+	rects := gen.KNNRects(*queries, *knn)
+
+	rep := clusterReport{
+		Dataset:      *ds,
+		Rows:         tab.Len(),
+		Queries:      len(rects),
+		KNN:          *knn,
+		GlobalShards: *shards,
+		Concurrency:  *conc,
+	}
+	fmt.Printf("cluster sweep: %s, %d rows, %d global shards, %d queries (%d-NN rects), %d client(s)\n",
+		*ds, tab.Len(), *shards, len(rects), *knn, *conc)
+
+	var firstRows int64 = -1
+	for _, n := range nodeCounts {
+		rfEff := min(*rf, n)
+		bc, err := startBenchCluster(tab, *shards, n, rfEff, *localShards)
+		if err != nil {
+			return fmt.Errorf("starting %d-node cluster: %w", n, err)
+		}
+		rt, err := cluster.NewRouter(bc.addrs, *shards, rfEff)
+		if err != nil {
+			bc.close()
+			return err
+		}
+		lat, matched, err := measureCluster(rt, rects, *conc)
+		var aggLat clusterLatRun
+		var aggMatched int64
+		if err == nil {
+			aggLat, aggMatched, err = measureClusterAgg(rt, rects, *conc)
+		}
+		rt.Close()
+		bc.close()
+		if err != nil {
+			return fmt.Errorf("%d-node sweep: %w", n, err)
+		}
+		// Every configuration answers the identical workload; a drifting
+		// row count means the distributed scan dropped or duplicated rows.
+		if matched != aggMatched {
+			return fmt.Errorf("%d-node sweep: row streaming matched %d rows, COUNT pushdown %d", n, matched, aggMatched)
+		}
+		if firstRows < 0 {
+			firstRows = matched
+		} else if matched != firstRows {
+			return fmt.Errorf("%d-node sweep matched %d rows, first sweep matched %d", n, matched, firstRows)
+		}
+		run := clusterRun{
+			Nodes: n, Replication: rfEff,
+			QPS: lat.QPS, P50us: lat.P50us, P99us: lat.P99us,
+			AggQPS: aggLat.QPS, AggP50us: aggLat.P50us, AggP99us: aggLat.P99us,
+		}
+		if len(rep.Runs) > 0 {
+			run.Speedup = lat.QPS / rep.Runs[0].QPS
+			run.AggSpeedup = aggLat.QPS / rep.Runs[0].AggQPS
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Printf("nodes=%-2d rf=%d   rows %9.0f qps (p99 %8.1fµs)   count %9.0f qps (p99 %8.1fµs)",
+			n, rfEff, lat.QPS, lat.P99us, aggLat.QPS, aggLat.P99us)
+		if run.AggSpeedup > 0 {
+			fmt.Printf("   %5.2fx vs %d node(s)", run.AggSpeedup, rep.Runs[0].Nodes)
+		}
+		fmt.Println()
+	}
+
+	// Hedged vs unhedged under a straggler needs a second replica to race,
+	// so it runs on the largest swept cluster that supports rf >= 2.
+	maxNodes := nodeCounts[len(nodeCounts)-1]
+	if *straggler > 0 && maxNodes >= 2 && *rf >= 2 {
+		h, err := measureHedging(tab, rects, *shards, maxNodes, min(*rf, maxNodes), *localShards, *conc, *straggler, *hedgeDelay)
+		if err != nil {
+			return err
+		}
+		rep.Hedge = h
+		fmt.Printf("straggler %v on one replica (hedge delay %v):\n", *straggler, *hedgeDelay)
+		fmt.Printf("  unhedged   %10.0f qps   p50 %8.1fµs   p99 %8.1fµs\n", h.Unhedged.QPS, h.Unhedged.P50us, h.Unhedged.P99us)
+		fmt.Printf("  hedged     %10.0f qps   p50 %8.1fµs   p99 %8.1fµs   (p99 %.1fx better)\n",
+			h.Hedged.QPS, h.Hedged.P50us, h.Hedged.P99us, h.P99Speedup)
+	} else if *straggler > 0 {
+		fmt.Println("hedging comparison skipped: needs at least 2 nodes and -replication 2")
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// benchCluster is an in-process cluster: n nodes on loopback listeners.
+type benchCluster struct {
+	nodes []*cluster.Node
+	addrs []string
+}
+
+func (bc *benchCluster) close() {
+	for _, n := range bc.nodes {
+		n.Close()
+	}
+}
+
+// startBenchCluster builds and serves an n-node cluster over tab: each
+// node materializes exactly the global shards consistent hashing assigns
+// it, identical to what n separate processes would build.
+func startBenchCluster(tab *coax.Table, shards, n, rf, localShards int) (*benchCluster, error) {
+	bc := &benchCluster{}
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		lns[i] = ln
+		bc.addrs = append(bc.addrs, ln.Addr().String())
+	}
+	ring, err := cluster.NewRing(bc.addrs, 0)
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	so := coax.DefaultShardOptions()
+	so.NumShards = localShards
+	for i, addr := range bc.addrs {
+		hosted := ring.HostedShards(addr, shards, rf)
+		engines, err := cluster.BuildShards(tab, hosted, shards, coax.DefaultOptions(), so)
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		node, err := cluster.NewNode(engines, shards)
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		bc.nodes = append(bc.nodes, node)
+		go node.Serve(lns[i])
+	}
+	return bc, nil
+}
+
+// measureCluster drives the workload through the router from conc client
+// goroutines, streaming every matching row, and reports QPS and the
+// per-query latency percentiles.
+func measureCluster(rt *cluster.Router, rects []index.Rect, conc int) (clusterLatRun, int64, error) {
+	return measureWorkload(func(r index.Rect) (int64, error) {
+		var n int64
+		_, err := rt.Exec(r, index.Spec{}, func([]float64) bool { n++; return true })
+		return n, err
+	}, rects, conc)
+}
+
+// measureClusterAgg runs the same workload as COUNT pushdowns: nodes fold
+// their shards locally and only partials cross the wire.
+func measureClusterAgg(rt *cluster.Router, rects []index.Rect, conc int) (clusterLatRun, int64, error) {
+	aspec := index.AggSpec{Op: index.AggCount, Col: -1, Group: -1}
+	return measureWorkload(func(r index.Rect) (int64, error) {
+		st, _, err := rt.ExecAgg(r, index.Spec{}, aspec)
+		if err != nil {
+			return 0, err
+		}
+		return st.All.Count, nil
+	}, rects, conc)
+}
+
+// measureWorkload times one query shape over the workload from conc
+// client goroutines, summing whatever per-query count do reports.
+func measureWorkload(do func(index.Rect) (int64, error), rects []index.Rect, conc int) (clusterLatRun, int64, error) {
+	for _, r := range rects[:min(len(rects), 50)] {
+		if _, err := do(r); err != nil {
+			return clusterLatRun{}, 0, err
+		}
+	}
+
+	lat := make([]time.Duration, len(rects))
+	var (
+		next, rows atomic.Int64
+		mu         sync.Mutex
+		firstErr   error
+		wg         sync.WaitGroup
+	)
+	t0 := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rects) {
+					return
+				}
+				q0 := time.Now()
+				n, err := do(rects[i])
+				lat[i] = time.Since(q0)
+				rows.Add(n)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := time.Since(t0)
+	if firstErr != nil {
+		return clusterLatRun{}, 0, firstErr
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return clusterLatRun{
+		QPS:   float64(len(rects)) / total.Seconds(),
+		P50us: us(percentile(lat, 0.50)),
+		P99us: us(percentile(lat, 0.99)),
+	}, rows.Load(), nil
+}
+
+// measureHedging runs the same workload twice against one cluster with a
+// straggling first node: once with hedging off (every query touching the
+// slow node waits out the injected delay) and once racing the backup
+// replica after hedgeDelay.
+func measureHedging(tab *coax.Table, rects []index.Rect, shards, n, rf, localShards, conc int, straggler, hedgeDelay time.Duration) (*hedgeReport, error) {
+	bc, err := startBenchCluster(tab, shards, n, rf, localShards)
+	if err != nil {
+		return nil, err
+	}
+	defer bc.close()
+	bc.nodes[0].SetDelay(straggler)
+
+	rep := &hedgeReport{
+		Nodes:        n,
+		Replication:  rf,
+		StragglerMS:  float64(straggler) / float64(time.Millisecond),
+		HedgeDelayMS: float64(hedgeDelay) / float64(time.Millisecond),
+	}
+	run := func(opts ...cluster.RouterOption) (clusterLatRun, error) {
+		rt, err := cluster.NewRouter(bc.addrs, shards, rf, opts...)
+		if err != nil {
+			return clusterLatRun{}, err
+		}
+		defer rt.Close()
+		lat, _, err := measureCluster(rt, rects, conc)
+		return lat, err
+	}
+	if rep.Unhedged, err = run(cluster.WithHedging(false)); err != nil {
+		return nil, fmt.Errorf("unhedged run: %w", err)
+	}
+	if rep.Hedged, err = run(cluster.WithHedgeDelay(hedgeDelay)); err != nil {
+		return nil, fmt.Errorf("hedged run: %w", err)
+	}
+	if rep.Hedged.P99us > 0 {
+		rep.P99Speedup = rep.Unhedged.P99us / rep.Hedged.P99us
+	}
+	return rep, nil
+}

@@ -10,6 +10,9 @@
 //	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json -metrics-check
 //	coaxserve mutbench -rows 200000 -shards 4 -json BENCH_mutation.json
 //	coaxserve aggbench -rows 200000 -selectivities 0.01,0.1,0.5 -json BENCH_agg.json
+//	coaxserve node -addr 127.0.0.1:7401 -peers 127.0.0.1:7401,127.0.0.1:7402 -shards 16 -replication 2
+//	coaxserve router -addr :8080 -nodes 127.0.0.1:7401,127.0.0.1:7402 -shards 16 -replication 2
+//	coaxserve clusterbench -rows 100000 -nodes 1,2,3 -straggler 30ms -json BENCH_cluster.json
 //
 // The serve mode loads a sharded snapshot (or builds one over a synthetic
 // dataset at startup) and answers:
@@ -86,6 +89,15 @@
 // idiom it replaces: COUNT and SUM across a selectivity sweep, a GROUP BY
 // on the airline carrier column, and a sharded repeat, failing unless both
 // paths agree on every answer (see BENCH_agg.json).
+//
+// The node and router modes deploy the engine as a cluster
+// (internal/cluster): each node process hosts the global shards consistent
+// hashing assigns it behind the binary wire protocol, and the router
+// scatter-gathers queries across nodes — with hedged replica reads, circuit
+// breaking, and failover — while serving the same HTTP/JSON API as serve
+// mode, including its result cache, request coalescing, and admission
+// control. The clusterbench mode sweeps node count and measures what
+// hedging buys under an injected straggler (see BENCH_cluster.json).
 package main
 
 import (
@@ -108,6 +120,12 @@ func main() {
 		err = cmdMutBench(os.Args[2:])
 	case "aggbench":
 		err = cmdAggBench(os.Args[2:])
+	case "node":
+		err = cmdNode(os.Args[2:])
+	case "router":
+		err = cmdRouter(os.Args[2:])
+	case "clusterbench":
+		err = cmdClusterBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -126,10 +144,16 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `coaxserve — sharded concurrent COAX query serving
 
 subcommands:
-  serve     answer HTTP/JSON queries and mutations from a sharded index
-  bench     measure QPS and latency vs. shard count and batch size
-  mutbench  measure query latency before/during/after an online rebuild
-  aggbench  measure aggregation pushdown vs. Collect-then-fold
+  serve        answer HTTP/JSON queries and mutations from a sharded index
+  bench        measure QPS and latency vs. shard count and batch size
+  mutbench     measure query latency before/during/after an online rebuild
+  aggbench     measure aggregation pushdown vs. Collect-then-fold
+  node         host this process's consistent-hash share of a cluster's
+               shards behind the binary wire protocol
+  router       serve the HTTP/JSON API by scatter-gathering across cluster
+               nodes, with hedged replica reads and failover
+  clusterbench measure cluster QPS vs. node count and hedged-read p99
+               under an injected straggler
 
 run 'coaxserve <subcommand> -h' for flags`)
 }

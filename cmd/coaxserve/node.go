@@ -1,0 +1,153 @@
+package main
+
+// The node mode of the distributed deployment: one process hosting its
+// consistent-hash share of the cluster's global shards behind the binary
+// wire protocol (internal/wire), serving scatter-gather requests from any
+// number of router processes (see router.go).
+//
+// Every node derives its shard assignment from the same inputs — the full
+// peer list, the global shard count K, and the replication factor — so no
+// coordinator hands out placements: NewRing(peers).HostedShards(self) is
+// the whole membership protocol. The synthetic dataset is deterministic
+// and rows route to global shards by value (cluster.RouteRow), so every
+// replica of a shard materializes identical rows without talking to
+// anyone.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/cluster"
+	"github.com/coax-index/coax/internal/serve"
+	"github.com/coax-index/coax/internal/shard"
+)
+
+func cmdNode(args []string) error {
+	fs := flag.NewFlagSet("node", flag.ExitOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7401", "wire-protocol listen address")
+		name   = fs.String("name", "", "this node's identity in -peers (default: -addr); routers must dial it under exactly this address")
+		peers  = fs.String("peers", "", "comma-separated addresses of every node in the cluster, including this one (default: just -name)")
+		shards = fs.Int("shards", 16, "cluster-wide global shard count K; must match every node and router")
+		rf     = fs.Int("replication", 2, "replication factor; must match the peers and routers")
+		ds     = fs.String("dataset", "osm", "synthetic dataset: osm|airline (identical on every node; rows route by value)")
+		rows   = fs.Int("rows", 100000, "synthetic dataset size")
+
+		localShards = fs.Int("local-shards", 2, "local sub-shards per hosted global shard (the in-process fan-out width)")
+		workers     = fs.Int("workers", 0, "query fan-out workers per local engine (0: one per CPU)")
+
+		maxInflight  = fs.Int("max-inflight", 0, "admission control: requests executing concurrently before new ones queue (0 disables)")
+		maxQueue     = fs.Int("max-queue", -1, "admission control: requests allowed to wait for a slot before shedding (-1: twice -max-inflight)")
+		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "admission control: longest a queued request waits before shedding")
+
+		straggler = fs.Duration("straggler", 0, "fault injection: delay every request by this much (demonstrates hedged reads)")
+	)
+	fs.Parse(args)
+
+	self := *name
+	if self == "" {
+		self = *addr
+	}
+	peerList := splitAddrs(*peers)
+	if len(peerList) == 0 {
+		peerList = []string{self}
+	}
+	found := false
+	for _, p := range peerList {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("node %s is not in -peers %q; every node must appear in the shared peer list", self, *peers)
+	}
+
+	ring, err := cluster.NewRing(peerList, 0)
+	if err != nil {
+		return err
+	}
+	hosted := ring.HostedShards(self, *shards, *rf)
+	if len(hosted) == 0 {
+		return fmt.Errorf("placement assigns node %s no shards (K=%d, rf=%d, %d peers)", self, *shards, *rf, len(peerList))
+	}
+
+	tab, err := makeTable(*ds, *rows)
+	if err != nil {
+		return err
+	}
+	so := coax.DefaultShardOptions()
+	so.NumShards = *localShards
+	so.Workers = *workers
+	t0 := time.Now()
+	engines, err := cluster.BuildShards(tab, hosted, *shards, coax.DefaultOptions(), so)
+	if err != nil {
+		return err
+	}
+
+	var opts []cluster.NodeOption
+	if *maxInflight > 0 {
+		q := *maxQueue
+		if q < 0 {
+			q = 2 * *maxInflight
+		}
+		opts = append(opts, cluster.WithAdmission(serve.NewAdmission(*maxInflight, q, *queueTimeout)))
+	}
+	node, err := cluster.NewNode(engines, *shards, opts...)
+	if err != nil {
+		return err
+	}
+	if *straggler > 0 {
+		node.SetDelay(*straggler)
+		fmt.Fprintf(os.Stderr, "fault injection: delaying every request by %v\n", *straggler)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The ready line is a protocol: the integration test and clustersmoke.sh
+	// wait for it before wiring a router up.
+	fmt.Printf("node %s ready: %d/%d global shards (%d rows) built in %v, rf=%d, %d peer(s)\n",
+		self, len(hosted), *shards, node.Rows(), time.Since(t0).Round(time.Millisecond), *rf, len(peerList))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "node: shutting down")
+		node.Close()
+	}()
+	if err := node.Serve(ln); err != net.ErrClosed {
+		return err
+	}
+	return nil
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// buildOracle builds the single-process reference engine over the same
+// table a cluster serves — the comparison target for tests and smoke
+// checks: a cluster answer must be a multiset-identical to the oracle's.
+func buildOracle(tab *coax.Table, localShards, workers int) (*shard.Sharded, error) {
+	so := coax.DefaultShardOptions()
+	so.NumShards = localShards
+	so.Workers = workers
+	return shard.Build(tab, coax.DefaultOptions(), so)
+}

@@ -120,6 +120,12 @@ func (w *statusWriter) WriteHeader(code int) {
 // instrument wraps h with the HTTP-plane metrics and, when enabled, a
 // per-request access log line on stderr.
 func (st *serverState) instrument(h http.Handler) http.Handler {
+	return instrumentHandler(h, st.accessLog)
+}
+
+// instrumentHandler is the shared request middleware behind both the
+// single-process serve mode and the cluster router mode.
+func instrumentHandler(h http.Handler, accessLog bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
 		httpInflight.Add(1)
@@ -132,7 +138,7 @@ func (st *serverState) instrument(h http.Handler) http.Handler {
 		if sw.status >= 400 {
 			httpErrors.Inc()
 		}
-		if st.accessLog {
+		if accessLog {
 			fmt.Fprintf(os.Stderr, "%s %s %s %d %v\n",
 				start.Format(time.RFC3339), req.Method, req.URL.Path, sw.status, elapsed.Round(time.Microsecond))
 		}

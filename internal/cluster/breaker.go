@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"github.com/coax-index/coax/internal/obs"
+)
+
+// breaker is a per-node circuit breaker. Consecutive transport failures
+// open it; while open, the router plans around the node (shards fail over
+// to their surviving replicas without waiting for a dial timeout). After
+// the cooldown one probe request is let through — a success closes the
+// breaker, another failure re-opens it for a fresh cooldown.
+//
+// Only transport and protocol failures count: an Error frame from a
+// healthy node (overload, row not found) proves the node is reachable and
+// resets the streak.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injected in tests
+
+	fails     int
+	openUntil time.Time
+	probing   bool // a half-open probe is in flight
+}
+
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 2 * time.Second
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may be sent to the node. While open it
+// admits exactly one half-open probe per cooldown window.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a request the node answered (even with a logical error).
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a transport failure; reaching the threshold opens the
+// breaker for one cooldown.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.fails++
+	b.probing = false
+	if b.fails >= b.threshold {
+		wasOpen := b.now().Before(b.openUntil)
+		b.openUntil = b.now().Add(b.cooldown)
+		if !wasOpen {
+			obs.ClusterBreakerOpen.Inc()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// open reports whether the breaker is currently rejecting requests.
+func (b *breaker) open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold && b.now().Before(b.openUntil)
+}

@@ -1,0 +1,522 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+// testTable plants the repo's usual soft-FD shape (col1 ≈ 2·col0 + 50)
+// with integer-valued aggregate and group columns, so distributed SUM/AVG
+// results are exactly representable and compare bit-for-bit against the
+// single-process oracle.
+func testTable(rng *rand.Rand, n int) *dataset.Table {
+	t := dataset.NewTable([]string{"x", "d", "u", "g"})
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1000
+		var d float64
+		if rng.Float64() < 0.05 {
+			d = rng.Float64() * 2100
+		} else {
+			d = 2*x + 50 + rng.NormFloat64()*4
+		}
+		t.Append([]float64{x, d, math.Round(rng.Float64() * 100), float64(rng.Intn(8))})
+	}
+	return t
+}
+
+func coreOptions() core.Options {
+	opt := core.DefaultOptions()
+	opt.SoftFD.SampleCount = 4000
+	return opt
+}
+
+func localShardOptions() shard.Options {
+	so := shard.DefaultOptions()
+	so.NumShards = 2
+	so.Workers = 2
+	return so
+}
+
+// testCluster is an in-process cluster: N nodes on loopback TCP listeners
+// plus a router, with a single-process oracle over the same table.
+type testCluster struct {
+	addrs  []string
+	nodes  map[string]*Node
+	router *Router
+	oracle *shard.Sharded
+	table  *dataset.Table
+}
+
+func startCluster(t *testing.T, table *dataset.Table, shards, nodes, rf int, opts ...RouterOption) *testCluster {
+	t.Helper()
+	lns := make([]net.Listener, nodes)
+	addrs := make([]string, nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ring, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{addrs: addrs, nodes: make(map[string]*Node), table: table}
+	for i, addr := range addrs {
+		hosted := ring.HostedShards(addr, shards, rf)
+		if len(hosted) == 0 {
+			t.Fatalf("node %s hosts no shards (shards=%d nodes=%d rf=%d)", addr, shards, nodes, rf)
+		}
+		engines, err := BuildShards(table, hosted, shards, coreOptions(), localShardOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNode(engines, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.nodes[addr] = n
+		go n.Serve(lns[i])
+	}
+	t.Cleanup(func() {
+		if tc.router != nil {
+			tc.router.Close()
+		}
+		for _, n := range tc.nodes {
+			n.Close()
+		}
+	})
+	rt, err := NewRouter(addrs, shards, rf, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = rt
+	oracle, err := shard.Build(table, coreOptions(), localShardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.oracle = oracle
+	return tc
+}
+
+func collectRouter(t *testing.T, rt *Router, r index.Rect, spec index.Spec) ([][]float64, bool) {
+	t.Helper()
+	var rows [][]float64
+	complete, err := rt.Exec(r, spec, func(row []float64) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("router exec: %v", err)
+	}
+	return rows, complete
+}
+
+func collectOracle(s *shard.Sharded, r index.Rect, spec index.Spec) [][]float64 {
+	var rows [][]float64
+	s.Exec(r, spec, func(row []float64) bool {
+		rows = append(rows, row)
+		return true
+	}, nil)
+	return rows
+}
+
+func sortRows(rows [][]float64) {
+	sort.Slice(rows, func(a, b int) bool {
+		ra, rb := rows[a], rows[b]
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return ra[i] < rb[i]
+			}
+		}
+		return false
+	})
+}
+
+func rowsEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// The distributed engine must answer every query with exactly the
+// multiset of rows the single-process engine returns.
+func TestClusterQueryOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tc := startCluster(t, testTable(rng, 4000), 16, 3, 2)
+	for q := 0; q < 25; q++ {
+		r := workload.RandRect(rng, tc.table)
+		got, complete := collectRouter(t, tc.router, r, index.Spec{})
+		want := collectOracle(tc.oracle, r, index.Spec{})
+		if !complete {
+			t.Fatalf("query %d: incomplete without a limit", q)
+		}
+		sortRows(got)
+		sortRows(want)
+		if !rowsEqual(got, want) {
+			t.Fatalf("query %d: cluster returned %d rows, oracle %d", q, len(got), len(want))
+		}
+	}
+}
+
+// Limit(k) must deliver exactly k rows (when the full result has at
+// least k), every one of them a member of the oracle's result set.
+func TestClusterLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tc := startCluster(t, testTable(rng, 4000), 16, 3, 2)
+	for q := 0; q < 10; q++ {
+		r := workload.RandRect(rng, tc.table)
+		want := collectOracle(tc.oracle, r, index.Spec{})
+		if len(want) < 5 {
+			continue
+		}
+		limit := 1 + rng.Intn(len(want))
+		got, complete := collectRouter(t, tc.router, r, index.Spec{Limit: limit})
+		if len(got) != limit {
+			t.Fatalf("query %d: limit %d delivered %d rows", q, limit, len(got))
+		}
+		if complete && limit < len(want) {
+			t.Fatalf("query %d: limited scan reported complete", q)
+		}
+		oracleSet := make(map[string]int, len(want))
+		for _, row := range want {
+			oracleSet[fmt.Sprint(row)]++
+		}
+		for _, row := range got {
+			k := fmt.Sprint(row)
+			if oracleSet[k] == 0 {
+				t.Fatalf("query %d: limited row %v not in oracle result", q, row)
+			}
+			oracleSet[k]--
+		}
+	}
+}
+
+// A yield that declines stops the fan-out and reports incomplete.
+func TestClusterYieldStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tc := startCluster(t, testTable(rng, 3000), 8, 2, 2)
+	r := index.Rect{Min: []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+		Max: []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)}}
+	seen := 0
+	complete, err := tc.router.Exec(r, index.Spec{}, func([]float64) bool {
+		seen++
+		return seen < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Error("declined yield reported complete")
+	}
+	if seen != 10 {
+		t.Errorf("yield saw %d rows, want 10", seen)
+	}
+}
+
+// A cancelled context stops the distributed scan promptly.
+func TestClusterCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tc := startCluster(t, testTable(rng, 3000), 8, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	r := index.Rect{Min: []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+		Max: []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)}}
+	seen := 0
+	start := time.Now()
+	complete, err := tc.router.Exec(r, index.Spec{Ctx: ctx}, func([]float64) bool {
+		seen++
+		if seen == 5 {
+			cancel()
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Error("cancelled scan reported complete")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancel took %s to unwind", elapsed)
+	}
+}
+
+// cellsMatch compares one aggregate cell against the oracle's: counts and
+// extrema exactly; sums within floating-point merge-order slack (the
+// distributed fold partitions rows differently than the oracle's local
+// shards, so SUM can differ in the final bits — COUNT/MIN/MAX cannot).
+func cellsMatch(op index.AggOp, got, want index.AggCell) bool {
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+		return false
+	}
+	if got.Sum == want.Sum {
+		return true
+	}
+	diff := math.Abs(got.Sum - want.Sum)
+	scale := math.Max(math.Abs(got.Sum), math.Abs(want.Sum))
+	return diff <= 1e-9*scale
+}
+
+// Aggregates must match the oracle: counts and extrema exactly, sums to
+// within reassociation error (exact when the folded column is
+// integer-valued, as columns 2 and 3 are).
+func TestClusterAggOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tc := startCluster(t, testTable(rng, 4000), 16, 3, 2)
+	specs := []index.AggSpec{
+		{Op: index.AggCount, Col: -1, Group: -1},
+		{Op: index.AggSum, Col: 2, Group: -1},
+		{Op: index.AggMin, Col: 2, Group: -1},
+		{Op: index.AggMax, Col: 0, Group: -1},
+		{Op: index.AggAvg, Col: 2, Group: 3},
+		{Op: index.AggCount, Col: -1, Group: 3},
+	}
+	for q := 0; q < 10; q++ {
+		r := workload.RandRect(rng, tc.table)
+		for _, aspec := range specs {
+			got, complete, err := tc.router.ExecAgg(r, index.Spec{}, aspec)
+			if err != nil {
+				t.Fatalf("query %d %v: %v", q, aspec, err)
+			}
+			if !complete {
+				t.Fatalf("query %d %v: incomplete", q, aspec)
+			}
+			want, _ := tc.oracle.ExecAgg(r, index.Spec{}, aspec, nil)
+			if got.Rows() != want.Rows() {
+				t.Fatalf("query %d %v: %d rows folded, oracle %d", q, aspec, got.Rows(), want.Rows())
+			}
+			if aspec.Group < 0 {
+				if !cellsMatch(aspec.Op, got.All, want.All) {
+					t.Fatalf("query %d %v: cell %+v, oracle %+v", q, aspec, got.All, want.All)
+				}
+				continue
+			}
+			gk, wk := got.GroupKeys(), want.GroupKeys()
+			if len(gk) != len(wk) {
+				t.Fatalf("query %d %v: %d groups, oracle %d", q, aspec, len(gk), len(wk))
+			}
+			for i, k := range gk {
+				if k != wk[i] || !cellsMatch(aspec.Op, *got.Groups[k], *want.Groups[k]) {
+					t.Fatalf("query %d %v group %v: cell %+v, oracle %+v", q, aspec, k, got.Groups[k], want.Groups[k])
+				}
+			}
+		}
+	}
+}
+
+// Mutations through the router must keep the cluster equivalent to an
+// oracle receiving the same mutations — including a cross-shard update
+// and the engine's logical error types surviving the network.
+func TestClusterMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	table := testTable(rng, 3000)
+	tc := startCluster(t, table, 8, 3, 2)
+
+	version0 := tc.router.ShardVersion(0)
+	var inserted [][]float64
+	for i := 0; i < 50; i++ {
+		row := []float64{rng.Float64() * 1000, rng.Float64() * 2100, math.Round(rng.Float64() * 100), float64(rng.Intn(8))}
+		if err := tc.router.Insert(row); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if err := tc.oracle.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, row)
+	}
+	for i := 0; i < 20; i++ {
+		row := table.Row(rng.Intn(table.Len()))
+		rowCopy := append([]float64(nil), row...)
+		if err := tc.router.Delete(rowCopy); err != nil && !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("delete %d: %v", i, err)
+		} else if err2 := tc.oracle.Delete(rowCopy); (err == nil) != (err2 == nil) {
+			t.Fatalf("delete %d: cluster err %v, oracle err %v", i, err, err2)
+		}
+	}
+	// Cross-shard update: the old and new rows almost surely hash apart.
+	old := inserted[0]
+	new1 := []float64{old[0] + 1, old[1] + 1, old[2], old[3]}
+	if err := tc.router.Update(old, new1); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if err := tc.oracle.Update(old, new1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Logical errors round-trip the wire with their types intact.
+	if err := tc.router.Delete([]float64{-1, -2, -3, -4}); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("deleting a missing row: got %v, want core.ErrNotFound", err)
+	}
+	if err := tc.router.Insert([]float64{1, 2}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tc.router.Insert([]float64{math.NaN(), 1, 2, 3}); err == nil {
+		t.Error("NaN row accepted")
+	}
+
+	bumped := false
+	for g := 0; g < tc.router.NumShards(); g++ {
+		if tc.router.ShardVersion(g) > 0 {
+			bumped = true
+		}
+	}
+	_ = version0
+	if !bumped {
+		t.Error("no shard version bumped by mutations")
+	}
+
+	for q := 0; q < 15; q++ {
+		r := workload.RandRect(rng, tc.table)
+		got, _ := collectRouter(t, tc.router, r, index.Spec{})
+		want := collectOracle(tc.oracle, r, index.Spec{})
+		sortRows(got)
+		sortRows(want)
+		if !rowsEqual(got, want) {
+			t.Fatalf("after mutations, query %d: cluster %d rows, oracle %d", q, len(got), len(want))
+		}
+	}
+}
+
+// Killing a node mid-test must not change any answer: every shard fails
+// over to its surviving replica.
+func TestClusterFailover(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tc := startCluster(t, testTable(rng, 4000), 16, 3, 2)
+
+	// Warm queries against the full cluster first.
+	r := workload.RandRect(rng, tc.table)
+	collectRouter(t, tc.router, r, index.Spec{})
+
+	tc.nodes[tc.addrs[0]].Close()
+
+	for q := 0; q < 15; q++ {
+		r := workload.RandRect(rng, tc.table)
+		got, complete := collectRouter(t, tc.router, r, index.Spec{})
+		want := collectOracle(tc.oracle, r, index.Spec{})
+		if !complete {
+			t.Fatalf("query %d incomplete after failover", q)
+		}
+		sortRows(got)
+		sortRows(want)
+		if !rowsEqual(got, want) {
+			t.Fatalf("query %d after node kill: cluster %d rows, oracle %d", q, len(got), len(want))
+		}
+	}
+
+	// Aggregates fail over too.
+	st, complete, err := tc.router.ExecAgg(index.Rect{
+		Min: []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+		Max: []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)},
+	}, index.Spec{}, index.AggSpec{Op: index.AggCount, Col: -1, Group: -1})
+	if err != nil || !complete {
+		t.Fatalf("agg after node kill: complete=%v err=%v", complete, err)
+	}
+	if st.All.Count != int64(tc.oracle.Len()) {
+		t.Errorf("agg count after node kill: %d, oracle %d", st.All.Count, tc.oracle.Len())
+	}
+}
+
+// With every replica shedding, the router surfaces an OverloadError
+// carrying the maximum Retry-After across replicas; with only one node
+// shedding (rf=2), queries keep succeeding on the other replica.
+func TestClusterOverloadPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tc := startCluster(t, testTable(rng, 3000), 8, 2, 2)
+	r := workload.RandRect(rng, tc.table)
+
+	tc.nodes[tc.addrs[0]].SetDraining(100 * time.Millisecond)
+	if _, complete := collectRouter(t, tc.router, r, index.Spec{}); !complete {
+		t.Fatal("query incomplete with one replica draining")
+	}
+
+	tc.nodes[tc.addrs[1]].SetDraining(250 * time.Millisecond)
+	_, err := tc.router.Exec(r, index.Spec{}, func([]float64) bool { return true })
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("got %v, want *OverloadError", err)
+	}
+	if oe.RetryAfter != 250*time.Millisecond {
+		t.Errorf("RetryAfter = %s, want the max across replicas (250ms)", oe.RetryAfter)
+	}
+
+	// Mutations shed the same way.
+	err = tc.router.Insert([]float64{1, 2, 3, 4})
+	if !errors.As(err, &oe) {
+		t.Fatalf("insert under full overload: got %v, want *OverloadError", err)
+	}
+
+	tc.nodes[tc.addrs[0]].SetDraining(0)
+	tc.nodes[tc.addrs[1]].SetDraining(0)
+	if _, complete := collectRouter(t, tc.router, r, index.Spec{}); !complete {
+		t.Fatal("query incomplete after draining lifted")
+	}
+}
+
+// An injected straggler must not hold queries hostage when hedging is on:
+// the backup replica answers while the slow node sleeps.
+func TestClusterHedging(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tc := startCluster(t, testTable(rng, 3000), 8, 2, 2, WithHedgeDelay(10*time.Millisecond))
+	r := workload.RandRect(rng, tc.table)
+	want := collectOracle(tc.oracle, r, index.Spec{})
+
+	tc.nodes[tc.addrs[0]].SetDelay(3 * time.Second)
+	start := time.Now()
+	got, complete := collectRouter(t, tc.router, r, index.Spec{})
+	elapsed := time.Since(start)
+	if !complete {
+		t.Fatal("hedged query incomplete")
+	}
+	sortRows(got)
+	sortRows(want)
+	if !rowsEqual(got, want) {
+		t.Fatalf("hedged query: %d rows, oracle %d", len(got), len(want))
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("hedged query took %s; the straggler (3s) was not hedged around", elapsed)
+	}
+	tc.nodes[tc.addrs[0]].SetDelay(0)
+}
+
+// Stats must count every logical row exactly once despite replication.
+func TestClusterStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	table := testTable(rng, 2500)
+	tc := startCluster(t, table, 8, 3, 2)
+	st := tc.router.Stats()
+	if st.Rows != int64(table.Len()) {
+		t.Errorf("stats rows %d, want %d", st.Rows, table.Len())
+	}
+	if st.Unanswered != 0 {
+		t.Errorf("%d shards unanswered", st.Unanswered)
+	}
+	if len(st.Nodes) != 3 {
+		t.Errorf("%d nodes in stats, want 3", len(st.Nodes))
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a sliding window of per-node request durations and
+// answers "what is this node's p99 right now". The router hedges a read —
+// launches the same shards on the next replica — once a request has been
+// outstanding longer than the node's p99: by definition ~1% of healthy
+// requests trip it, so hedges are rare unless the node is actually slow.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring [latencyWindow]time.Duration
+	n    int // total observations (ring holds min(n, latencyWindow))
+	idx  int
+}
+
+const latencyWindow = 128
+
+// hedge delay clamps: below the floor hedging fires on scheduler noise and
+// doubles load for nothing; above the ceiling a genuinely stuck node holds
+// the whole query hostage before the backup launches.
+const (
+	minHedgeDelay = 2 * time.Millisecond
+	maxHedgeDelay = 2 * time.Second
+	// defaultHedgeDelay serves until a node has enough observations for a
+	// meaningful p99.
+	defaultHedgeDelay = 50 * time.Millisecond
+	minHedgeSamples   = 16
+)
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.idx] = d
+	t.idx = (t.idx + 1) % latencyWindow
+	t.n++
+	t.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile duration over the window, or 0 with too
+// few samples to say anything.
+func (t *latencyTracker) p99() time.Duration {
+	t.mu.Lock()
+	n := t.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, t.ring[:n])
+	t.mu.Unlock()
+	if n < minHedgeSamples {
+		return 0
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	return buf[(n*99)/100]
+}
+
+// hedgeDelay converts the node's current p99 into the delay before a
+// hedged read launches, clamped into [minHedgeDelay, maxHedgeDelay] and
+// defaulting while the window is still filling.
+func (t *latencyTracker) hedgeDelay() time.Duration {
+	d := t.p99()
+	if d == 0 {
+		return defaultHedgeDelay
+	}
+	if d < minHedgeDelay {
+		return minHedgeDelay
+	}
+	if d > maxHedgeDelay {
+		return maxHedgeDelay
+	}
+	return d
+}

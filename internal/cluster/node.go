@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/lifecycle"
+	"github.com/coax-index/coax/internal/obs"
+	"github.com/coax-index/coax/internal/serve"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/wire"
+)
+
+// nodeChunkRows is how many rows a node accumulates per RowChunk frame.
+const nodeChunkRows = 512
+
+// Node hosts a subset of the cluster's global shards — each materialized
+// as one local shard.Sharded — behind the wire protocol. One Node serves
+// any number of router connections; every request runs in its own
+// goroutine and writes frame-atomically onto its connection, so a slow
+// stream never blocks a Cancel from being read.
+type Node struct {
+	dims    int
+	gshards int // K, the cluster-wide global shard count
+	shards  map[int]*shard.Sharded
+	hosted  []int // sorted keys of shards
+
+	// adm, when non-nil, bounds concurrent requests exactly like the HTTP
+	// serving tier; rejected requests answer an Overloaded error frame.
+	adm *serve.Admission
+
+	// delay is an injected per-request straggler latency (clusterbench's
+	// slow-replica knob); draining, when > 0, rejects every request with
+	// an Overloaded error carrying that many milliseconds of Retry-After
+	// (a deterministic overload for tests and rolling restarts).
+	delay    atomic.Int64
+	draining atomic.Int64
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NodeOption configures a Node.
+type NodeOption func(*Node)
+
+// WithAdmission bounds the node's concurrent requests; nil disables.
+func WithAdmission(adm *serve.Admission) NodeOption {
+	return func(n *Node) { n.adm = adm }
+}
+
+// NewNode wraps the hosted global shards (global shard id → local engine).
+// All engines must share one dimensionality, every id must be in
+// [0, globalShards), and at least one shard must be hosted.
+func NewNode(shards map[int]*shard.Sharded, globalShards int, opts ...NodeOption) (*Node, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: node hosts no shards")
+	}
+	n := &Node{
+		gshards: globalShards,
+		shards:  shards,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for g, s := range shards {
+		if g < 0 || g >= globalShards {
+			return nil, fmt.Errorf("cluster: hosted shard %d out of range [0,%d)", g, globalShards)
+		}
+		if s == nil {
+			return nil, fmt.Errorf("cluster: hosted shard %d has no engine", g)
+		}
+		if n.dims == 0 {
+			n.dims = s.Dims()
+		} else if s.Dims() != n.dims {
+			return nil, fmt.Errorf("cluster: shard %d has %d dims, node has %d", g, s.Dims(), n.dims)
+		}
+		n.hosted = append(n.hosted, g)
+	}
+	sort.Ints(n.hosted)
+	for _, o := range opts {
+		o(n)
+	}
+	return n, nil
+}
+
+// SetDelay injects an artificial latency before every request — the
+// straggler knob clusterbench uses to demonstrate hedged reads.
+func (n *Node) SetDelay(d time.Duration) { n.delay.Store(int64(d)) }
+
+// SetDraining makes the node reject every request with an Overloaded
+// error carrying retryAfter; zero resumes serving.
+func (n *Node) SetDraining(retryAfter time.Duration) {
+	n.draining.Store(retryAfter.Milliseconds())
+}
+
+// Rows reports the node's total live rows across hosted shards.
+func (n *Node) Rows() int64 {
+	var total int64
+	for _, g := range n.hosted {
+		total += int64(n.shards[g].Len())
+	}
+	return total
+}
+
+// Serve accepts router connections on ln until Close. It always returns a
+// non-nil error (net.ErrClosed after a clean Close).
+func (n *Node) Serve(ln net.Listener) error {
+	n.mu.Lock()
+	n.ln = ln
+	n.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if n.closed.Load() {
+				return net.ErrClosed
+			}
+			return err
+		}
+		n.mu.Lock()
+		if n.closed.Load() {
+			n.mu.Unlock()
+			c.Close()
+			return net.ErrClosed
+		}
+		n.conns[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer func() {
+				n.mu.Lock()
+				delete(n.conns, c)
+				n.mu.Unlock()
+				c.Close()
+			}()
+			n.serveConn(c)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// in-flight request goroutines to drain.
+func (n *Node) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	n.mu.Lock()
+	ln := n.ln
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+// connState is the per-connection request registry: Cancel frames and a
+// dropped connection raise the stop flag of the requests they target.
+type connState struct {
+	mu    sync.Mutex
+	stops map[uint64]*atomic.Bool
+}
+
+func (cs *connState) register(id uint64) *atomic.Bool {
+	stop := &atomic.Bool{}
+	cs.mu.Lock()
+	cs.stops[id] = stop
+	cs.mu.Unlock()
+	return stop
+}
+
+func (cs *connState) unregister(id uint64) {
+	cs.mu.Lock()
+	delete(cs.stops, id)
+	cs.mu.Unlock()
+}
+
+func (cs *connState) cancel(id uint64) {
+	cs.mu.Lock()
+	if stop := cs.stops[id]; stop != nil {
+		stop.Store(true)
+		obs.NodeCancelled.Inc()
+	}
+	cs.mu.Unlock()
+}
+
+func (cs *connState) cancelAll() {
+	cs.mu.Lock()
+	for _, stop := range cs.stops {
+		stop.Store(true)
+	}
+	cs.mu.Unlock()
+}
+
+// serveConn drives one router connection: handshake, then a read loop
+// that dispatches each request to its own goroutine. The loop returns on
+// any read error; in-flight requests are stopped and awaited so their
+// writes never race a closing connection.
+func (n *Node) serveConn(raw net.Conn) {
+	c := wire.NewConn(raw)
+	if err := wire.ServerHandshake(c, n.dims, n.gshards, n.Rows()); err != nil {
+		return
+	}
+	cs := &connState{stops: make(map[uint64]*atomic.Bool)}
+	var reqs sync.WaitGroup
+	defer func() {
+		cs.cancelAll()
+		reqs.Wait()
+	}()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return // clean EOF, dropped conn, or garbage: either way the conn is done
+		}
+		switch req := m.(type) {
+		case *wire.Cancel:
+			cs.cancel(req.ID)
+			continue
+		case *wire.Ping:
+			c.Send(&wire.Pong{ID: req.ID})
+			continue
+		}
+		id, ok := requestID(m)
+		if !ok {
+			c.Send(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected %T frame", m)})
+			return
+		}
+		obs.NodeRequests.Inc()
+		if ra := n.draining.Load(); ra > 0 {
+			obs.NodeShed.Inc()
+			c.Send(&wire.Error{ID: id, Code: wire.CodeOverloaded, RetryAfterMillis: ra, Msg: "node draining"})
+			continue
+		}
+		if n.adm != nil {
+			if err := n.adm.Acquire(context.Background()); err != nil {
+				obs.NodeShed.Inc()
+				c.Send(&wire.Error{ID: id, Code: wire.CodeOverloaded,
+					RetryAfterMillis: n.adm.RetryAfter().Milliseconds(), Msg: "node overloaded"})
+				continue
+			}
+		}
+		stop := cs.register(id)
+		reqs.Add(1)
+		go func(m wire.Message) {
+			defer reqs.Done()
+			defer cs.unregister(id)
+			if n.adm != nil {
+				defer n.adm.Release()
+			}
+			n.sleepDelay(stop)
+			switch req := m.(type) {
+			case *wire.Query:
+				n.handleQuery(c, req, stop)
+			case *wire.Agg:
+				n.handleAgg(c, req, stop)
+			case *wire.Mutate:
+				n.handleMutate(c, req)
+			case *wire.Stats:
+				n.handleStats(c, req)
+			}
+		}(m)
+	}
+}
+
+// requestID extracts the request id of a dispatchable frame.
+func requestID(m wire.Message) (uint64, bool) {
+	switch req := m.(type) {
+	case *wire.Query:
+		return req.ID, true
+	case *wire.Agg:
+		return req.ID, true
+	case *wire.Mutate:
+		return req.ID, true
+	case *wire.Stats:
+		return req.ID, true
+	}
+	return 0, false
+}
+
+// sleepDelay applies the injected straggler latency, waking early if the
+// request is cancelled meanwhile.
+func (n *Node) sleepDelay(stop *atomic.Bool) {
+	d := time.Duration(n.delay.Load())
+	if d <= 0 {
+		return
+	}
+	const step = time.Millisecond
+	for waited := time.Duration(0); waited < d; waited += step {
+		if stop.Load() {
+			return
+		}
+		time.Sleep(min(step, d-waited))
+	}
+}
+
+// engineFor resolves a requested global shard, answering BadShard when the
+// node does not host it (a stale router placement).
+func (n *Node) engineFor(c *wire.Conn, id uint64, g int) *shard.Sharded {
+	if s := n.shards[g]; s != nil {
+		return s
+	}
+	c.Send(&wire.Error{ID: id, Code: wire.CodeBadShard, Msg: fmt.Sprintf("shard %d not hosted", g)})
+	return nil
+}
+
+// handleQuery streams each requested shard's matching rows as RowChunk
+// frames, one ShardEOF per shard, and a final Done. The per-request stop
+// flag rides into every local scan as its abort hook, so a Cancel frame
+// stops remote work within about one page — the cluster-level mirror of
+// the in-process contract.
+func (n *Node) handleQuery(c *wire.Conn, q *wire.Query, stop *atomic.Bool) {
+	r := index.Rect{Min: q.Min, Max: q.Max}
+	if len(q.Min) != n.dims || len(q.Max) != n.dims {
+		c.Send(&wire.Error{ID: q.ID, Code: wire.CodeBadRequest,
+			Msg: fmt.Sprintf("rect has %d/%d dims, node has %d", len(q.Min), len(q.Max), n.dims)})
+		return
+	}
+	complete := true
+	chunk := make([]float64, 0, nodeChunkRows*n.dims)
+	for _, g := range q.Shards {
+		s := n.engineFor(c, q.ID, g)
+		if s == nil {
+			return
+		}
+		if stop.Load() {
+			complete = false
+			break
+		}
+		var rows int64
+		spec := index.Spec{Limit: int(q.Limit), Abort: stop.Load}
+		shardComplete := s.Exec(r, spec, func(row []float64) bool {
+			chunk = append(chunk, row...)
+			rows++
+			if len(chunk) >= nodeChunkRows*n.dims {
+				if err := c.Send(&wire.RowChunk{ID: q.ID, Shard: g, Rows: chunk}); err != nil {
+					stop.Store(true)
+					return false
+				}
+				chunk = chunk[:0]
+			}
+			return q.Limit <= 0 || rows < q.Limit
+		}, nil)
+		if len(chunk) > 0 {
+			if err := c.Send(&wire.RowChunk{ID: q.ID, Shard: g, Rows: chunk}); err != nil {
+				return
+			}
+			chunk = chunk[:0]
+		}
+		// A scan the limit stopped is still complete for the router's
+		// purposes — it has every row it asked this shard for.
+		limited := q.Limit > 0 && rows >= q.Limit
+		shardComplete = shardComplete || limited
+		if err := c.Send(&wire.ShardEOF{ID: q.ID, Shard: g, Rows: rows, Complete: shardComplete}); err != nil {
+			return
+		}
+		complete = complete && shardComplete
+	}
+	c.Send(&wire.Done{ID: q.ID, Complete: complete && !stop.Load()})
+}
+
+// handleAgg folds each requested shard into one AggPart partial. Partials
+// are exact per shard; the router merges them in global shard order, so
+// repeated distributed executions are bit-identical to each other.
+func (n *Node) handleAgg(c *wire.Conn, q *wire.Agg, stop *atomic.Bool) {
+	r := index.Rect{Min: q.Min, Max: q.Max}
+	if len(q.Min) != n.dims || len(q.Max) != n.dims {
+		c.Send(&wire.Error{ID: q.ID, Code: wire.CodeBadRequest,
+			Msg: fmt.Sprintf("rect has %d/%d dims, node has %d", len(q.Min), len(q.Max), n.dims)})
+		return
+	}
+	aspec := index.AggSpec{Op: index.AggOp(q.Op), Col: q.Col, Group: q.Group}
+	if err := aspec.Validate(n.dims); err != nil {
+		c.Send(&wire.Error{ID: q.ID, Code: wire.CodeBadRequest, Msg: err.Error()})
+		return
+	}
+	complete := true
+	for _, g := range q.Shards {
+		s := n.engineFor(c, q.ID, g)
+		if s == nil {
+			return
+		}
+		if stop.Load() {
+			complete = false
+			break
+		}
+		st, ok := s.ExecAgg(r, index.Spec{Abort: stop.Load}, aspec, nil)
+		if err := c.Send(partFromState(q.ID, g, st, ok)); err != nil {
+			return
+		}
+		complete = complete && ok
+	}
+	c.Send(&wire.Done{ID: q.ID, Complete: complete && !stop.Load()})
+}
+
+// partFromState flattens one shard's AggState into its wire partial:
+// grouped states emit one cell per key in ascending key order (the
+// deterministic order AggState.GroupKeys defines).
+func partFromState(id uint64, g int, st *index.AggState, complete bool) *wire.AggPart {
+	part := &wire.AggPart{ID: id, Shard: g, Grouped: st.Spec.Group >= 0, Complete: complete}
+	if !part.Grouped {
+		if st.All.Count > 0 {
+			part.Cells = []wire.AggCell{{Count: st.All.Count, Sum: st.All.Sum, Min: st.All.Min, Max: st.All.Max}}
+		}
+		return part
+	}
+	for _, k := range st.GroupKeys() {
+		cell := st.Groups[k]
+		part.Cells = append(part.Cells, wire.AggCell{Key: k, Count: cell.Count, Sum: cell.Sum, Min: cell.Min, Max: cell.Max})
+	}
+	return part
+}
+
+// stateFromPart inverts partFromState on the router side.
+func stateFromPart(spec index.AggSpec, p *wire.AggPart) *index.AggState {
+	st := index.NewAggState(spec)
+	if !p.Grouped {
+		if len(p.Cells) > 0 {
+			c := p.Cells[0]
+			st.All = index.AggCell{Count: c.Count, Sum: c.Sum, Min: c.Min, Max: c.Max}
+		}
+		return st
+	}
+	for _, c := range p.Cells {
+		st.Groups[c.Key] = &index.AggCell{Count: c.Count, Sum: c.Sum, Min: c.Min, Max: c.Max}
+	}
+	return st
+}
+
+// handleMutate applies one mutation to a hosted shard and acks with the
+// node's live row count. Logical failures map to their own error codes so
+// the router can translate them back into the engine's error types.
+func (n *Node) handleMutate(c *wire.Conn, q *wire.Mutate) {
+	s := n.engineFor(c, q.ID, q.Shard)
+	if s == nil {
+		return
+	}
+	var err error
+	switch q.Op {
+	case wire.MutInsert:
+		err = s.Insert(q.Row)
+	case wire.MutDelete:
+		err = s.Delete(q.Row)
+	case wire.MutUpdate:
+		err = s.Update(q.Row, q.New)
+	default:
+		c.Send(&wire.Error{ID: q.ID, Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unknown mutation op %d", q.Op)})
+		return
+	}
+	if err != nil {
+		c.Send(&wire.Error{ID: q.ID, Code: mutationCode(err), Msg: err.Error()})
+		return
+	}
+	c.Send(&wire.MutAck{ID: q.ID, Rows: n.Rows()})
+}
+
+func mutationCode(err error) uint8 {
+	var re *lifecycle.RowError
+	switch {
+	case errors.As(err, &re):
+		return wire.CodeBadRow
+	case errors.Is(err, core.ErrNotFound):
+		return wire.CodeNotFound
+	}
+	return wire.CodeInternal
+}
+
+// handleStats reports the node's shape.
+func (n *Node) handleStats(c *wire.Conn, q *wire.Stats) {
+	res := &wire.StatsRes{ID: q.ID, Rows: n.Rows(), Hosted: append([]int(nil), n.hosted...)}
+	for _, g := range res.Hosted {
+		res.ShardRows = append(res.ShardRows, int64(n.shards[g].Len()))
+	}
+	c.Send(res)
+}

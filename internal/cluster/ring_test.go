@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d.example:7000", i)
+	}
+	return out
+}
+
+// Property: placement balances within a tolerance — with vnode smoothing,
+// no node hosts more than twice nor less than a third of its fair share.
+func TestRingBalanceProperty(t *testing.T) {
+	const shards = 256
+	for _, nodes := range []int{2, 3, 5, 8} {
+		for _, rf := range []int{1, 2, 3} {
+			if rf > nodes {
+				continue
+			}
+			r, err := NewRing(nodeNames(nodes), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			load := make(map[string]int)
+			for g := 0; g < shards; g++ {
+				reps := r.Replicas(g, rf)
+				if len(reps) != rf {
+					t.Fatalf("nodes=%d rf=%d shard=%d: got %d replicas", nodes, rf, g, len(reps))
+				}
+				seen := make(map[string]bool)
+				for _, n := range reps {
+					if seen[n] {
+						t.Fatalf("nodes=%d rf=%d shard=%d: duplicate replica %s", nodes, rf, g, n)
+					}
+					seen[n] = true
+					load[n]++
+				}
+			}
+			fair := float64(shards*rf) / float64(nodes)
+			for n, c := range load {
+				if float64(c) > 2*fair || float64(c) < fair/3 {
+					t.Errorf("nodes=%d rf=%d: node %s hosts %d shards, fair share %.1f", nodes, rf, n, c, fair)
+				}
+			}
+			if len(load) != nodes {
+				t.Errorf("nodes=%d rf=%d: only %d nodes host anything", nodes, rf, len(load))
+			}
+		}
+	}
+}
+
+// Property: a node joining moves only the shards it takes over — each
+// shard's new replica set is a subset of its old set plus the new node,
+// and at most one old replica is displaced.
+func TestRingJoinMinimalMovement(t *testing.T) {
+	const shards = 256
+	names := nodeNames(9)
+	for _, nodes := range []int{2, 4, 8} {
+		for _, rf := range []int{1, 2} {
+			old, err := NewRing(names[:nodes], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grown, err := NewRing(names[:nodes+1], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joined := names[nodes]
+			moved := 0
+			for g := 0; g < shards; g++ {
+				oldSet := make(map[string]bool)
+				for _, n := range old.Replicas(g, rf) {
+					oldSet[n] = true
+				}
+				displaced := 0
+				for _, n := range grown.Replicas(g, rf) {
+					if n == joined {
+						continue
+					}
+					if !oldSet[n] {
+						t.Fatalf("nodes=%d rf=%d shard=%d: replica %s is neither old nor the joined node", nodes, rf, g, n)
+					}
+					delete(oldSet, n)
+				}
+				displaced = len(oldSet)
+				if displaced > 1 {
+					t.Errorf("nodes=%d rf=%d shard=%d: join displaced %d replicas", nodes, rf, g, displaced)
+				}
+				moved += displaced
+			}
+			// Expected movement is shards*rf/(nodes+1); allow 2.5x slack
+			// for hash variance before calling the ring unstable.
+			expect := float64(shards*rf) / float64(nodes+1)
+			if float64(moved) > 2.5*expect {
+				t.Errorf("nodes=%d rf=%d: join moved %d shard-replicas, expected about %.0f", nodes, rf, moved, expect)
+			}
+		}
+	}
+}
+
+// Property: a node leaving keeps every surviving replica in place — the
+// new set contains everything from the old set except the departed node.
+func TestRingLeaveMinimalMovement(t *testing.T) {
+	const shards = 256
+	names := nodeNames(5)
+	full, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := names[4]
+	shrunk, err := NewRing(names[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rf := range []int{1, 2} {
+		for g := 0; g < shards; g++ {
+			newSet := make(map[string]bool)
+			for _, n := range shrunk.Replicas(g, rf) {
+				newSet[n] = true
+			}
+			for _, n := range full.Replicas(g, rf) {
+				if n == left {
+					continue
+				}
+				if !newSet[n] {
+					t.Errorf("rf=%d shard=%d: survivor %s lost its replica on leave", rf, g, n)
+				}
+			}
+		}
+	}
+}
+
+// Placement must not depend on node list order.
+func TestRingOrderIndependence(t *testing.T) {
+	names := nodeNames(6)
+	shuffled := append([]string(nil), names...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 64; g++ {
+		ra, rb := a.Replicas(g, 2), b.Replicas(g, 2)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("shard %d: order-dependent placement %v vs %v", g, ra, rb)
+			}
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+}
+
+func TestHostedShards(t *testing.T) {
+	names := nodeNames(3)
+	r, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards, rf = 64, 2
+	count := 0
+	for _, n := range names {
+		hosted := r.HostedShards(n, shards, rf)
+		count += len(hosted)
+		for i := 1; i < len(hosted); i++ {
+			if hosted[i] <= hosted[i-1] {
+				t.Fatalf("HostedShards(%s) not ascending: %v", n, hosted)
+			}
+		}
+	}
+	if count != shards*rf {
+		t.Errorf("hosted shard-replicas total %d, want %d", count, shards*rf)
+	}
+}

@@ -122,6 +122,28 @@ func BuildPhase(phase string) *Histogram {
 	return nil
 }
 
+// Cluster plane — updated by internal/wire (frame accounting on every
+// connection) and internal/cluster (router scatter-gather, hedging,
+// failover, breaker state, node request serving).
+var (
+	WireBytesSent  = NewCounter("coax_wire_bytes_sent_total", "Bytes written to cluster wire-protocol connections (including framing).")
+	WireBytesRecv  = NewCounter("coax_wire_bytes_recv_total", "Bytes read from cluster wire-protocol connections (including framing).")
+	WireFramesSent = NewCounter("coax_wire_frames_sent_total", "Frames written to cluster wire-protocol connections.")
+	WireFramesRecv = NewCounter("coax_wire_frames_recv_total", "Frames read from cluster wire-protocol connections.")
+
+	ClusterRPCs        = NewCounter("coax_cluster_rpcs_total", "Node RPCs issued by the router (queries, aggregates, mutations, stats).")
+	ClusterRPCErrors   = NewCounter("coax_cluster_rpc_errors_total", "Node RPCs that failed with a transport or protocol error.")
+	ClusterRPCSeconds  = NewHistogram("coax_cluster_rpc_seconds", "Per-node RPC latency in seconds, as seen by the router.", 1e-6, 100)
+	ClusterHedges      = NewCounter("coax_cluster_hedged_reads_total", "Hedged replica reads launched after the hedge delay elapsed.")
+	ClusterHedgeWins   = NewCounter("coax_cluster_hedge_wins_total", "Shards whose first completed scan came from a hedged replica.")
+	ClusterFailovers   = NewCounter("coax_cluster_failovers_total", "Shards re-fetched from another replica after a node failure.")
+	ClusterBreakerOpen = NewCounter("coax_cluster_breaker_opens_total", "Per-node circuit breaker transitions into the open state.")
+
+	NodeRequests  = NewCounter("coax_node_requests_total", "Requests served by this process's cluster node listener.")
+	NodeShed      = NewCounter("coax_node_shed_total", "Node requests rejected with an overload error.")
+	NodeCancelled = NewCounter("coax_node_cancelled_total", "Node requests stopped early by a client cancel frame or dropped connection.")
+)
+
 var publishOnce sync.Once
 
 // PublishExpvar publishes the Default registry under the expvar key

@@ -346,6 +346,12 @@ func (s *Sharded) routeValue(v float64) int {
 	return sort.Search(len(s.cuts), func(j int) bool { return s.cuts[j] > v })
 }
 
+// HashRow exposes the row-identity hash used by hash partitioning.
+// Anything that must agree with this engine on where a row lives — the
+// cluster layer routes rows to global shards with it — uses this function,
+// so a row hashes identically whether it is placed locally or remotely.
+func HashRow(row []float64) uint64 { return hashRow(row) }
+
 // hashRow is FNV-1a over the little-endian bit pattern of the row.
 func hashRow(row []float64) uint64 {
 	const (

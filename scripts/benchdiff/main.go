@@ -1,7 +1,7 @@
 // Command benchdiff compares two macro benchmark reports (the BENCH_*.json
 // files emitted by coaxstore bench/buildbench and coaxserve
-// bench/mutbench/aggbench) and fails when a headline metric regressed
-// beyond a threshold.
+// bench/mutbench/aggbench/clusterbench) and fails when a headline metric
+// regressed beyond a threshold.
 //
 // It walks the two JSON trees in parallel and classifies every numeric
 // leaf by its key: throughput-like keys (qps, speedup, hit_rate, *_per_sec)
@@ -38,6 +38,12 @@ const (
 func classify(key string) direction {
 	k := strings.ToLower(key)
 	switch {
+	// Fault-injection knobs in BENCH_cluster.json: sweep parameters that
+	// happen to carry a unit suffix, not measurements. Without these the
+	// "_ms" rule below would flag a deliberately larger straggler delay
+	// as a latency regression.
+	case k == "straggler_ms", k == "hedge_delay_ms":
+		return skip
 	case strings.Contains(k, "qps"),
 		strings.Contains(k, "speedup"),
 		strings.Contains(k, "hit_rate"),

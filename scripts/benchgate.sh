@@ -9,7 +9,8 @@
 #
 # Macro phase (BENCH_MACRO=1): builds the bench binaries on both trees,
 # runs the BENCH_*.json macro sweeps — serving QPS/latency, mutation mix,
-# streaming build, aggregation pushdown — on each, and diffs the reports
+# streaming build, aggregation pushdown, cluster node sweep — on each, and
+# diffs the reports
 # with scripts/benchdiff: throughput must not drop and latency must not
 # grow beyond BENCH_MACRO_MAX_PCT. Macro sweeps run once per side, so the
 # threshold is loose by design; a report the base cannot produce (e.g. the
@@ -132,6 +133,10 @@ run_macro() {
     if "$bin/coaxserve" aggbench -h 2>&1 | grep -q selectivities; then
       "$bin/coaxserve" aggbench -rows "$BENCH_MACRO_ROWS" -queries 15 \
         -grouprows "$BENCH_MACRO_ROWS" -json "$out/BENCH_agg.json" >/dev/null
+    fi
+    if "$bin/coaxserve" clusterbench -h 2>&1 | grep -q straggler; then
+      "$bin/coaxserve" clusterbench -rows "$BENCH_MACRO_ROWS" -queries 200 \
+        -nodes 1,2 -json "$out/BENCH_cluster.json" >/dev/null
     fi
     rm -rf "$bin"
   )

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# clustersmoke.sh — end-to-end smoke test of the distributed deployment as
+# real processes: 2 node processes + 1 router process on loopback, compared
+# against a single-process serve instance over the identical dataset.
+#
+# The check is behavioral equivalence at the HTTP surface: the same /query
+# bodies must produce the same counts from the router (scatter-gathering
+# over the wire protocol) as from serve mode (in-process engine), and
+# mutations must land. Exercises the whole stack the Go tests cover, but
+# across process boundaries with the shipped binary.
+#
+# Usage: scripts/clustersmoke.sh
+# Env:   ROWS   dataset size (default 50000)
+#        SHARDS cluster-wide global shard count (default 12)
+set -euo pipefail
+
+ROWS="${ROWS:-50000}"
+SHARDS="${SHARDS:-12}"
+
+bin="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" >/dev/null 2>&1 || true
+  done
+  wait >/dev/null 2>&1 || true
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$bin/coaxserve" ./cmd/coaxserve
+
+# wait_http <url> <tries>: poll until an endpoint answers 200.
+wait_http() {
+  local url="$1" tries="${2:-120}"
+  for _ in $(seq "$tries"); do
+    if curl -fsS -o /dev/null "$url" 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  return 1
+}
+
+NODE1=127.0.0.1:7461
+NODE2=127.0.0.1:7462
+PEERS="$NODE1,$NODE2"
+ROUTER=127.0.0.1:7460
+SERVE=127.0.0.1:7459
+
+echo "== start 2 nodes + router + single-process oracle =="
+"$bin/coaxserve" node -addr "$NODE1" -peers "$PEERS" -shards "$SHARDS" \
+  -replication 2 -rows "$ROWS" &
+pids+=($!)
+"$bin/coaxserve" node -addr "$NODE2" -peers "$PEERS" -shards "$SHARDS" \
+  -replication 2 -rows "$ROWS" &
+pids+=($!)
+"$bin/coaxserve" serve -addr "$SERVE" -rows "$ROWS" -shards 4 &
+pids+=($!)
+
+wait_http "http://$SERVE/healthz" || {
+  echo "clustersmoke: serve oracle never became ready" >&2
+  exit 1
+}
+
+# The router refuses to start until it can reach every node (its startup
+# shape-check dials them all), so starting it IS the readiness probe for
+# the nodes: retry until it stays up.
+router_up=""
+for _ in $(seq 60); do
+  "$bin/coaxserve" router -addr "$ROUTER" -nodes "$PEERS" \
+    -shards "$SHARDS" -replication 2 2>/dev/null &
+  rpid=$!
+  pids+=("$rpid")
+  if wait_http "http://$ROUTER/healthz" 6; then
+    router_up=1
+    break
+  fi
+  kill "$rpid" >/dev/null 2>&1 || true
+done
+if [ -z "$router_up" ]; then
+  echo "clustersmoke: router never became ready" >&2
+  exit 1
+fi
+
+# query <host> <body>: POST /query and print the count.
+query() {
+  curl -fsS -X POST "http://$1/query" -H 'Content-Type: application/json' \
+    -d "$2" | jq -r .count
+}
+
+echo "== compare /query counts: router vs single-process =="
+# Columns are id, timestamp, lat (38..47.5), lon (-80.5..-66.9).
+queries=(
+  '{"min":[null,null,null,null],"max":[null,null,null,null],"limit":0}'
+  '{"min":[null,null,40.0,-75.0],"max":[null,null,42.0,-72.0],"limit":0}'
+  '{"min":[0,null,null,null],"max":[25000,null,null,null],"limit":0}'
+  '{"min":[null,null,44.0,null],"max":[null,null,47.0,-70.0],"limit":0}'
+  '{"min":[10000,null,39.0,-80.0],"max":[40000,null,46.0,-68.0],"limit":0}'
+)
+for q in "${queries[@]}"; do
+  got="$(query "$ROUTER" "$q")"
+  want="$(query "$SERVE" "$q")"
+  if [ "$got" != "$want" ]; then
+    echo "clustersmoke: MISMATCH on $q: router=$got serve=$want" >&2
+    exit 1
+  fi
+  echo "ok: $q -> $got rows on both"
+done
+
+echo "== aggregation pushdown through the router =="
+agg='{"min":[null,null,null,null],"max":[null,null,null,null],"agg":{"op":"count"}}'
+got="$(query "$ROUTER" "$agg")"
+want="$(query "$SERVE" '{"min":[null,null,null,null],"max":[null,null,null,null],"limit":0}')"
+if [ "$got" != "$want" ]; then
+  echo "clustersmoke: COUNT pushdown mismatch: agg=$got rows=$want" >&2
+  exit 1
+fi
+echo "ok: COUNT pushdown -> $got"
+
+echo "== mutations through the router =="
+total="$(curl -fsS http://$ROUTER/stats | jq -r .rows)"
+curl -fsS -X POST "http://$ROUTER/insert" -H 'Content-Type: application/json' \
+  -d '{"row":[1.5,2.5,0.5,3.5]}' >/dev/null
+after="$(curl -fsS http://$ROUTER/stats | jq -r .rows)"
+if [ "$after" != "$((total + 1))" ]; then
+  echo "clustersmoke: insert did not land: $total -> $after" >&2
+  exit 1
+fi
+code="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$ROUTER/delete" \
+  -H 'Content-Type: application/json' -d '{"row":[1.5,2.5,0.5,3.5]}')"
+if [ "$code" != "200" ]; then
+  echo "clustersmoke: delete of inserted row answered $code" >&2
+  exit 1
+fi
+code="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$ROUTER/delete" \
+  -H 'Content-Type: application/json' -d '{"row":[1.5,2.5,0.5,3.5]}')"
+if [ "$code" != "404" ]; then
+  echo "clustersmoke: delete of absent row answered $code, want 404" >&2
+  exit 1
+fi
+echo "ok: insert/delete round-trip, 404 on absent row"
+
+echo "clustersmoke: PASS"
