@@ -327,6 +327,98 @@ func TestClusterMultiProcess(t *testing.T) {
 	})
 }
 
+// TestClusterNodeSnapshotIn boots a multi-process cluster whose nodes all
+// build from the same v3 (memory-mapped, compressed) snapshot via `node
+// -in` instead of a synthetic dataset, and checks distributed answers
+// against an oracle built over the snapshot's table. This is the
+// operational path for serving a prepared dataset across a fleet: write
+// one v3 file, point every node at it.
+func TestClusterNodeSnapshotIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	const (
+		rows        = 8000
+		gshards     = 8
+		rf          = 2
+		numNodes    = 2
+		localShards = 2
+	)
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(rows))
+	so := coax.DefaultShardOptions()
+	so.NumShards = 4
+	idx, err := coax.BuildSharded(tab, coax.DefaultOptions(), so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := fmt.Sprintf("%s/cluster.v3", t.TempDir())
+	if err := coax.SaveShardedFileV3(snapPath, idx, true); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := reserveAddrs(t, numNodes)
+	peers := strings.Join(addrs, ",")
+	procs := make([]*exec.Cmd, numNodes)
+	for i, a := range addrs {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), fmt.Sprintf(
+			"COAXSERVE_NODE_ARGS=-addr %s -peers %s -shards %d -replication %d -in %s -local-shards %d",
+			a, peers, gshards, rf, snapPath, localShards))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting node %d: %v", i, err)
+		}
+		procs[i] = cmd
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+			p.Wait()
+		}
+	})
+
+	rt := waitForRouter(t, addrs, gshards, rf, 120*time.Second)
+	defer rt.Close()
+
+	// The oracle serves the same table the snapshot encodes.
+	oracle, err := buildOracle(tab, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := oracle.Dims()
+
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 15; i++ {
+		r := workload.RandRect(rng, tab)
+		var got []float64
+		complete, err := rt.Exec(r, index.Spec{}, func(row []float64) bool {
+			got = append(got, row...)
+			return true
+		})
+		if err != nil || !complete {
+			t.Fatalf("query %d: err=%v complete=%v", i, err, complete)
+		}
+		var want []float64
+		oracle.Query(r, func(row []float64) { want = append(want, row...) })
+		sortFlatRows(got, dims)
+		sortFlatRows(want, dims)
+		if !flatRowsEqual(got, want) {
+			t.Fatalf("query %d: cluster answered %d rows, oracle %d (or row values differ)",
+				i, len(got)/dims, len(want)/dims)
+		}
+		agg, complete, err := rt.ExecAgg(r, index.Spec{}, index.AggSpec{Op: index.AggCount, Col: -1, Group: -1})
+		if err != nil || !complete {
+			t.Fatalf("agg %d: err=%v complete=%v", i, err, complete)
+		}
+		if int(agg.All.Count) != len(want)/dims {
+			t.Fatalf("agg %d: count %d, oracle %d", i, agg.All.Count, len(want)/dims)
+		}
+	}
+}
+
 // TestRouterModeHTTP drives the router-mode HTTP surface against an
 // in-process cluster: the JSON API must behave exactly like serve mode,
 // including 429 + Retry-After when every replica sheds.

@@ -5,12 +5,14 @@
 //
 //	coaxserve serve -dataset osm -rows 500000 -shards 8 -addr :8080 -save osm-sharded.coax
 //	coaxserve serve -in osm-sharded.coax -compact-interval 30s
+//	coaxserve serve -in osm.v3 -addr :8080      # v3 snapshots serve memory-mapped
 //	coaxserve serve -in osm-sharded.coax -debug-addr :6060 -slowlog-threshold 50ms -access-log
 //	coaxserve serve -in osm-sharded.coax -cache-size 8192 -max-inflight 64 -queue-timeout 100ms
 //	coaxserve bench -rows 500000 -shards 1,2,4,8 -batch 1,16,64 -json BENCH_serve.json -metrics-check
 //	coaxserve mutbench -rows 200000 -shards 4 -json BENCH_mutation.json
 //	coaxserve aggbench -rows 200000 -selectivities 0.01,0.1,0.5 -json BENCH_agg.json
 //	coaxserve node -addr 127.0.0.1:7401 -peers 127.0.0.1:7401,127.0.0.1:7402 -shards 16 -replication 2
+//	coaxserve node -addr 127.0.0.1:7401 -peers ... -in osm.v3   # every node builds from one snapshot
 //	coaxserve router -addr :8080 -nodes 127.0.0.1:7401,127.0.0.1:7402 -shards 16 -replication 2
 //	coaxserve clusterbench -rows 100000 -nodes 1,2,3 -straggler 30ms -json BENCH_cluster.json
 //

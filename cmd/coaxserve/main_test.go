@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -188,6 +189,47 @@ func TestOpenIndexWrapsSingleSnapshot(t *testing.T) {
 	}
 	if idx.NumShards() != 1 || idx.Len() != tab.Len() {
 		t.Errorf("wrapped index: %d shards, %d rows", idx.NumShards(), idx.Len())
+	}
+}
+
+// TestOpenIndexServesV3Snapshot covers serve mode's -in path for the v3
+// memory-mapped format: openIndex must return a serving layer whose
+// answers match the in-memory engine it was saved from, and /healthz
+// version reporting must say 3.
+func TestOpenIndexServesV3Snapshot(t *testing.T) {
+	tab := coax.GenerateOSM(coax.DefaultOSMConfig(4000))
+	single, err := coax.Build(tab, coax.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compress := range []bool{false, true} {
+		path := fmt.Sprintf("%s/v3-%v.coax", t.TempDir(), compress)
+		if err := coax.SaveFileV3(path, single, compress); err != nil {
+			t.Fatal(err)
+		}
+		idx, err := openIndex(path, "", "", 0, 0, 2, 0)
+		if err != nil {
+			t.Fatalf("openIndex(v3, compress=%v): %v", compress, err)
+		}
+		if idx.Len() != tab.Len() {
+			t.Errorf("compress=%v: served %d rows, want %d", compress, idx.Len(), tab.Len())
+		}
+		r := coax.FullRect(tab.Dims())
+		r.Max[0] = tab.Row(tab.Len() / 2)[0] // a real value: a nonempty partial rect
+		nMapped, err := coax.FromRect(r).Count(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nHeap, err := coax.FromRect(r).Count(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nMapped != nHeap {
+			t.Errorf("compress=%v: mapped count %d, heap %d", compress, nMapped, nHeap)
+		}
+		if v := snapshotVersionOf(path); v != coax.SnapshotVersionV3 {
+			t.Errorf("compress=%v: snapshotVersionOf = %d, want %d", compress, v, coax.SnapshotVersionV3)
+		}
 	}
 }
 

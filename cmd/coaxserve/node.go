@@ -39,6 +39,7 @@ func cmdNode(args []string) error {
 		rf     = fs.Int("replication", 2, "replication factor; must match the peers and routers")
 		ds     = fs.String("dataset", "osm", "synthetic dataset: osm|airline (identical on every node; rows route by value)")
 		rows   = fs.Int("rows", 100000, "synthetic dataset size")
+		in     = fs.String("in", "", "build this node's shards from a snapshot (any format version; every node must use the same file) instead of a synthetic dataset")
 
 		localShards = fs.Int("local-shards", 2, "local sub-shards per hosted global shard (the in-process fan-out width)")
 		workers     = fs.Int("workers", 0, "query fan-out workers per local engine (0: one per CPU)")
@@ -79,9 +80,19 @@ func cmdNode(args []string) error {
 		return fmt.Errorf("placement assigns node %s no shards (K=%d, rf=%d, %d peers)", self, *shards, *rf, len(peerList))
 	}
 
-	tab, err := makeTable(*ds, *rows)
-	if err != nil {
-		return err
+	var tab *coax.Table
+	if *in != "" {
+		tab, err = tableFromSnapshot(*in, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "node %s: materialized %d rows × %d dims from snapshot %s\n",
+			self, tab.Len(), tab.Dims(), *in)
+	} else {
+		tab, err = makeTable(*ds, *rows)
+		if err != nil {
+			return err
+		}
 	}
 	so := coax.DefaultShardOptions()
 	so.NumShards = *localShards
@@ -129,6 +140,32 @@ func cmdNode(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// tableFromSnapshot materializes the live rows of a snapshot into a table
+// the shard-placement pipeline can split. A v3 file is memory-mapped only
+// for the duration of the scan — nodes re-partition rows by value into
+// their hosted global shards, so the rows must land on the heap anyway.
+// Placement hashes row values, not row order, so every node loading the
+// same file materializes identical shard contents.
+func tableFromSnapshot(path string, workers int) (*coax.Table, error) {
+	idx, sn, err := openSnapshot(path, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer sn.Close()
+	tab := coax.NewTable(idx.Columns())
+	tab.Grow(idx.Len())
+	if _, err := coax.FromRect(coax.FullRect(idx.Dims())).Run(idx, func(row []float64) bool {
+		tab.Append(row) // Append copies the values; the mapping can close after
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := sn.PageErr(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return tab, nil
 }
 
 // splitAddrs parses a comma-separated address list, dropping empties.

@@ -19,7 +19,6 @@ import (
 	"github.com/coax-index/coax/internal/core"
 	"github.com/coax-index/coax/internal/lifecycle"
 	"github.com/coax-index/coax/internal/serve"
-	"github.com/coax-index/coax/internal/shard"
 	"github.com/coax-index/coax/internal/snapshot"
 )
 
@@ -142,6 +141,15 @@ func cmdServe(args []string) error {
 // for a file whose header never parsed. The index was still loaded, so
 // serving proceeds; only the reported version degrades to unknown.
 func snapshotVersionOf(path string) uint32 {
+	v, err := coax.PeekSnapshotVersion(path)
+	if err != nil {
+		return 0
+	}
+	if v == coax.SnapshotVersionV3 {
+		return v
+	}
+	// v1/v2: run the streaming frame walk so a torn file still degrades to
+	// unknown rather than echoing a header the body contradicts.
 	f, err := os.Open(path)
 	if err != nil {
 		return 0
@@ -154,21 +162,38 @@ func snapshotVersionOf(path string) uint32 {
 	return info.Version
 }
 
+// openSnapshot opens the snapshot at path for serving, whatever its format
+// version: v3 files are memory-mapped (heap fallback where mmap is
+// unavailable), v1/v2 files decode onto the heap. Either layout comes back
+// as a sharded serving layer; the returned Snapshot owns a v3 file's
+// mapping and must stay referenced for the life of the server.
+func openSnapshot(in string, workers int) (*coax.ShardedIndex, *coax.Snapshot, error) {
+	sn, err := coax.OpenFile(in)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading %s: %w", in, err)
+	}
+	idx, err := sn.Serving(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sn.Version() == coax.SnapshotVersionV3 {
+		how := "memory-mapped"
+		if !sn.Mapped() {
+			how = "aligned heap read (mmap unavailable)"
+		}
+		fmt.Fprintf(os.Stderr, "opened %s as format v3: %s\n", in, how)
+	}
+	return idx, sn, nil
+}
+
 // openIndex loads a sharded snapshot, wraps a single-index snapshot into a
 // one-shard serving layer, or builds a sharded index at startup — from a
 // CSV file/stdin or a synthetic generator, streamed straight into the
 // per-shard builders when -sample is set.
 func openIndex(in, ds, csvPath string, rows, shards, workers, sample int) (*coax.ShardedIndex, error) {
 	if in != "" {
-		idx, err := coax.LoadShardedFile(in)
-		if err == nil {
-			return idx, nil
-		}
-		single, serr := coax.LoadFile(in)
-		if serr != nil {
-			return nil, fmt.Errorf("loading %s: %w", in, errors.Join(err, serr))
-		}
-		return shard.Reassemble([]*core.COAX{single}, shard.ByHash, -1, nil, workers)
+		idx, _, err := openSnapshot(in, workers)
+		return idx, err
 	}
 
 	var (

@@ -10,6 +10,7 @@
 //	coaxstore build -csv flights.csv -sample 50000 -out flights.coax   # streaming, bounded memory
 //	coaxgen -dataset osm -n 10000000 -stream | coaxstore build -csv - -sample 50000
 //	coaxstore buildbench -rows 200000 -json BENCH_build.json -guard
+//	coaxstore convert -in osm.coax -out osm.coax3 -compress   # v2 → mapped v3
 //	coaxstore info -in osm.coax
 //	coaxstore info -in osm.coax -metrics   # health gauges, same names as coaxserve /metrics
 //	coaxstore query -in osm.coax -min '_,0,40,-75' -max '_,5000,41,-74'
@@ -21,7 +22,6 @@ package main
 import (
 	"bufio"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/coax-index/coax/coax"
+	"github.com/coax-index/coax/internal/mmapsnap"
 	"github.com/coax-index/coax/internal/obs"
 	"github.com/coax-index/coax/internal/snapshot"
 )
@@ -47,6 +48,8 @@ func main() {
 		err = cmdBuild(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "explain":
@@ -74,7 +77,10 @@ func usage() {
 
 subcommands:
   build    build a COAX index and save it as a snapshot
-  info     describe a snapshot file (format frame + index stats);
+  convert  rewrite a snapshot between format versions (v2 heap-decoded ↔
+           v3 memory-mapped; -compress packs v3 grid pages columnar)
+  info     describe a snapshot file (format frame + index stats); for v3,
+           per-section on-disk vs decoded sizes and compression ratios;
            -metrics adds the health gauges in Prometheus text form
   query    answer a range/point query from a snapshot
   explain  run a query and report how it executed: soft-FD constraint
@@ -281,7 +287,12 @@ func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "index.coax", "snapshot path")
 	metrics := fs.Bool("metrics", false, "also print the index-health gauges in Prometheus text form, under the same series names coaxserve exports at /metrics")
+	verify := fs.Bool("verify", false, "v3 snapshots: check every section CRC and decode every compressed page before reporting")
 	fs.Parse(args)
+
+	if v, err := coax.PeekSnapshotVersion(*in); err == nil && v == coax.SnapshotVersionV3 {
+		return infoV3(*in, *metrics, *verify)
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -319,6 +330,75 @@ func cmdInfo(args []string) error {
 	return nil
 }
 
+// infoV3 describes a memory-mapped (format v3) snapshot: the section table
+// with per-section on-disk vs decoded sizes and compression ratios, then
+// the index stats from a mapped open.
+func infoV3(path string, metrics, verify bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := mmapsnap.Inspect(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: COAX snapshot, format version %d (memory-mapped), %d bytes\n", path, st.Version, st.Bytes)
+	printSections := func(indent string, s mmapsnap.Stat) {
+		for _, sec := range s.Sections {
+			line := fmt.Sprintf("%ssection %q  %10d bytes on disk", indent, sec.ID, sec.Len)
+			if sec.Compressed {
+				ratio := float64(sec.DecodedBytes) / float64(sec.Len)
+				line += fmt.Sprintf("  → %10d decoded  (%.2fx, %d cells)", sec.DecodedBytes, ratio, sec.Cells)
+			} else if sec.Cells > 0 {
+				line += fmt.Sprintf("  (raw pages, %d cells)", sec.Cells)
+			}
+			fmt.Println(line)
+		}
+	}
+	printSections("  ", st)
+	for i, sh := range st.Shards {
+		fmt.Printf("  shard %d:\n", i)
+		printSections("    ", sh)
+	}
+
+	if verify {
+		t0 := time.Now()
+		if err := mmapsnap.Verify(data); err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		fmt.Printf("verified every section CRC and page in %v\n", time.Since(t0).Round(time.Microsecond))
+	}
+
+	t0 := time.Now()
+	sn, err := coax.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer sn.Close()
+	openDur := time.Since(t0)
+	how := "heap fallback"
+	if sn.Mapped() {
+		how = "mapped"
+	}
+	fmt.Printf("opened in %v (%s)\n", openDur.Round(time.Microsecond), how)
+	if sh := sn.Sharded(); sh != nil {
+		fmt.Printf("  sharded index: %d shards, %d live rows, %d dims\n", sh.NumShards(), sh.Len(), sh.Dims())
+		return nil
+	}
+	idx := sn.Index()
+	s := idx.BuildStats()
+	fmt.Printf("  rows %d, dims %d, sort dim %d\n", s.Rows, s.Dims, s.SortDim)
+	fmt.Printf("  primary rows %d (%.1f%%), outlier rows %d\n", s.PrimaryRows, 100*s.PrimaryRatio, s.OutlierRows)
+	for _, g := range s.Groups {
+		fmt.Printf("  group: predictor col %d → members %v\n", g.Predictor, g.Members)
+	}
+	if metrics {
+		fmt.Println()
+		writeOfflineMetrics(os.Stdout, idx)
+	}
+	return nil
+}
+
 // writeOfflineMetrics renders the loaded snapshot's health gauges with the
 // exact series names coaxserve exports live, so an offline inspection and a
 // /metrics scrape can be compared name for name. A fresh registry keeps
@@ -350,7 +430,7 @@ func cmdQuery(args []string) error {
 	fs.Parse(args)
 
 	t0 := time.Now()
-	idx, err := coax.LoadFile(*in)
+	idx, sn, err := loadAnyIndex(*in)
 	if err != nil {
 		return err
 	}
@@ -373,6 +453,9 @@ func cmdQuery(args []string) error {
 		count++
 	})
 	queryDur := time.Since(t0)
+	if err := sn.PageErr(); err != nil {
+		return fmt.Errorf("%s: corrupt page touched during query: %w", *in, err)
+	}
 	fmt.Printf("%d rows matched %v (load %v, query %v)\n",
 		count, r, loadDur.Round(time.Microsecond), queryDur.Round(time.Microsecond))
 	return nil
@@ -390,7 +473,7 @@ func cmdExplain(args []string) error {
 	)
 	fs.Parse(args)
 
-	idx, err := loadAnyIndex(*in)
+	idx, sn, err := loadAnyIndex(*in)
 	if err != nil {
 		return err
 	}
@@ -431,6 +514,9 @@ func cmdExplain(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := sn.PageErr(); err != nil {
+		return fmt.Errorf("%s: corrupt page touched during query: %w", *in, err)
+	}
 	if *jsonOut {
 		blob, err := json.MarshalIndent(exp, "", "  ")
 		if err != nil {
@@ -443,18 +529,21 @@ func cmdExplain(args []string) error {
 	return nil
 }
 
-// loadAnyIndex opens a snapshot whichever layout it holds: a single index
-// or a sharded one.
-func loadAnyIndex(path string) (coax.Querier, error) {
-	idx, err := coax.LoadFile(path)
-	if err == nil {
-		return idx, nil
+// loadAnyIndex opens a snapshot whichever layout or format version it
+// holds: a single index or a sharded one, heap-decoded (v1/v2) or
+// memory-mapped (v3). The mapping of a v3 file stays valid until process
+// exit — the one-shot subcommands never unmap. Callers must check the
+// returned snapshot's PageErr after querying: compressed v3 pages are
+// CRC-verified lazily, so a corrupt page surfaces there, not at open.
+func loadAnyIndex(path string) (coax.Querier, *coax.Snapshot, error) {
+	sn, err := coax.OpenFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading %s: %w", path, err)
 	}
-	sharded, serr := coax.LoadShardedFile(path)
-	if serr != nil {
-		return nil, fmt.Errorf("loading %s: %w", path, errors.Join(err, serr))
+	if idx := sn.Index(); idx != nil {
+		return idx, sn, nil
 	}
-	return sharded, nil
+	return sn.Sharded(), sn, nil
 }
 
 // fillBounds parses a comma-separated bound list into dst; '_' (or an empty
@@ -491,7 +580,11 @@ func formatRow(row []float64) string {
 }
 
 // benchReport is the JSON shape consumed by CI to track the perf
-// trajectory of the persistence subsystem.
+// trajectory of the persistence subsystem. The heap columns time the v2
+// decode path; the mapped columns time a v3 OpenFile (raw and compressed),
+// with rss_bytes reporting the Go-heap residency each open pins — the
+// mapped open leaves row data in the file mapping, so its residency is the
+// directory, not the rows.
 type benchReport struct {
 	Dataset       string  `json:"dataset"`
 	Rows          int     `json:"rows"`
@@ -500,6 +593,15 @@ type benchReport struct {
 	LoadMS        float64 `json:"load_ms"`
 	SnapshotBytes int64   `json:"snapshot_bytes"`
 	LoadSpeedup   float64 `json:"load_speedup_vs_build"`
+
+	HeapRSSBytes       int64   `json:"heap_rss_bytes"`
+	HeapFileBytes      int64   `json:"heap_file_bytes"`
+	MappedOpenMS       float64 `json:"mapped_open_ms"`
+	MappedRSSBytes     int64   `json:"mapped_rss_bytes"`
+	MappedFileBytes    int64   `json:"mapped_file_bytes"`
+	MappedZipOpenMS    float64 `json:"mapped_compressed_open_ms"`
+	MappedZipFileBytes int64   `json:"mapped_compressed_file_bytes"`
+	MappedOpenSpeedup  float64 `json:"mapped_open_speedup_vs_load"`
 }
 
 func cmdBench(args []string) error {
@@ -541,18 +643,63 @@ func cmdBench(args []string) error {
 		return err
 	}
 
+	heapBase := heapInUse()
 	t0 = time.Now()
 	loaded, err := coax.LoadFile(path)
 	if err != nil {
 		return err
 	}
 	loadDur := time.Since(t0)
+	heapRSS := max(heapInUse()-heapBase, 0)
 
 	// Sanity: the loaded index must agree with the built one.
 	full := coax.FullRect(idx.Dims())
 	if b, l := coax.Count(idx, full), coax.Count(loaded, full); b != l {
 		return fmt.Errorf("loaded index counts %d rows, built counts %d", l, b)
 	}
+
+	// Memory-mapped format: save both v3 encodings and time an OpenFile of
+	// each — O(directory) opens against the v2 decode's O(rows).
+	path3, path3c := path+"3", path+"3c"
+	defer os.Remove(path3)
+	defer os.Remove(path3c)
+	if err := coax.SaveFileV3(path3, idx, false); err != nil {
+		return err
+	}
+	if err := coax.SaveFileV3(path3c, idx, true); err != nil {
+		return err
+	}
+	fi3, err := os.Stat(path3)
+	if err != nil {
+		return err
+	}
+	fi3c, err := os.Stat(path3c)
+	if err != nil {
+		return err
+	}
+	loaded = nil
+	mappedBase := heapInUse()
+	t0 = time.Now()
+	mapped, err := coax.OpenFile(path3)
+	if err != nil {
+		return err
+	}
+	mappedOpenDur := time.Since(t0)
+	mappedRSS := max(heapInUse()-mappedBase, 0)
+	if m := coax.Count(mapped.Index(), full); m != coax.Count(idx, full) {
+		return fmt.Errorf("mapped index counts %d rows, built counts %d", m, coax.Count(idx, full))
+	}
+	mapped.Close()
+	t0 = time.Now()
+	mappedZip, err := coax.OpenFile(path3c)
+	if err != nil {
+		return err
+	}
+	mappedZipOpenDur := time.Since(t0)
+	if m := coax.Count(mappedZip.Index(), full); m != coax.Count(idx, full) {
+		return fmt.Errorf("compressed mapped index counts %d rows, built counts %d", m, coax.Count(idx, full))
+	}
+	mappedZip.Close()
 
 	rep := benchReport{
 		Dataset:       *ds,
@@ -561,14 +708,27 @@ func cmdBench(args []string) error {
 		SaveMS:        float64(saveDur.Microseconds()) / 1000,
 		LoadMS:        float64(loadDur.Microseconds()) / 1000,
 		SnapshotBytes: fi.Size(),
+
+		HeapRSSBytes:       heapRSS,
+		HeapFileBytes:      fi.Size(),
+		MappedOpenMS:       float64(mappedOpenDur.Microseconds()) / 1000,
+		MappedRSSBytes:     mappedRSS,
+		MappedFileBytes:    fi3.Size(),
+		MappedZipOpenMS:    float64(mappedZipOpenDur.Microseconds()) / 1000,
+		MappedZipFileBytes: fi3c.Size(),
 	}
 	if rep.LoadMS > 0 {
 		rep.LoadSpeedup = rep.BuildMS / rep.LoadMS
 	}
+	if rep.MappedOpenMS > 0 {
+		rep.MappedOpenSpeedup = rep.LoadMS / rep.MappedOpenMS
+	}
 	fmt.Printf("dataset %s, %d rows\n", rep.Dataset, rep.Rows)
 	fmt.Printf("build %8.1f ms\n", rep.BuildMS)
 	fmt.Printf("save  %8.1f ms  (%d bytes)\n", rep.SaveMS, rep.SnapshotBytes)
-	fmt.Printf("load  %8.1f ms  (%.0fx faster than build)\n", rep.LoadMS, rep.LoadSpeedup)
+	fmt.Printf("load  %8.1f ms  (%.0fx faster than build, +%.1f MiB heap)\n", rep.LoadMS, rep.LoadSpeedup, mib(uint64(heapRSS)))
+	fmt.Printf("mmap  %8.1f ms  (%.0fx faster than load, +%.1f MiB heap, %d bytes raw / %d compressed, compressed open %.1f ms)\n",
+		rep.MappedOpenMS, rep.MappedOpenSpeedup, mib(uint64(mappedRSS)), rep.MappedFileBytes, rep.MappedZipFileBytes, rep.MappedZipOpenMS)
 	if *jsonOut != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -1,0 +1,166 @@
+package coax
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/coax-index/coax/internal/mmapsnap"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/snapshot"
+)
+
+// Snapshot format versions. Versions 1 and 2 are the streaming heap-decoded
+// container written by Save/SaveFile; version 3 is the page-aligned
+// memory-mapped container written by SaveFileV3 (see internal/mmapsnap for
+// the layout).
+const (
+	SnapshotVersion   = snapshot.Version
+	SnapshotVersionV3 = mmapsnap.Version
+)
+
+// SaveFileV3 writes a built index to path in snapshot format v3: hot
+// sections laid out as fixed-width 64-byte-aligned pages that OpenFile can
+// serve straight from a memory mapping, without decoding the file onto the
+// heap. With compress set, each grid cell page is stored columnar
+// (delta/frame-of-reference bit-packed) and decompressed lazily per page
+// into a bounded cache on first access. The write is atomic, like SaveFile.
+func SaveFileV3(path string, idx *Index, compress bool) error {
+	blob, err := mmapsnap.EncodeIndex(idx, mmapsnap.Options{Compress: compress})
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	})
+}
+
+// SaveShardedFileV3 writes a sharded index to path in snapshot format v3;
+// every shard becomes a nested page-aligned blob under one mapping. See
+// SaveFileV3.
+func SaveShardedFileV3(path string, idx *ShardedIndex, compress bool) error {
+	blob, err := mmapsnap.EncodeSharded(idx, mmapsnap.Options{Compress: compress})
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	})
+}
+
+// PeekSnapshotVersion reports the snapshot format version of the file at
+// path from its 12-byte header, without loading it.
+func PeekSnapshotVersion(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var head [12]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, fmt.Errorf("coax: reading snapshot header: %w", err)
+	}
+	return mmapsnap.PeekVersion(head[:])
+}
+
+// Snapshot is an index opened from a snapshot file of any format version.
+// It holds either a single Index or a ShardedIndex (never both), and — for
+// a mapped v3 file — owns the mapping backing them.
+type Snapshot struct {
+	idx     *Index
+	sh      *ShardedIndex
+	ms      *mmapsnap.Snapshot
+	version uint32
+}
+
+// Index returns the single index, or nil when the snapshot is sharded.
+func (s *Snapshot) Index() *Index { return s.idx }
+
+// Sharded returns the sharded index, or nil for a single-index snapshot.
+func (s *Snapshot) Sharded() *ShardedIndex { return s.sh }
+
+// Version is the on-disk format version the snapshot was opened from.
+func (s *Snapshot) Version() uint32 { return s.version }
+
+// Mapped reports whether queries are served from a memory mapping rather
+// than decoded heap state. Always false for v1/v2 files and on platforms
+// without mmap support.
+func (s *Snapshot) Mapped() bool { return s.ms != nil && s.ms.Mapped() }
+
+// PageErr returns the first corruption detected while lazily decompressing
+// a v3 page, if any — the scan path reads a corrupt page as empty rather
+// than failing mid-query. Callers that need an up-front guarantee should
+// verify the file with `coaxstore info -verify` (or mmapsnap.Verify).
+func (s *Snapshot) PageErr() error {
+	if s.ms == nil {
+		return nil
+	}
+	return s.ms.PageErr()
+}
+
+// Close releases the mapping of a v3 snapshot; the indexes obtained from
+// this snapshot must not be used afterwards. Closing a heap-loaded snapshot
+// is a no-op.
+func (s *Snapshot) Close() error {
+	if s.ms == nil {
+		return nil
+	}
+	return s.ms.Close()
+}
+
+// Serving returns the snapshot's index as a sharded serving layer,
+// wrapping a single index into one shard — what cmd/coaxserve serves from.
+func (s *Snapshot) Serving(workers int) (*ShardedIndex, error) {
+	if s.sh != nil {
+		return s.sh, nil
+	}
+	return shard.Reassemble([]*Index{s.idx}, shard.ByHash, -1, nil, workers)
+}
+
+// OpenFile opens a snapshot of any format version from path, dispatching
+// on the header: version 3 files are memory-mapped and served in place
+// (falling back to an aligned heap read where mmap is unavailable), while
+// version 1/2 files are decoded onto the heap exactly as LoadFile does.
+//
+// Compared to LoadFile, opening a v3 file is O(directory) instead of
+// O(rows): startup cost and steady-state resident memory shift to the
+// kernel page cache, shared across processes serving the same file. The
+// trade-offs run the other way on the query path — uncompressed pages are
+// read at mapping speed, compressed pages pay a one-off per-page decode —
+// and a v3 Snapshot must be kept open (and its file unmodified) for as
+// long as its indexes are in use.
+func OpenFile(path string) (*Snapshot, error) {
+	return OpenFileOptions(path, OpenOptions{})
+}
+
+// OpenOptions tunes OpenFile.
+type OpenOptions struct {
+	// PageCacheBytes bounds the decoded-page cache of a compressed v3
+	// snapshot; 0 means the default (32 MiB).
+	PageCacheBytes int64
+}
+
+// OpenFileOptions is OpenFile with explicit options.
+func OpenFileOptions(path string, opt OpenOptions) (*Snapshot, error) {
+	v, err := PeekSnapshotVersion(path)
+	if err != nil {
+		return nil, err
+	}
+	if v == mmapsnap.Version {
+		ms, err := mmapsnap.OpenFile(path, mmapsnap.OpenOptions{PageCacheBytes: opt.PageCacheBytes})
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{idx: ms.Index(), sh: ms.Sharded(), ms: ms, version: v}, nil
+	}
+	if sh, err := LoadShardedFile(path); err == nil {
+		return &Snapshot{sh: sh, version: v}, nil
+	}
+	idx, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{idx: idx, version: v}, nil
+}

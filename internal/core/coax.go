@@ -456,3 +456,10 @@ func (c *COAX) FD() softfd.Result { return c.fd }
 // Primary exposes the primary grid file (nil when all rows are outliers);
 // used by the Figure 4a experiment to read cell-size distributions.
 func (c *COAX) Primary() *gridfile.GridFile { return c.primary }
+
+// Outliers exposes the outlier index (nil when all rows are inliers); the
+// snapshot v3 encoder dispatches on its concrete type.
+func (c *COAX) Outliers() index.Interface { return c.outliers }
+
+// OutlierKind reports which outlier index kind the build selected.
+func (c *COAX) OutlierKind() OutlierIndexKind { return c.outlierKind }

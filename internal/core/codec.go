@@ -189,6 +189,13 @@ func (c *COAX) DecodeAttachPrimary(r *binio.Reader) error {
 	if err != nil {
 		return err
 	}
+	return c.AttachPrimary(g)
+}
+
+// AttachPrimary installs an already-assembled primary grid (decoded from a
+// binio payload or rebuilt around memory-mapped pages), applying the same
+// bounds checks as DecodeAttachPrimary.
+func (c *COAX) AttachPrimary(g *gridfile.GridFile) error {
 	if g.Dims() != c.dims {
 		return fmt.Errorf("core: primary grid has %d dims, index has %d", g.Dims(), c.dims)
 	}
@@ -216,6 +223,12 @@ func (c *COAX) DecodeAttachOutliers(r *binio.Reader) error {
 	if err != nil {
 		return err
 	}
+	return c.AttachOutliers(idx)
+}
+
+// AttachOutliers installs an already-assembled outlier index, applying the
+// same bounds checks as DecodeAttachOutliers.
+func (c *COAX) AttachOutliers(idx index.Interface) error {
 	if idx.Dims() != c.dims {
 		return fmt.Errorf("core: outlier index has %d dims, index has %d", idx.Dims(), c.dims)
 	}
@@ -234,9 +247,7 @@ func (c *COAX) DecodeAttachOutliers(r *binio.Reader) error {
 // already holds every mutation its delta log records, so after a load the
 // compactor simply re-detects staleness and restarts the rebuild.
 func (c *COAX) EncodeLifecycle(w *binio.Writer) {
-	w.Uint64(c.epoch)
-	w.Float64(c.baseOutlierRatio)
-	c.tracker.Encode(w)
+	c.EncodeLifecycleScalars(w)
 	var primaryDead, outlierDead []int64
 	if c.primary != nil {
 		primaryDead = c.primary.DeadSlots()
@@ -253,19 +264,9 @@ func (c *COAX) EncodeLifecycle(w *binio.Writer) {
 // outlier sections are attached so the tombstone slots have pages to land
 // in.
 func (c *COAX) DecodeAttachLifecycle(r *binio.Reader) error {
-	c.epoch = r.Uint64()
-	c.baseOutlierRatio = r.Float64()
-	if err := r.Err(); err != nil {
+	if err := c.DecodeAttachLifecycleScalars(r); err != nil {
 		return err
 	}
-	if c.baseOutlierRatio < 0 || c.baseOutlierRatio > 1 {
-		return fmt.Errorf("core: base outlier ratio %v out of range [0,1]", c.baseOutlierRatio)
-	}
-	tr, err := lifecycle.DecodeTracker(r, c.dims)
-	if err != nil {
-		return err
-	}
-	c.tracker = tr
 	primaryDead := r.Int64s()
 	outlierDead := r.Int64s()
 	if err := r.Err(); err != nil {
@@ -288,6 +289,35 @@ func (c *COAX) DecodeAttachLifecycle(r *binio.Reader) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// EncodeLifecycleScalars appends only the scalar lifecycle state — epoch,
+// staleness baseline, mutation/drift tracker — without the tombstone slot
+// lists. Snapshot v3 uses it: tombstones live as bitmaps inside the page
+// sections there, not in the lifecycle section.
+func (c *COAX) EncodeLifecycleScalars(w *binio.Writer) {
+	w.Uint64(c.epoch)
+	w.Float64(c.baseOutlierRatio)
+	c.tracker.Encode(w)
+}
+
+// DecodeAttachLifecycleScalars reads the scalar lifecycle state written by
+// EncodeLifecycleScalars and installs it.
+func (c *COAX) DecodeAttachLifecycleScalars(r *binio.Reader) error {
+	c.epoch = r.Uint64()
+	c.baseOutlierRatio = r.Float64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if c.baseOutlierRatio < 0 || c.baseOutlierRatio > 1 {
+		return fmt.Errorf("core: base outlier ratio %v out of range [0,1]", c.baseOutlierRatio)
+	}
+	tr, err := lifecycle.DecodeTracker(r, c.dims)
+	if err != nil {
+		return err
+	}
+	c.tracker = tr
 	return nil
 }
 

@@ -27,7 +27,18 @@ func (g *GridFile) Encode(w *binio.Writer) {
 		w.Float64s(b)
 	}
 	w.Int64s(g.offsets)
-	w.Float64s(g.data)
+	if g.store == nil {
+		w.Float64s(g.data)
+	} else {
+		// Store-backed (memory-mapped) pages: emit the payload cell by cell
+		// through cellPage — byte-identical to Float64s over the resident
+		// concatenation — without materializing a contiguous copy or
+		// mutating any state under a read lock.
+		w.Uint64(uint64(g.mainRows() * g.dims))
+		for c := 0; c < g.NumCells(); c++ {
+			w.RawFloat64s(g.cellPage(c))
+		}
+	}
 
 	cells := make([]int, 0, len(g.overflow))
 	for c := range g.overflow {
@@ -88,14 +99,17 @@ func Decode(r *binio.Reader) (*GridFile, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	if err := g.validateDecoded(); err != nil {
+	if err := g.validateDecoded(true); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
 // validateDecoded checks the invariants Build guarantees by construction.
-func (g *GridFile) validateDecoded() error {
+// verifyPages additionally proves every main page sorted on the sort
+// dimension — an O(rows) pass a lazily-decoded (store-backed) grid file
+// defers to per-page decode time instead.
+func (g *GridFile) validateDecoded(verifyPages bool) error {
 	if g.dims < 1 {
 		return fmt.Errorf("gridfile: dims %d < 1", g.dims)
 	}
@@ -153,12 +167,14 @@ func (g *GridFile) validateDecoded() error {
 			return fmt.Errorf("gridfile: offsets not monotone at cell %d", c)
 		}
 	}
-	if len(g.data)%g.dims != 0 {
-		return fmt.Errorf("gridfile: payload length %d not divisible by dims %d", len(g.data), g.dims)
-	}
-	mainRows := len(g.data) / g.dims
-	if g.offsets[nCells] != int64(mainRows) {
-		return fmt.Errorf("gridfile: offsets cover %d rows, payload has %d", g.offsets[nCells], mainRows)
+	mainRows := int(g.offsets[nCells])
+	if g.store == nil {
+		if len(g.data)%g.dims != 0 {
+			return fmt.Errorf("gridfile: payload length %d not divisible by dims %d", len(g.data), g.dims)
+		}
+		if len(g.data)/g.dims != mainRows {
+			return fmt.Errorf("gridfile: offsets cover %d rows, payload has %d", g.offsets[nCells], len(g.data)/g.dims)
+		}
 	}
 	overflowRows := 0
 	for c, page := range g.overflow {
@@ -178,9 +194,11 @@ func (g *GridFile) validateDecoded() error {
 	// unsorted page would silently drop matching rows, so the invariant is
 	// load-bearing and must be checked, not trusted.
 	if sd := g.cfg.SortDim; sd >= 0 {
-		for c := 0; c < nCells; c++ {
-			if !pageSorted(g.cellPage(c), g.dims, sd) {
-				return fmt.Errorf("gridfile: cell %d not sorted on dimension %d", c, sd)
+		if verifyPages {
+			for c := 0; c < nCells; c++ {
+				if !pageSorted(g.cellPage(c), g.dims, sd) {
+					return fmt.Errorf("gridfile: cell %d not sorted on dimension %d", c, sd)
+				}
 			}
 		}
 		for c, page := range g.overflow {

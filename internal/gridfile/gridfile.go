@@ -57,6 +57,12 @@ type GridFile struct {
 	data    []float64   // all rows, grouped by cell, row-major
 	offsets []int64     // per cell: starting row within data; len = cells+1
 
+	// store, when non-nil, supplies main-page rows instead of data — the
+	// hook a memory-mapped snapshot uses to decompress cell pages lazily
+	// (see internal/mmapsnap). All read paths go through cellPage, so a
+	// store-backed grid file answers queries identically to a resident one.
+	store PageStore
+
 	// Insert support (see insert.go): per-cell delta pages merged back by
 	// Compact.
 	overflow map[int]*overflowPage
@@ -244,8 +250,16 @@ func (g *GridFile) sortCell(c int) {
 }
 
 func (g *GridFile) cellPage(c int) []float64 {
+	if g.store != nil {
+		return g.store.CellPage(c)
+	}
 	return g.data[g.offsets[c]*int64(g.dims) : g.offsets[c+1]*int64(g.dims)]
 }
+
+// mainRows reports the number of row slots in the main pages (live and
+// tombstoned), derived from the offset table so it holds for both resident
+// and store-backed grid files.
+func (g *GridFile) mainRows() int { return int(g.offsets[len(g.offsets)-1]) }
 
 // Name implements index.Interface.
 func (g *GridFile) Name() string {

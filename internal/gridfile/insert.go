@@ -132,8 +132,10 @@ func (g *GridFile) isDead(slot int) bool {
 
 func (g *GridFile) setDead(slot int) {
 	w := slot >> 6
-	if g.dead == nil {
-		g.dead = make([]uint64, (len(g.data)/g.dims+63)/64)
+	if w >= len(g.dead) {
+		grown := make([]uint64, (g.mainRows()+63)/64)
+		copy(grown, g.dead)
+		g.dead = grown
 	}
 	if g.dead[w]&(1<<(uint(slot)&63)) == 0 {
 		g.dead[w] |= 1 << (uint(slot) & 63)
@@ -160,7 +162,7 @@ func (g *GridFile) DeadSlots() []int64 {
 // SetDeadSlots installs a tombstone set (typically decoded from a
 // snapshot). Slots must be unique and within the main pages.
 func (g *GridFile) SetDeadSlots(slots []int64) error {
-	mainRows := len(g.data) / g.dims
+	mainRows := g.mainRows()
 	g.dead = nil
 	g.deadCount = 0
 	for _, s := range slots {
@@ -206,6 +208,7 @@ func (g *GridFile) Compact() {
 	newOffsets[nCells] = int64(len(newData) / g.dims)
 	g.data = newData
 	g.offsets = newOffsets
+	g.store = nil // pages are resident again; drop any mapped backing
 	g.overflow = nil
 	g.inserted = 0
 	g.dead = nil

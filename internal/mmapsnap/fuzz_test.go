@@ -1,0 +1,112 @@
+package mmapsnap
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/shard"
+)
+
+// fuzzSeedTable is a small correlated table whose snapshots exercise every
+// v3 section kind: soft-FD models, a primary grid, and an outlier index.
+func fuzzSeedTable() *dataset.Table {
+	rng := rand.New(rand.NewSource(99))
+	t := dataset.NewTable([]string{"x", "d", "u"})
+	for i := 0; i < 400; i++ {
+		x := rng.Float64() * 100
+		d := 3*x + 7 + rng.NormFloat64()
+		if rng.Float64() < 0.2 {
+			d = rng.Float64() * 400
+		}
+		t.Append([]float64{x, d, rng.Float64() * 10})
+	}
+	return t
+}
+
+// FuzzMmapSnapDecode drives the v3 open path with arbitrary bytes.
+// Truncated, corrupted, or misaligned inputs must produce typed errors —
+// never a panic, an over-read past the blob, or an index that panics when
+// queried. Seeds cover both container shapes × both outlier kinds ×
+// compressed/plain, plus truncations and bit-flips, so the fuzzer starts
+// inside the format rather than fighting the magic number.
+func FuzzMmapSnapDecode(f *testing.F) {
+	tab := fuzzSeedTable()
+	opt := core.DefaultOptions()
+	opt.SoftFD.SampleCount = 400
+
+	var seeds [][]byte
+	for _, kind := range []core.OutlierIndexKind{core.OutlierGrid, core.OutlierRTree} {
+		o := opt
+		o.OutlierKind = kind
+		idx, err := core.Build(tab, o)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, compress := range []bool{false, true} {
+			blob, err := EncodeIndex(idx, Options{Compress: compress})
+			if err != nil {
+				f.Fatal(err)
+			}
+			seeds = append(seeds, blob)
+		}
+	}
+	sharded, err := shard.Build(tab, opt, shard.Options{NumShards: 3, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := EncodeSharded(sharded, Options{Compress: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, blob)
+
+	for _, blob := range seeds {
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+		f.Add(blob[:len(blob)-1])
+		for _, at := range []int{len(blob) / 3, len(blob) / 2, len(blob) - 9} {
+			mut := append([]byte(nil), blob...)
+			mut[at] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("COAXSNAP"))
+	f.Add([]byte("COAXSNAP\x03\x00\x00\x00"))
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sn, err := OpenBytes(data, OpenOptions{PageCacheBytes: 1 << 16})
+		if err == nil {
+			if idx := sn.Index(); idx != nil {
+				exerciseQueries(idx)
+			}
+			if sh := sn.Sharded(); sh != nil {
+				exerciseQueries(sh)
+			}
+			// A lazily-surfaced page error is fine; a panic above is not.
+			_ = sn.PageErr()
+		}
+		Inspect(data)
+		Verify(data)
+		IsSharded(data)
+		PeekVersion(data)
+	})
+}
+
+// exerciseQueries runs the probe paths of an opened index; an open that
+// validated must answer (possibly with rows elided by a latched page
+// error) without panicking.
+func exerciseQueries(idx index.Interface) {
+	dims := idx.Dims()
+	index.Count(idx, index.Full(dims))
+	r := index.Full(dims)
+	for d := 0; d < dims; d++ {
+		r.Min[d], r.Max[d] = -1, 1
+	}
+	index.Count(idx, r)
+	index.Count(idx, index.Point(make([]float64, dims)))
+}

@@ -1,0 +1,409 @@
+package mmapsnap
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/coax-index/coax/internal/core"
+	"github.com/coax-index/coax/internal/dataset"
+	"github.com/coax-index/coax/internal/index"
+	"github.com/coax-index/coax/internal/shard"
+	"github.com/coax-index/coax/internal/snapshot"
+	"github.com/coax-index/coax/internal/workload"
+)
+
+func testTable(t testing.TB, rows int) *dataset.Table {
+	t.Helper()
+	return dataset.GenerateOSM(dataset.DefaultOSMConfig(rows))
+}
+
+func buildIndex(t testing.TB, tab *dataset.Table, kind core.OutlierIndexKind) *core.COAX {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.OutlierKind = kind
+	opt.SoftFD.SampleCount = 2000
+	idx, err := core.Build(tab, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return idx
+}
+
+func testQueries(tab *dataset.Table) []index.Rect {
+	g := workload.NewGenerator(tab, 7)
+	qs := g.PointQueries(15)
+	qs = append(qs, g.KNNRects(15, 64)...)
+	for d := 0; d < tab.Dims(); d++ {
+		qs = append(qs, g.PartialRects(3, []int{d}, 0.2)...)
+	}
+	qs = append(qs, index.Full(tab.Dims()))
+	return qs
+}
+
+func sortRows(rows [][]float64) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// requireSameResults proves two indexes answer a query set bit-identically.
+func requireSameResults(t *testing.T, want, got index.Interface, queries []index.Rect) {
+	t.Helper()
+	for qi, q := range queries {
+		wr, gr := index.Collect(want, q), index.Collect(got, q)
+		sortRows(wr)
+		sortRows(gr)
+		if len(wr) != len(gr) {
+			t.Fatalf("query %d: %d rows heap, %d mapped", qi, len(wr), len(gr))
+		}
+		for i := range wr {
+			for k := range wr[i] {
+				if math.Float64bits(wr[i][k]) != math.Float64bits(gr[i][k]) {
+					t.Fatalf("query %d row %d col %d: %v != %v (bit-level)", qi, i, k, wr[i][k], gr[i][k])
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripSingle(t *testing.T) {
+	tab := testTable(t, 4000)
+	queries := testQueries(tab)
+	for _, kind := range []core.OutlierIndexKind{core.OutlierGrid, core.OutlierRTree} {
+		for _, compress := range []bool{false, true} {
+			idx := buildIndex(t, tab, kind)
+			blob, err := EncodeIndex(idx, Options{Compress: compress})
+			if err != nil {
+				t.Fatalf("kind=%v compress=%v: EncodeIndex: %v", kind, compress, err)
+			}
+			if err := Verify(blob); err != nil {
+				t.Fatalf("kind=%v compress=%v: Verify: %v", kind, compress, err)
+			}
+			sn, err := OpenBytes(blob, OpenOptions{})
+			if err != nil {
+				t.Fatalf("kind=%v compress=%v: OpenBytes: %v", kind, compress, err)
+			}
+			got := sn.Index()
+			if got == nil {
+				t.Fatal("single snapshot returned no index")
+			}
+			if got.Len() != idx.Len() {
+				t.Fatalf("Len %d != %d", got.Len(), idx.Len())
+			}
+			requireSameResults(t, idx, got, queries)
+			if err := sn.PageErr(); err != nil {
+				t.Fatalf("PageErr: %v", err)
+			}
+		}
+	}
+}
+
+func TestRoundTripSharded(t *testing.T) {
+	tab := testTable(t, 6000)
+	queries := testQueries(tab)
+	opt := core.DefaultOptions()
+	opt.SoftFD.SampleCount = 2000
+	sh, err := shard.Build(tab, opt, shard.DefaultOptions())
+	if err != nil {
+		t.Fatalf("shard.Build: %v", err)
+	}
+	for _, compress := range []bool{false, true} {
+		blob, err := EncodeSharded(sh, Options{Compress: compress})
+		if err != nil {
+			t.Fatalf("EncodeSharded: %v", err)
+		}
+		if err := Verify(blob); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		sn, err := OpenBytes(blob, OpenOptions{})
+		if err != nil {
+			t.Fatalf("OpenBytes: %v", err)
+		}
+		got := sn.Sharded()
+		if got == nil {
+			t.Fatal("sharded snapshot returned no sharded index")
+		}
+		if got.Len() != sh.Len() {
+			t.Fatalf("Len %d != %d", got.Len(), sh.Len())
+		}
+		requireSameResults(t, sh, got, queries)
+	}
+}
+
+// TestMappedMutationAndReencode proves a mapped index stays fully mutable
+// (inserts, deletes, compaction) and that saving it back through the v2
+// codec round-trips — the convert path in both directions.
+func TestMappedMutationAndReencode(t *testing.T) {
+	tab := testTable(t, 3000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	for _, compress := range []bool{false, true} {
+		blob, err := EncodeIndex(idx, Options{Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, err := OpenBytes(blob, OpenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sn.Index()
+
+		rng := rand.New(rand.NewSource(11))
+		var inserted [][]float64
+		for i := 0; i < 50; i++ {
+			row := tab.Row(rng.Intn(tab.Len()))
+			nr := append([]float64(nil), row...)
+			nr[0] += 0.5
+			if err := got.Insert(nr); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			inserted = append(inserted, nr)
+		}
+		for i := 0; i < 30; i++ {
+			row := tab.Row(i * 7)
+			if err := got.Delete(append([]float64(nil), row...)); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+		}
+		// Save the mutated mapped index with the v2 codec and reload it.
+		var buf bytes.Buffer
+		if err := snapshot.Encode(&buf, got); err != nil {
+			t.Fatalf("v2 Encode of mapped index: %v", err)
+		}
+		heap, err := snapshot.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v2 Decode: %v", err)
+		}
+		requireSameResults(t, heap, got, testQueries(tab))
+
+		// Compact materializes the pages; the store must be gone after.
+		got.Compact()
+		if got.Primary() != nil && got.Primary().Mapped() {
+			t.Fatal("primary still store-backed after Compact")
+		}
+		requireSameResults(t, heap, got, testQueries(tab))
+		if err := sn.PageErr(); err != nil {
+			t.Fatalf("PageErr: %v", err)
+		}
+	}
+}
+
+func TestOpenFileMapped(t *testing.T) {
+	tab := testTable(t, 2000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob, err := EncodeIndex(idx, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.coax3")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := OpenFile(path, OpenOptions{})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer sn.Close()
+	requireSameResults(t, idx, sn.Index(), testQueries(tab))
+	if err := sn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestColcodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []func(r, d int) float64{
+		func(r, d int) float64 { return float64(1_000_000 + r*3 + d) },        // dense ints
+		func(r, d int) float64 { return rng.NormFloat64() * 1e6 },             // floats
+		func(r, d int) float64 { return 42 },                                  // constant
+		func(r, d int) float64 { return float64(rng.Int63())*2 - float64(1) }, // wide ints
+		func(r, d int) float64 { return math.Copysign(0, -1) },                // -0.0 must survive
+		func(r, d int) float64 { return rng.Float64() },                       // mantissa-dense
+		func(r, d int) float64 { return float64(rng.Intn(2)) },                // 1-bit ints
+	}
+	for ci, gen := range cases {
+		for _, rows := range []int{1, 2, 63, 64, 65, 500} {
+			dims := 3
+			page := make([]float64, rows*dims)
+			for r := 0; r < rows; r++ {
+				for d := 0; d < dims; d++ {
+					page[r*dims+d] = gen(r, d)
+				}
+			}
+			blob := encodePage(page, rows, dims)
+			if len(blob) > 5+rows*dims*8 {
+				t.Fatalf("case %d rows %d: blob %d bytes exceeds raw bound %d", ci, rows, len(blob), 5+rows*dims*8)
+			}
+			out := make([]float64, rows*dims)
+			if err := decodePage(blob, out, rows, dims, -1); err != nil {
+				t.Fatalf("case %d rows %d: decode: %v", ci, rows, err)
+			}
+			for i := range page {
+				if math.Float64bits(page[i]) != math.Float64bits(out[i]) {
+					t.Fatalf("case %d rows %d: value %d: %x != %x", ci, rows, i, math.Float64bits(page[i]), math.Float64bits(out[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestCompressionShrinksIntHeavyData(t *testing.T) {
+	tab := testTable(t, 20000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	plain, err := EncodeIndex(idx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := EncodeIndex(idx, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) >= len(plain) {
+		t.Fatalf("compressed blob %d bytes ≥ plain %d", len(packed), len(plain))
+	}
+	t.Logf("plain %d bytes, compressed %d bytes (%.2fx)", len(plain), len(packed), float64(len(plain))/float64(len(packed)))
+}
+
+func TestPageLRUBounded(t *testing.T) {
+	tab := testTable(t, 8000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob, err := EncodeIndex(idx, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny cache forces constant eviction; answers must stay identical.
+	sn, err := OpenBytes(blob, OpenOptions{PageCacheBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, idx, sn.Index(), testQueries(tab))
+	if err := sn.PageErr(); err != nil {
+		t.Fatalf("PageErr: %v", err)
+	}
+}
+
+// TestConcurrentReaders hammers one compressed snapshot from many
+// goroutines through a deliberately tiny page cache, so decode races and
+// evictions overlap in-flight scans. Run with -race.
+func TestConcurrentReaders(t *testing.T) {
+	tab := testTable(t, 5000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob, err := EncodeIndex(idx, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := OpenBytes(blob, OpenOptions{PageCacheBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := testQueries(tab)
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = index.Count(idx, q)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, q := range queries {
+					if got := index.Count(sn.Index(), q); got != want[i] {
+						t.Errorf("worker %d query %d: count %d, want %d", w, i, got, want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sn.PageErr(); err != nil {
+		t.Fatalf("PageErr: %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	tab := testTable(t, 2000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	for _, compress := range []bool{false, true} {
+		blob, err := EncodeIndex(idx, Options{Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncations anywhere must error, never panic.
+		for _, n := range []int{0, 4, 11, 15, 16, headerSize + 8, len(blob) / 2, len(blob) - 1} {
+			if _, err := OpenBytes(blob[:n], OpenOptions{}); err == nil {
+				t.Errorf("compress=%v: truncation to %d bytes opened", compress, n)
+			}
+		}
+		// A flipped byte in the compressed data region must surface through
+		// Verify (and PageErr once queried); plain-section flips fail open.
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)-9] ^= 0xff
+		if err := Verify(bad); err == nil {
+			t.Errorf("compress=%v: Verify accepted corrupt tail", compress)
+		}
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	if _, err := OpenBytes([]byte("COAXSNAPxxxx"), OpenOptions{}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+	if _, err := OpenBytes([]byte("NOTASNAPxxxx"), OpenOptions{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	// A v2 file must be rejected by mmapsnap with ErrVersion, not mangled.
+	tab := testTable(t, 500)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBytes(buf.Bytes(), OpenOptions{}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion for v2 file, got %v", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	tab := testTable(t, 3000)
+	idx := buildIndex(t, tab, core.OutlierGrid)
+	blob, err := EncodeIndex(idx, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Inspect(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != Version || st.Bytes != uint64(len(blob)) {
+		t.Fatalf("Inspect header: %+v", st)
+	}
+	var sawGrid bool
+	for _, s := range st.Sections {
+		if s.ID == secPrimary {
+			sawGrid = true
+			if !s.Compressed || s.Cells == 0 {
+				t.Fatalf("primary section stat: %+v", s)
+			}
+			if s.DecodedBytes <= s.Len {
+				t.Fatalf("expected decoded %d > on-disk %d for compressed grid", s.DecodedBytes, s.Len)
+			}
+		}
+	}
+	if !sawGrid {
+		t.Fatal("no primary grid section in Inspect output")
+	}
+}

@@ -393,6 +393,11 @@ func readHeader(r io.Reader) (version, sections uint32, err error) {
 	hr := binio.NewReader(head[8:])
 	version = hr.Uint32()
 	sections = hr.Uint32()
+	if version == Version+1 {
+		// Version 3 is the memory-mapped page format: a different container
+		// (TOC-framed, 64-byte-aligned sections) read by internal/mmapsnap.
+		return 0, 0, fmt.Errorf("%w: file has version %d (memory-mapped format; open it with coax.OpenFile or internal/mmapsnap)", ErrVersion, version)
+	}
 	if version < MinVersion || version > Version {
 		return 0, 0, fmt.Errorf("%w: file has version %d, this build reads %d–%d", ErrVersion, version, MinVersion, Version)
 	}

@@ -130,6 +130,11 @@ run_macro() {
       -json "$out/BENCH_mutation.json" >/dev/null
     "$bin/coaxstore" buildbench -rows "$BENCH_MACRO_ROWS" -rates 0.01,0.1 \
       -json "$out/BENCH_build.json" >/dev/null
+    # Snapshot sweep: build/save/load timings, and on trees that know the
+    # v3 format also the mapped-open columns (mapped_open_ms, *_rss_bytes,
+    # mapped_open_speedup_vs_load) — benchdiff skips keys the base lacks.
+    "$bin/coaxstore" bench -rows "$BENCH_MACRO_ROWS" \
+      -json "$out/BENCH_snapshot.json" >/dev/null
     if "$bin/coaxserve" aggbench -h 2>&1 | grep -q selectivities; then
       "$bin/coaxserve" aggbench -rows "$BENCH_MACRO_ROWS" -queries 15 \
         -grouprows "$BENCH_MACRO_ROWS" -json "$out/BENCH_agg.json" >/dev/null
